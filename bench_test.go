@@ -1,0 +1,497 @@
+package blobseer
+
+// One benchmark per table/figure of the paper's evaluation, exercising
+// the exact workload shape at reduced scale on the unshaped in-process
+// transport, so testing.B numbers reflect implementation cost (CPU,
+// allocations, synchronization), not modeled wire time. The shaped,
+// full-scale figure regeneration lives in cmd/experiments; measured
+// curves are recorded in EXPERIMENTS.md.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"blobseer/internal/apps/datajoin"
+	"blobseer/internal/bsfs"
+	"blobseer/internal/dfs"
+	"blobseer/internal/hdfs"
+	"blobseer/internal/mapreduce"
+	"blobseer/internal/transport"
+	"blobseer/internal/workload"
+)
+
+var benchCtx = context.Background()
+
+const benchBlock = 64 << 10
+
+// newBenchCluster builds a small embedded deployment.
+func newBenchCluster(b *testing.B) *Cluster {
+	b.Helper()
+	c, err := NewCluster(Options{Providers: 8, MetaProviders: 3, BlockSize: benchBlock})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	return c
+}
+
+// benchChunk is one block-sized append payload.
+func benchChunk(tag byte) []byte {
+	buf := make([]byte, benchBlock)
+	for i := range buf {
+		buf[i] = byte(int(tag) + i*7)
+	}
+	return buf
+}
+
+// BenchmarkSingleAppend measures the raw append pipeline: one client,
+// one chunk per operation (the N=1 point of Figure 3).
+func BenchmarkSingleAppend(b *testing.B) {
+	c := newBenchCluster(b)
+	fs := c.Mount("node-000")
+	defer fs.Close()
+	w, err := fs.Append(benchCtx, "/bench/single")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	data := benchChunk(1)
+	b.SetBytes(benchBlock)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Write(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3ConcurrentAppends is the Figure 3 workload: 16 clients
+// appending chunks to one shared file concurrently.
+func BenchmarkFig3ConcurrentAppends(b *testing.B) {
+	const clients = 16
+	c := newBenchCluster(b)
+	setup := c.Mount("node-000")
+	defer setup.Close()
+	if err := dfs.WriteFile(benchCtx, setup, "/bench/fig3", nil); err != nil {
+		b.Fatal(err)
+	}
+	writers := make([]dfs.FileWriter, clients)
+	for i := range writers {
+		fs := c.Mount(fmt.Sprintf("node-%03d", i%8))
+		defer fs.Close()
+		w, err := fs.Append(benchCtx, "/bench/fig3")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer w.Close()
+		writers[i] = w
+	}
+	data := benchChunk(3)
+	b.SetBytes(clients * benchBlock)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for _, w := range writers {
+			wg.Add(1)
+			go func(w dfs.FileWriter) {
+				defer wg.Done()
+				if _, err := w.Write(data); err != nil {
+					b.Error(err)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+}
+
+// preloadShared writes chunks into a file for the mixed benchmarks.
+func preloadShared(b *testing.B, fs *bsfs.FS, path string, chunks int) {
+	b.Helper()
+	w, err := fs.Create(benchCtx, path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := benchChunk(7)
+	for i := 0; i < chunks; i++ {
+		if _, err := w.Write(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkFig4ReadsUnderAppends is the Figure 4 workload: readers on
+// disjoint regions while appenders extend the same file; the metric is
+// read bytes/second.
+func BenchmarkFig4ReadsUnderAppends(b *testing.B) {
+	const readers, appenders, chunksEach = 4, 4, 4
+	c := newBenchCluster(b)
+	fs := c.Mount("node-000")
+	defer fs.Close()
+	preloadShared(b, fs, "/bench/fig4", readers*chunksEach)
+
+	appendWriters := make([]dfs.FileWriter, appenders)
+	for i := range appendWriters {
+		afs := c.Mount(fmt.Sprintf("node-%03d", i%8))
+		defer afs.Close()
+		w, err := afs.Append(benchCtx, "/bench/fig4")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer w.Close()
+		appendWriters[i] = w
+	}
+	data := benchChunk(9)
+
+	b.SetBytes(readers * chunksEach * benchBlock) // read bytes per iteration
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for _, w := range appendWriters {
+			wg.Add(1)
+			go func(w dfs.FileWriter) {
+				defer wg.Done()
+				for k := 0; k < chunksEach; k++ {
+					if _, err := w.Write(data); err != nil {
+						b.Error(err)
+					}
+				}
+			}(w)
+		}
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				f, err := fs.Open(benchCtx, "/bench/fig4")
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				defer f.Close()
+				buf := make([]byte, benchBlock)
+				for k := 0; k < chunksEach; k++ {
+					off := int64((r*chunksEach + k) * benchBlock)
+					if _, err := f.ReadAt(buf, off); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(r)
+		}
+		wg.Wait()
+	}
+}
+
+// BenchmarkFig5AppendsUnderReads mirrors Figure 5: the metric is
+// append bytes/second while readers run.
+func BenchmarkFig5AppendsUnderReads(b *testing.B) {
+	const readers, appenders, chunksEach = 4, 4, 4
+	c := newBenchCluster(b)
+	fs := c.Mount("node-000")
+	defer fs.Close()
+	preloadShared(b, fs, "/bench/fig5", readers*chunksEach)
+
+	appendWriters := make([]dfs.FileWriter, appenders)
+	for i := range appendWriters {
+		afs := c.Mount(fmt.Sprintf("node-%03d", i%8))
+		defer afs.Close()
+		w, err := afs.Append(benchCtx, "/bench/fig5")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer w.Close()
+		appendWriters[i] = w
+	}
+	data := benchChunk(11)
+
+	b.SetBytes(appenders * chunksEach * benchBlock) // appended bytes per iteration
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				f, err := fs.Open(benchCtx, "/bench/fig5")
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				defer f.Close()
+				buf := make([]byte, benchBlock)
+				for k := 0; k < chunksEach; k++ {
+					off := int64((r*chunksEach + k) * benchBlock)
+					if _, err := f.ReadAt(buf, off); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(r)
+		}
+		for _, w := range appendWriters {
+			wg.Add(1)
+			go func(w dfs.FileWriter) {
+				defer wg.Done()
+				for k := 0; k < chunksEach; k++ {
+					if _, err := w.Write(data); err != nil {
+						b.Error(err)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+}
+
+// fig6Inputs builds a small Last.fm-shaped join input pair.
+func fig6Inputs() (string, string) {
+	return workload.JoinInputs(workload.JoinConfig{Keys: 150, DupA: 3, DupB: 3, Seed: 42})
+}
+
+// BenchmarkFig6DataJoinBSFS runs the data-join job of Figure 6 on the
+// modified framework (all reducers appending to one shared file).
+func BenchmarkFig6DataJoinBSFS(b *testing.B) {
+	c := newBenchCluster(b)
+	fw, err := c.NewFramework()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fw.Close()
+	a, bb := fig6Inputs()
+	if err := dfs.WriteFile(benchCtx, fw.ClientFS(), "/in/a", []byte(a)); err != nil {
+		b.Fatal(err)
+	}
+	if err := dfs.WriteFile(benchCtx, fw.ClientFS(), "/in/b", []byte(bb)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		job := datajoin.Job("/in/a", "/in/b", fmt.Sprintf("/out/%d", i), 4, mapreduce.SharedAppend)
+		res, err := fw.Run(benchCtx, job)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.OutputFiles) != 1 {
+			b.Fatalf("output files = %d", len(res.OutputFiles))
+		}
+	}
+}
+
+// BenchmarkFig6DataJoinHDFS is the original-framework baseline of
+// Figure 6 (one part file per reducer, temp + rename commit).
+func BenchmarkFig6DataJoinHDFS(b *testing.B) {
+	net := transport.NewMemNet()
+	cluster, err := hdfs.NewCluster(net, hdfs.ClusterConfig{Datanodes: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cluster.Close()
+	fw, err := mapreduce.NewFramework(mapreduce.FrameworkConfig{
+		Net:   net,
+		Hosts: cluster.DatanodeHosts(),
+		Mount: func(host string) dfs.FileSystem { return cluster.Mount(host, benchBlock) },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fw.Close()
+	a, bb := fig6Inputs()
+	if err := dfs.WriteFile(benchCtx, fw.ClientFS(), "/in/a", []byte(a)); err != nil {
+		b.Fatal(err)
+	}
+	if err := dfs.WriteFile(benchCtx, fw.ClientFS(), "/in/b", []byte(bb)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		job := datajoin.Job("/in/a", "/in/b", fmt.Sprintf("/out/%d", i), 4, mapreduce.SeparateFiles)
+		res, err := fw.Run(benchCtx, job)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.OutputFiles) != 4 {
+			b.Fatalf("output files = %d", len(res.OutputFiles))
+		}
+	}
+}
+
+// BenchmarkExtPipeline runs the §5 future-work scenario: a two-stage
+// pipeline whose second stage streams the first stage's growing output.
+func BenchmarkExtPipeline(b *testing.B) {
+	c := newBenchCluster(b)
+	fw, err := c.NewFramework()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fw.Close()
+	a, bb := fig6Inputs()
+	if err := dfs.WriteFile(benchCtx, fw.ClientFS(), "/in/a", []byte(a)); err != nil {
+		b.Fatal(err)
+	}
+	if err := dfs.WriteFile(benchCtx, fw.ClientFS(), "/in/b", []byte(bb)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s1 := datajoin.Job("/in/a", "/in/b", fmt.Sprintf("/s1/%d", i), 2, mapreduce.SharedAppend)
+		s2 := mapreduce.JobConf{
+			Name:        "identity",
+			OutputDir:   fmt.Sprintf("/s2/%d", i),
+			Map:         func(k, v string, emit func(k, v string)) { emit(v, "1") },
+			Reduce:      func(k string, vs []string, emit func(k, v string)) { emit(k, "1") },
+			NumReducers: 2,
+			OutputMode:  mapreduce.SharedAppend,
+		}
+		if _, err := fw.RunPipeline(benchCtx, []mapreduce.JobConf{s1, s2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationLockedAppend measures the Abl 1 baseline: 16
+// appenders serialized by a global lock (a lease-style design).
+// Compare with BenchmarkFig3ConcurrentAppends.
+func BenchmarkAblationLockedAppend(b *testing.B) {
+	const clients = 16
+	c := newBenchCluster(b)
+	setup := c.Mount("node-000")
+	defer setup.Close()
+	if err := dfs.WriteFile(benchCtx, setup, "/bench/locked", nil); err != nil {
+		b.Fatal(err)
+	}
+	writers := make([]dfs.FileWriter, clients)
+	for i := range writers {
+		fs := c.Mount(fmt.Sprintf("node-%03d", i%8))
+		defer fs.Close()
+		w, err := fs.Append(benchCtx, "/bench/locked")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer w.Close()
+		writers[i] = w
+	}
+	data := benchChunk(13)
+	var gate sync.Mutex
+	b.SetBytes(clients * benchBlock)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for _, w := range writers {
+			wg.Add(1)
+			go func(w dfs.FileWriter) {
+				defer wg.Done()
+				gate.Lock()
+				defer gate.Unlock()
+				if _, err := w.Write(data); err != nil {
+					b.Error(err)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+}
+
+// BenchmarkMetadataCommit isolates the metadata path: appends of one
+// tiny page each, so version assignment + segment-tree commit dominate.
+func BenchmarkMetadataCommit(b *testing.B) {
+	c, err := NewCluster(Options{Providers: 4, MetaProviders: 3, BlockSize: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	bc := c.BlobClient("node-000")
+	defer bc.Close()
+	bl, err := bc.Create(benchCtx, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bl.Append(benchCtx, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVersionedRead measures random single-chunk reads from a
+// BLOB with a deep version history (the reader-side cost of
+// versioning).
+func BenchmarkVersionedRead(b *testing.B) {
+	c := newBenchCluster(b)
+	fs := c.Mount("node-001")
+	defer fs.Close()
+	const chunks = 64
+	preloadShared(b, fs, "/bench/read", chunks)
+	f, err := fs.Open(benchCtx, "/bench/read")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, benchBlock)
+	b.SetBytes(benchBlock)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := int64((i % chunks) * benchBlock)
+		if _, err := f.ReadAt(buf, off); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestClusterFacade keeps the root package tested, not just benched.
+func TestClusterFacade(t *testing.T) {
+	c, err := NewCluster(Options{Providers: 4, MetaProviders: 2, BlockSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fs := c.Mount("node-000")
+	defer fs.Close()
+	if err := dfs.WriteFile(benchCtx, fs, "/hello", []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dfs.ReadAll(benchCtx, fs, "/hello")
+	if err != nil || string(got) != "world" {
+		t.Fatalf("read = %q, %v", got, err)
+	}
+	fw, err := c.NewFramework()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fw.Close()
+	start := time.Now()
+	if err := dfs.WriteFile(benchCtx, fw.ClientFS(), "/in/t", []byte("a b a\n")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := fw.Run(benchCtx, mapreduce.JobConf{
+		Name:        "probe",
+		Input:       []string{"/in/t"},
+		OutputDir:   "/out",
+		Map:         func(k, v string, emit func(k, v string)) { emit(v, "1") },
+		Reduce:      func(k string, vs []string, emit func(k, v string)) { emit(k, "1") },
+		NumReducers: 1,
+		OutputMode:  mapreduce.SharedAppend,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.OutputFiles) != 1 || time.Since(start) > time.Minute {
+		t.Fatalf("res = %+v", res)
+	}
+}

@@ -1,0 +1,93 @@
+package blobseer
+
+import (
+	"blobseer/internal/blob"
+	"blobseer/internal/bsfs"
+	"blobseer/internal/dfs"
+	"blobseer/internal/mapreduce"
+	"blobseer/internal/transport"
+)
+
+// Options sizes an embedded (in-process) BlobSeer + BSFS deployment.
+// The zero value gives a small development cluster.
+type Options struct {
+	// Providers is the number of data providers (default 8).
+	Providers int
+	// MetaProviders is the number of metadata providers (default 3).
+	MetaProviders int
+	// BlockSize is the page/block size in bytes (default 64 MiB; tests
+	// and examples usually pass something much smaller).
+	BlockSize uint64
+	// PageReplicas is the page replication factor (default 1).
+	PageReplicas int
+	// Net lets callers supply a shaped or TCP transport; nil uses an
+	// in-process transport at memory speed.
+	Net transport.Network
+}
+
+// Cluster is an embedded BlobSeer + BSFS deployment: the quickest way
+// to use the library. For experiment-scale topologies use the
+// internal/blob and internal/bsfs packages directly.
+type Cluster struct {
+	// Blob is the underlying BlobSeer service cluster.
+	Blob *blob.Cluster
+	// FS is the BSFS deployment on top of it.
+	FS *bsfs.Deployment
+}
+
+// NewCluster boots all BlobSeer services and a BSFS namespace manager.
+func NewCluster(opts Options) (*Cluster, error) {
+	net := opts.Net
+	if net == nil {
+		net = transport.NewMemNet()
+	}
+	if opts.BlockSize == 0 {
+		opts.BlockSize = 64 << 20
+	}
+	bc, err := blob.NewCluster(net, blob.ClusterConfig{
+		Providers:     opts.Providers,
+		MetaProviders: opts.MetaProviders,
+		PageReplicas:  opts.PageReplicas,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d, err := bsfs.Deploy(bc, opts.BlockSize)
+	if err != nil {
+		bc.Close()
+		return nil, err
+	}
+	return &Cluster{Blob: bc, FS: d}, nil
+}
+
+// Mount returns a BSFS file-system mount running on the named host
+// (hosts are simulated machines; use a provider host to co-locate the
+// client with storage, as the paper's experiments do).
+func (c *Cluster) Mount(host string) *bsfs.FS {
+	return c.FS.Mount(host)
+}
+
+// BlobClient returns a raw BlobSeer client on the named host, for
+// direct BLOB create/append/read access below the file-system layer.
+func (c *Cluster) BlobClient(host string) *blob.Client {
+	return c.Blob.Client(host)
+}
+
+// NewFramework starts a Map/Reduce framework with one tasktracker on
+// every data-provider host, co-deployed like the paper's setup.
+func (c *Cluster) NewFramework() (*mapreduce.Framework, error) {
+	return mapreduce.NewFramework(mapreduce.FrameworkConfig{
+		Net:   c.Blob.Net,
+		Hosts: c.Blob.ProviderHosts(),
+		Mount: func(host string) dfs.FileSystem { return c.Mount(host) },
+	})
+}
+
+// Close tears the deployment down.
+func (c *Cluster) Close() error {
+	err := c.FS.Close()
+	if cerr := c.Blob.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

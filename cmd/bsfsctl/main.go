@@ -1,0 +1,207 @@
+// Command bsfsctl is a small shell over an embedded BSFS deployment:
+// it boots a cluster in-process, then executes file-system commands
+// from stdin (or a -demo script), printing results. It exists to poke
+// at the system interactively:
+//
+//	echo 'gen /a 100000
+//	append /a hello
+//	stat /a
+//	locate /a
+//	ls /' | go run ./cmd/bsfsctl
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"blobseer"
+	"blobseer/internal/dfs"
+	"blobseer/internal/workload"
+)
+
+const usage = `commands:
+  gen <path> <bytes>      create <path> with <bytes> of synthetic text
+  put <path> <text...>    create <path> containing <text>
+  append <path> <text...> append <text> plus newline to <path>
+  cat <path>              print file contents
+  head <path> <n>         print first n bytes
+  stat <path>             show size/blocks
+  ls <dir>                list directory
+  mkdir <dir>             create directory
+  mv <src> <dst>          rename
+  rm <path>               delete
+  locate <path>           show block -> host placement
+  entries                 namespace metadata entry count
+  help                    this text
+`
+
+func main() {
+	var (
+		providers = flag.Int("providers", 8, "data providers")
+		meta      = flag.Int("meta", 3, "metadata providers")
+		block     = flag.Int("block", 64, "block size in KiB")
+		demo      = flag.Bool("demo", false, "run a canned demo script")
+	)
+	flag.Parse()
+
+	cluster, err := blobseer.NewCluster(blobseer.Options{
+		Providers:     *providers,
+		MetaProviders: *meta,
+		BlockSize:     uint64(*block) << 10,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer cluster.Close()
+	fs := cluster.Mount("node-000")
+	defer fs.Close()
+	ctx := context.Background()
+
+	var in io.Reader = os.Stdin
+	if *demo {
+		in = strings.NewReader(`gen /data/sample 50000
+stat /data/sample
+append /data/sample tail record one
+append /data/sample tail record two
+stat /data/sample
+ls /data
+locate /data/sample
+entries
+`)
+	}
+
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fmt.Printf("> %s\n", line)
+		if err := run(ctx, fs, line); err != nil {
+			fmt.Printf("error: %v\n", err)
+		}
+	}
+}
+
+func run(ctx context.Context, fs dfs.FileSystem, line string) error {
+	fields := strings.Fields(line)
+	cmd, args := fields[0], fields[1:]
+	switch cmd {
+	case "help":
+		fmt.Print(usage)
+	case "gen":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: gen <path> <bytes>")
+		}
+		n, err := strconv.Atoi(args[1])
+		if err != nil {
+			return err
+		}
+		if err := dfs.WriteFile(ctx, fs, args[0], []byte(workload.Text(n, 42))); err != nil {
+			return err
+		}
+		fmt.Printf("wrote ~%d bytes to %s\n", n, args[0])
+	case "put":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: put <path> <text...>")
+		}
+		return dfs.WriteFile(ctx, fs, args[0], []byte(strings.Join(args[1:], " ")+"\n"))
+	case "append":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: append <path> <text...>")
+		}
+		w, err := fs.Append(ctx, args[0])
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(args[1:], " ")); err != nil {
+			w.Close()
+			return err
+		}
+		return w.Close()
+	case "cat", "head":
+		if len(args) < 1 {
+			return fmt.Errorf("usage: %s <path>", cmd)
+		}
+		data, err := dfs.ReadAll(ctx, fs, args[0])
+		if err != nil {
+			return err
+		}
+		if cmd == "head" && len(args) == 2 {
+			n, err := strconv.Atoi(args[1])
+			if err != nil {
+				return err
+			}
+			if n < len(data) {
+				data = data[:n]
+			}
+		}
+		os.Stdout.Write(data)
+		if len(data) > 0 && data[len(data)-1] != '\n' {
+			fmt.Println()
+		}
+	case "stat":
+		fi, err := fs.Stat(ctx, args[0])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: dir=%v size=%d blocks=%d\n", fi.Path, fi.IsDir, fi.Size, fi.Blocks)
+	case "ls":
+		dir := "/"
+		if len(args) > 0 {
+			dir = args[0]
+		}
+		infos, err := fs.List(ctx, dir)
+		if err != nil {
+			return err
+		}
+		for _, fi := range infos {
+			kind := "f"
+			if fi.IsDir {
+				kind = "d"
+			}
+			fmt.Printf("%s %10d  %s\n", kind, fi.Size, fi.Path)
+		}
+	case "mkdir":
+		return fs.Mkdir(ctx, args[0])
+	case "mv":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: mv <src> <dst>")
+		}
+		return fs.Rename(ctx, args[0], args[1])
+	case "rm":
+		return fs.Delete(ctx, args[0])
+	case "locate":
+		fi, err := fs.Stat(ctx, args[0])
+		if err != nil {
+			return err
+		}
+		locs, err := fs.BlockLocations(ctx, args[0], 0, fi.Size)
+		if err != nil {
+			return err
+		}
+		for _, l := range locs {
+			fmt.Printf("  [%d..%d) -> %v\n", l.Offset, l.Offset+l.Length, l.Hosts)
+		}
+	case "entries":
+		n, err := fs.MetadataEntries(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("namespace entries: %d\n", n)
+	default:
+		return fmt.Errorf("unknown command %q (try help)", cmd)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,201 @@
+// Command experiments regenerates the paper's evaluation (§4) on the
+// simulated Grid'5000 substrate: Figure 3 (concurrent appends), Figures
+// 4/5 (reader/appender interference), Figure 6 (data-join completion
+// time, HDFS vs BSFS), the derived file-count table, the §5 pipeline
+// extension, and the DESIGN.md ablations.
+//
+// Usage:
+//
+//	experiments -fig all            # everything, full sweeps (~minutes)
+//	experiments -fig 3 -quick       # one figure, reduced sweep
+//	experiments -fig 6 -csv         # emit gnuplot-friendly CSV too
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"blobseer/internal/experiments"
+	"blobseer/internal/metrics"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "all", "figure to run: all,3,4,5,6,filecount,pipeline,abl-placement,abl-pagesize,abl-lock")
+		nodes = flag.Int("nodes", 270, "total simulated machines (paper: 270)")
+		meta  = flag.Int("meta", 20, "metadata providers (paper: 20)")
+		page  = flag.Int("page", 256, "page/chunk size in KiB (paper: 64 MiB, scaled)")
+		bwMB  = flag.Float64("bw", 12.5, "modeled NIC bandwidth in MB/s (paper: 1 GbE, scaled)")
+		reps  = flag.Int("reps", 5, "repetitions per point (paper: 5)")
+		seed  = flag.Int64("seed", 1, "random seed")
+		quick = flag.Bool("quick", false, "reduced sweeps for a fast run")
+		csv   = flag.Bool("csv", false, "also print CSV data")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Nodes:         *nodes,
+		MetaProviders: *meta,
+		PageSize:      uint64(*page) << 10,
+		Bandwidth:     *bwMB * (1 << 20),
+		Reps:          *reps,
+		Seed:          *seed,
+	}
+
+	sweeps := fullSweeps()
+	if *quick {
+		sweeps = quickSweeps()
+		cfg.Nodes = 64
+		cfg.MetaProviders = 8
+		cfg.Reps = 2
+	}
+
+	run := func(name string, fn func() error) {
+		if *fig != "all" && *fig != name {
+			return
+		}
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	emit := func(title string, series ...*metrics.Series) {
+		fmt.Println(metrics.Table(title, series...))
+		if *csv {
+			fmt.Println(metrics.CSV(series...))
+		}
+	}
+
+	run("3", func() error {
+		s, err := experiments.Fig3(cfg, sweeps.fig3)
+		if err != nil {
+			return err
+		}
+		emit("Figure 3: concurrent appends to the same file (BSFS)", s)
+		return nil
+	})
+
+	run("4", func() error {
+		s, err := experiments.Fig4(cfg, sweeps.fig45)
+		if err != nil {
+			return err
+		}
+		emit("Figure 4: impact of concurrent appends on concurrent reads (100 readers)", s)
+		return nil
+	})
+
+	run("5", func() error {
+		s, err := experiments.Fig5(cfg, sweeps.fig45)
+		if err != nil {
+			return err
+		}
+		emit("Figure 5: impact of concurrent reads on concurrent appends (100 appenders)", s)
+		return nil
+	})
+
+	var fig6 *experiments.Fig6Result
+	runFig6 := func() error {
+		if fig6 != nil {
+			return nil
+		}
+		var err error
+		fig6, err = experiments.Fig6(cfg, sweeps.fig6)
+		return err
+	}
+
+	run("6", func() error {
+		if err := runFig6(); err != nil {
+			return err
+		}
+		emit("Figure 6: data join completion time vs number of reducers", fig6.HDFS, fig6.BSFS)
+		return nil
+	})
+
+	run("filecount", func() error {
+		if err := runFig6(); err != nil {
+			return err
+		}
+		emit("Table A: output files produced by the data join",
+			fig6.FilesHDFS, fig6.FilesBSFS)
+		emit("Table A': centralized metadata entries after the run",
+			fig6.MetaHDFS, fig6.MetaBSFS)
+		return nil
+	})
+
+	run("pipeline", func() error {
+		res, err := experiments.Pipeline(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# Extension (§5): two-stage pipeline on BSFS\n")
+		fmt.Printf("%-24s %10.2f s\n", "sequential stages", res.SequentialSec)
+		fmt.Printf("%-24s %10.2f s\n", "pipelined stages", res.PipelinedSec)
+		fmt.Printf("%-24s %10.2fx\n", "speedup", res.Speedup)
+		fmt.Println()
+		return nil
+	})
+
+	run("abl-placement", func() error {
+		series, err := experiments.AblationPlacement(cfg, sweeps.ablClients)
+		if err != nil {
+			return err
+		}
+		emit("Ablation 2: provider placement strategy (Fig 3 workload)", series...)
+		return nil
+	})
+
+	run("abl-pagesize", func() error {
+		s, err := experiments.AblationPageSize(cfg, sweeps.pageSizes, sweeps.ablN)
+		if err != nil {
+			return err
+		}
+		emit("Ablation 3: page size sweep (Fig 3 workload)", s)
+		return nil
+	})
+
+	run("abl-lock", func() error {
+		versioned, locked, err := experiments.AblationLockedAppend(cfg, sweeps.ablClients)
+		if err != nil {
+			return err
+		}
+		emit("Ablation 1: versioning vs global append lock", versioned, locked)
+		return nil
+	})
+}
+
+// sweepSet bundles the per-figure parameter sweeps.
+type sweepSet struct {
+	fig3       []int
+	fig45      []int
+	fig6       []int
+	ablClients []int
+	ablN       int
+	pageSizes  []uint64
+}
+
+func fullSweeps() sweepSet {
+	return sweepSet{
+		fig3:       []int{1, 16, 32, 64, 96, 128, 160, 192, 224, 246},
+		fig45:      []int{0, 20, 40, 60, 80, 100, 120, 140},
+		fig6:       []int{1, 30, 60, 120, 180, 230},
+		ablClients: []int{1, 16, 64, 128},
+		ablN:       64,
+		pageSizes:  []uint64{32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10},
+	}
+}
+
+func quickSweeps() sweepSet {
+	return sweepSet{
+		fig3:       []int{1, 8, 24, 48},
+		fig45:      []int{0, 10, 30},
+		fig6:       []int{1, 15, 45},
+		ablClients: []int{1, 16, 48},
+		ablN:       16,
+		pageSizes:  []uint64{64 << 10, 256 << 10},
+	}
+}

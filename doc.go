@@ -1,0 +1,12 @@
+// Package blobseer is a from-scratch Go reproduction of the system
+// described in "Improving the Hadoop Map/Reduce Framework to Support
+// Concurrent Appends through the BlobSeer BLOB management system"
+// (Moise, Antoniu, Bougé — HPDC 2010, MapReduce workshop).
+//
+// The package itself is a thin facade over the building blocks in
+// internal/: the BlobSeer versioned BLOB service (internal/blob), the
+// BSFS file-system layer (internal/bsfs), an HDFS-like baseline
+// (internal/hdfs) and a Hadoop-like Map/Reduce framework
+// (internal/mapreduce). See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the reproduced evaluation.
+package blobseer

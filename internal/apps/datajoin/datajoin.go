@@ -1,0 +1,111 @@
+// Package datajoin implements the data-join application of the paper's
+// evaluation (§4.3), "similar to the outer join operation from the
+// database context": it takes two key-value files and merges them on
+// the keys of the first file that also appear in the second, emitting
+// one output row per (valueA, valueB) combination. Keys appearing only
+// in the first file produce no output.
+package datajoin
+
+import (
+	"strings"
+
+	"blobseer/internal/mapreduce"
+)
+
+// Tags prefixed to values so the reducer can tell the two inputs apart.
+const (
+	tagA = "A\x00"
+	tagB = "B\x00"
+)
+
+// Job returns the JobConf for joining fileA and fileB into outputDir.
+// Input lines are "key<TAB>value". Output lines are
+// "key<TAB>valueA<TAB>valueB".
+func Job(fileA, fileB, outputDir string, reducers int, mode mapreduce.OutputMode) mapreduce.JobConf {
+	return mapreduce.JobConf{
+		Name:        "datajoin",
+		Input:       []string{fileA, fileB},
+		OutputDir:   outputDir,
+		Map:         mapFunc(fileA),
+		Reduce:      Reduce,
+		NumReducers: reducers,
+		OutputMode:  mode,
+	}
+}
+
+// mapFunc tags each record with its source file. The framework passes
+// "path:offset" as the map key.
+func mapFunc(fileA string) mapreduce.MapFunc {
+	return func(key, value string, emit func(k, v string)) {
+		k, v, ok := strings.Cut(value, "\t")
+		if !ok || k == "" {
+			return // malformed record; data join skips it
+		}
+		path := key
+		if i := strings.LastIndexByte(key, ':'); i >= 0 {
+			path = key[:i]
+		}
+		if path == fileA {
+			emit(k, tagA+v)
+		} else {
+			emit(k, tagB+v)
+		}
+	}
+}
+
+// Reduce emits the cross product of A-values and B-values for keys
+// present in both inputs.
+func Reduce(key string, values []string, emit func(k, v string)) {
+	var as, bs []string
+	for _, v := range values {
+		switch {
+		case strings.HasPrefix(v, tagA):
+			as = append(as, v[len(tagA):])
+		case strings.HasPrefix(v, tagB):
+			bs = append(bs, v[len(tagB):])
+		}
+	}
+	if len(as) == 0 || len(bs) == 0 {
+		return
+	}
+	for _, a := range as {
+		for _, b := range bs {
+			emit(key, a+"\t"+b)
+		}
+	}
+}
+
+// ReferenceJoin computes the expected join output (as unordered lines
+// "key\tvalueA\tvalueB") from raw input file contents; tests compare
+// the Map/Reduce output against it.
+func ReferenceJoin(contentA, contentB string) map[string]int {
+	parse := func(content string) map[string][]string {
+		m := make(map[string][]string)
+		for _, line := range strings.Split(content, "\n") {
+			if line == "" {
+				continue
+			}
+			k, v, ok := strings.Cut(line, "\t")
+			if !ok || k == "" {
+				continue
+			}
+			m[k] = append(m[k], v)
+		}
+		return m
+	}
+	a := parse(contentA)
+	b := parse(contentB)
+	out := make(map[string]int)
+	for k, avs := range a {
+		bvs, ok := b[k]
+		if !ok {
+			continue
+		}
+		for _, av := range avs {
+			for _, bv := range bvs {
+				out[k+"\t"+av+"\t"+bv]++
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package datajoin
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// runLocal drives Map/Reduce functions in-memory.
+func runLocal(t *testing.T, fileA, fileB, contentA, contentB string) map[string]int {
+	t.Helper()
+	job := Job(fileA, fileB, "/out", 1, 0)
+	var inter []struct{ k, v string }
+	emitMap := func(k, v string) {
+		inter = append(inter, struct{ k, v string }{k, v})
+	}
+	feed := func(path, content string) {
+		off := 0
+		for _, line := range strings.Split(content, "\n") {
+			if line != "" {
+				job.Map(path+":"+itoa(off), line, emitMap)
+			}
+			off += len(line) + 1
+		}
+	}
+	feed(fileA, contentA)
+	feed(fileB, contentB)
+
+	groups := map[string][]string{}
+	for _, p := range inter {
+		groups[p.k] = append(groups[p.k], p.v)
+	}
+	out := map[string]int{}
+	var keys []string
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		job.Reduce(k, groups[k], func(rk, rv string) { out[rk+"\t"+rv]++ })
+	}
+	return out
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestJoinBasics(t *testing.T) {
+	a := "k1\tva1\nk2\tva2\nk3\tva3\n"
+	b := "k1\tvb1\nk1\tvb2\nk4\tvb4\n"
+	got := runLocal(t, "/a", "/b", a, b)
+	want := map[string]int{
+		"k1\tva1\tvb1": 1,
+		"k1\tva1\tvb2": 1,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for row, n := range want {
+		if got[row] != n {
+			t.Errorf("row %q = %d, want %d", row, got[row], n)
+		}
+	}
+}
+
+func TestJoinCrossProduct(t *testing.T) {
+	a := "k\ta1\nk\ta2\n"
+	b := "k\tb1\nk\tb2\nk\tb3\n"
+	got := runLocal(t, "/a", "/b", a, b)
+	if len(got) != 6 {
+		t.Fatalf("cross product rows = %d, want 6: %v", len(got), got)
+	}
+}
+
+func TestJoinMatchesReference(t *testing.T) {
+	a := "x\t1\ny\t2\nx\t3\nz\t9\n"
+	b := "x\tA\ny\tB\ny\tC\nw\tD\n"
+	got := runLocal(t, "/a", "/b", a, b)
+	want := ReferenceJoin(a, b)
+	if len(got) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(got), len(want))
+	}
+	for row, n := range want {
+		if got[row] != n {
+			t.Errorf("row %q = %d, want %d", row, got[row], n)
+		}
+	}
+}
+
+func TestMalformedRecordsSkipped(t *testing.T) {
+	a := "k1\tv\nmalformed-no-tab\n\tempty-key\n"
+	b := "k1\tw\n"
+	got := runLocal(t, "/a", "/b", a, b)
+	if len(got) != 1 || got["k1\tv\tw"] != 1 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestValuesContainingTabs(t *testing.T) {
+	a := "k\tval\twith\ttabs\n"
+	b := "k\tother\n"
+	got := runLocal(t, "/a", "/b", a, b)
+	if got["k\tval\twith\ttabs\tother"] != 1 {
+		t.Fatalf("got %v", got)
+	}
+}

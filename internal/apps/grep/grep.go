@@ -1,0 +1,47 @@
+// Package grep is a distributed-grep Map/Reduce application: it counts
+// occurrences of a literal pattern per matching line content. Used by
+// the pipeline example as a cheap second stage.
+package grep
+
+import (
+	"strconv"
+	"strings"
+
+	"blobseer/internal/mapreduce"
+)
+
+// Job returns a grep JobConf matching the literal pattern.
+func Job(inputs []string, outputDir, pattern string, reducers int, mode mapreduce.OutputMode) mapreduce.JobConf {
+	return mapreduce.JobConf{
+		Name:        "grep:" + pattern,
+		Input:       inputs,
+		OutputDir:   outputDir,
+		Map:         Map(pattern),
+		Combine:     Reduce,
+		Reduce:      Reduce,
+		NumReducers: reducers,
+		OutputMode:  mode,
+	}
+}
+
+// Map emits (line, "1") for lines containing the pattern.
+func Map(pattern string) mapreduce.MapFunc {
+	return func(key, value string, emit func(k, v string)) {
+		if strings.Contains(value, pattern) {
+			emit(value, "1")
+		}
+	}
+}
+
+// Reduce sums the match counts of identical lines.
+func Reduce(key string, values []string, emit func(k, v string)) {
+	total := 0
+	for _, v := range values {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			continue
+		}
+		total += n
+	}
+	emit(key, strconv.Itoa(total))
+}

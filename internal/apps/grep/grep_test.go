@@ -1,0 +1,28 @@
+package grep
+
+import "testing"
+
+func TestMapMatches(t *testing.T) {
+	m := Map("needle")
+	var got []string
+	m("k", "hay needle hay", func(k, v string) { got = append(got, k) })
+	m("k", "just hay", func(k, v string) { got = append(got, k) })
+	if len(got) != 1 || got[0] != "hay needle hay" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestReduceCounts(t *testing.T) {
+	var out string
+	Reduce("line", []string{"1", "1"}, func(k, v string) { out = v })
+	if out != "2" {
+		t.Errorf("count = %q", out)
+	}
+}
+
+func TestJobConf(t *testing.T) {
+	job := Job([]string{"/in"}, "/out", "pat", 3, 0)
+	if job.NumReducers != 3 || len(job.Input) != 1 || job.Combine == nil {
+		t.Errorf("job = %+v", job)
+	}
+}

@@ -1,0 +1,53 @@
+// Package wordcount is the canonical Map/Reduce application, used by
+// examples and framework tests.
+package wordcount
+
+import (
+	"strconv"
+	"strings"
+
+	"blobseer/internal/mapreduce"
+)
+
+// Job returns a wordcount JobConf over the given inputs.
+func Job(inputs []string, outputDir string, reducers int, mode mapreduce.OutputMode) mapreduce.JobConf {
+	return mapreduce.JobConf{
+		Name:        "wordcount",
+		Input:       inputs,
+		OutputDir:   outputDir,
+		Map:         Map,
+		Combine:     Reduce, // sums are associative: reuse as combiner
+		Reduce:      Reduce,
+		NumReducers: reducers,
+		OutputMode:  mode,
+	}
+}
+
+// Map emits (word, "1") for every whitespace-separated word.
+func Map(key, value string, emit func(k, v string)) {
+	for _, w := range strings.Fields(value) {
+		emit(w, "1")
+	}
+}
+
+// Reduce sums the counts of one word.
+func Reduce(key string, values []string, emit func(k, v string)) {
+	total := 0
+	for _, v := range values {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			continue
+		}
+		total += n
+	}
+	emit(key, strconv.Itoa(total))
+}
+
+// ReferenceCount computes expected counts from raw text.
+func ReferenceCount(content string) map[string]int {
+	out := make(map[string]int)
+	for _, w := range strings.Fields(content) {
+		out[w]++
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+package wordcount
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestMapSplitsWords(t *testing.T) {
+	var got []string
+	Map("k", "  the quick\tbrown  fox ", func(k, v string) {
+		got = append(got, k)
+		if v != "1" {
+			t.Errorf("value = %q", v)
+		}
+	})
+	want := []string{"the", "quick", "brown", "fox"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("word %d = %q", i, got[i])
+		}
+	}
+}
+
+func TestReduceSums(t *testing.T) {
+	var out string
+	Reduce("w", []string{"1", "2", "3"}, func(k, v string) { out = v })
+	if out != "6" {
+		t.Errorf("sum = %q", out)
+	}
+	// Bad values are skipped, not fatal.
+	Reduce("w", []string{"1", "x", "2"}, func(k, v string) { out = v })
+	if out != "3" {
+		t.Errorf("sum with junk = %q", out)
+	}
+}
+
+func TestReferenceCount(t *testing.T) {
+	ref := ReferenceCount("a b a\nc a")
+	if ref["a"] != 3 || ref["b"] != 1 || ref["c"] != 1 {
+		t.Errorf("ref = %v", ref)
+	}
+}
+
+func TestCombinerAssociativity(t *testing.T) {
+	// reduce(combine(x), combine(y)) == reduce(x ++ y)
+	part1 := []string{"1", "1", "1"}
+	part2 := []string{"1", "1"}
+	var c1, c2 string
+	Reduce("w", part1, func(k, v string) { c1 = v })
+	Reduce("w", part2, func(k, v string) { c2 = v })
+	var combined, direct string
+	Reduce("w", []string{c1, c2}, func(k, v string) { combined = v })
+	Reduce("w", append(part1, part2...), func(k, v string) { direct = v })
+	if combined != direct {
+		t.Errorf("combined=%q direct=%q", combined, direct)
+	}
+	if n, _ := strconv.Atoi(direct); n != 5 {
+		t.Errorf("direct = %q", direct)
+	}
+}

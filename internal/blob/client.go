@@ -1,0 +1,516 @@
+package blob
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"blobseer/internal/dht"
+	"blobseer/internal/pagestore"
+	"blobseer/internal/rpc"
+	"blobseer/internal/segtree"
+	"blobseer/internal/transport"
+)
+
+// Client-side errors.
+var (
+	ErrEmptyWrite = errors.New("blob: empty write")
+	ErrOutOfRange = errors.New("blob: read beyond version size")
+	ErrPageWrite  = errors.New("blob: page write failed on all replicas")
+	ErrPageRead   = errors.New("blob: page read failed on all replicas")
+	ErrHistoryGap = errors.New("blob: incomplete write-record history")
+	ErrShortPage  = errors.New("blob: provider returned short page")
+)
+
+// ClientConfig configures a BlobSeer client.
+type ClientConfig struct {
+	Net  transport.Network
+	Host string // simulated host the client runs on (NIC attribution)
+
+	VersionManager  transport.Addr
+	ProviderManager transport.Addr
+	Metadata        []transport.Addr // metadata providers (DHT members)
+
+	// MetaReplicas is the DHT replication factor (default 2, capped at
+	// the metadata membership size).
+	MetaReplicas int
+	// PageReplicas is the page replication factor (default 1).
+	PageReplicas int
+	// MaxParallelPages bounds concurrent page transfers per operation
+	// (default 32).
+	MaxParallelPages int
+}
+
+// Client talks to a BlobSeer deployment. It is safe for concurrent use.
+type Client struct {
+	cfg   ClientConfig
+	pool  *rpc.Pool
+	nodes segtree.NodeStore
+
+	mu   sync.Mutex
+	hist map[uint64]*blobHistory
+}
+
+// blobHistory caches write records so repeat writers receive only the
+// history delta from the version manager.
+type blobHistory struct {
+	recs     []segtree.WriteRecord // index ver-1; Ver==0 means unknown
+	complete uint64                // all versions <= complete are cached
+}
+
+// NewClient returns a client running on cfg.Host.
+func NewClient(cfg ClientConfig) *Client {
+	if cfg.MetaReplicas <= 0 {
+		cfg.MetaReplicas = 2
+	}
+	if cfg.PageReplicas <= 0 {
+		cfg.PageReplicas = 1
+	}
+	if cfg.MaxParallelPages <= 0 {
+		cfg.MaxParallelPages = 32
+	}
+	pool := rpc.NewPool(cfg.Net, transport.MakeAddr(cfg.Host, "client"))
+	ring := dht.NewRing(cfg.Metadata, 64)
+	meta := dht.NewClient(ring, pool, cfg.MetaReplicas)
+	return &Client{
+		cfg:   cfg,
+		pool:  pool,
+		nodes: NewNodeStore(meta),
+		hist:  make(map[uint64]*blobHistory),
+	}
+}
+
+// Close releases the client's connections.
+func (c *Client) Close() error { return c.pool.Close() }
+
+// NodeStore exposes the metadata store (used by the version manager
+// when co-constructed, and by tools).
+func (c *Client) NodeStore() segtree.NodeStore { return c.nodes }
+
+// Create creates a BLOB with the given page size and opens it.
+func (c *Client) Create(ctx context.Context, pageSize uint64) (*Blob, error) {
+	var resp CreateBlobResp
+	err := c.pool.Call(ctx, c.cfg.VersionManager, VMCreateBlob, &CreateBlobReq{PageSize: pageSize}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &Blob{c: c, id: resp.Blob, pageSize: pageSize}, nil
+}
+
+// Open opens an existing BLOB.
+func (c *Client) Open(ctx context.Context, id uint64) (*Blob, error) {
+	var resp OpenBlobResp
+	err := c.pool.Call(ctx, c.cfg.VersionManager, VMOpenBlob, &BlobRef{Blob: id}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &Blob{c: c, id: id, pageSize: resp.PageSize}, nil
+}
+
+// Handle builds a BLOB handle from already-known metadata (id and page
+// size), avoiding the version-manager round trip of Open. Callers such
+// as BSFS learn both from their namespace manager.
+func (c *Client) Handle(id, pageSize uint64) *Blob {
+	return &Blob{c: c, id: id, pageSize: pageSize}
+}
+
+// Blob is a handle on one BLOB. Handles are safe for concurrent use.
+type Blob struct {
+	c        *Client
+	id       uint64
+	pageSize uint64
+}
+
+// ID returns the BLOB id.
+func (b *Blob) ID() uint64 { return b.id }
+
+// PageSize returns the BLOB's page size in bytes.
+func (b *Blob) PageSize() uint64 { return b.pageSize }
+
+// Latest returns the latest published version.
+func (b *Blob) Latest(ctx context.Context) (VersionInfo, error) {
+	var info VersionInfo
+	err := b.c.pool.Call(ctx, b.c.cfg.VersionManager, VMLatest, &BlobRef{Blob: b.id}, &info)
+	return info, err
+}
+
+// GetVersion returns metadata for one version.
+func (b *Blob) GetVersion(ctx context.Context, ver uint64) (VersionInfo, error) {
+	var info VersionInfo
+	err := b.c.pool.Call(ctx, b.c.cfg.VersionManager, VMGetVersion, &VersionRef{Blob: b.id, Ver: ver}, &info)
+	return info, err
+}
+
+// WaitPublished blocks until ver is published (or ctx expires).
+func (b *Blob) WaitPublished(ctx context.Context, ver uint64) (VersionInfo, error) {
+	for {
+		var info VersionInfo
+		err := b.c.pool.Call(ctx, b.c.cfg.VersionManager, VMWaitPublished,
+			&WaitPublishedReq{Blob: b.id, Ver: ver, TimeoutMillis: 5000}, &info)
+		switch {
+		case err == nil:
+			return info, nil
+		case errors.Is(err, ErrWaitTimeout):
+			if ctx.Err() != nil {
+				return VersionInfo{}, ctx.Err()
+			}
+			continue
+		default:
+			return VersionInfo{}, err
+		}
+	}
+}
+
+// Abort seals a version this writer no longer intends to complete.
+func (b *Blob) Abort(ctx context.Context, ver uint64) error {
+	return b.c.pool.Call(ctx, b.c.cfg.VersionManager, VMSeal, &VersionRef{Blob: b.id, Ver: ver}, nil)
+}
+
+// WriteResult reports where an update landed.
+type WriteResult struct {
+	// Ver is the version this update generates (§3.1.2: "the user
+	// supplies the data to be stored and receives the number of the
+	// version this update generates"). It may not be published yet
+	// when the write returns; use WaitPublished to block until it is
+	// readable.
+	Ver uint64
+	// Start is the byte offset the system chose for the data (for
+	// appends, like GFS record append, the offset is picked by the
+	// system and returned to the client).
+	Start uint64
+	// SizeAfter is the BLOB size once this version publishes.
+	SizeAfter uint64
+}
+
+// Append appends data to the BLOB.
+func (b *Blob) Append(ctx context.Context, data []byte) (WriteResult, error) {
+	return b.write(ctx, KindAppend, 0, data)
+}
+
+// WriteAt writes data at a byte offset (beyond-EOF offsets create
+// holes that read as zeros) and returns the new version.
+func (b *Blob) WriteAt(ctx context.Context, data []byte, off uint64) (WriteResult, error) {
+	return b.write(ctx, KindWrite, off, data)
+}
+
+// write runs the decoupled write pipeline of §3.1.2.
+func (b *Blob) write(ctx context.Context, kind uint64, off uint64, data []byte) (WriteResult, error) {
+	var res WriteResult
+	if len(data) == 0 {
+		return res, ErrEmptyWrite
+	}
+	c := b.c
+	ps := b.pageSize
+
+	// 1. Version assignment: the only serialized step.
+	req := &AssignReq{Blob: b.id, Kind: kind, Off: off, Len: uint64(len(data)), SinceVer: c.knownPrefix(b.id)}
+	var a AssignResp
+	if err := c.pool.Call(ctx, c.cfg.VersionManager, VMAssign, req, &a); err != nil {
+		return res, fmt.Errorf("blob: assign: %w", err)
+	}
+	history, err := c.mergeHistory(b.id, a.History, a.Record)
+	if err != nil {
+		return res, err
+	}
+
+	// 2. Boundary merges. A write that starts or ends mid-page must
+	// fold in the neighbouring bytes of the previous version so each
+	// stored page is a contiguous prefix of its slot. Whole-page
+	// appends (the common case and all benchmark workloads) skip this
+	// entirely and stay fully parallel.
+	rec := a.Record
+	pageBase := rec.Off * ps
+	writeEnd := a.Start + uint64(len(data))
+	recEnd := (rec.Off + rec.N) * ps
+
+	headHi := minU64(a.Start, a.PrevSize)
+	tailHi := minU64(recEnd, a.PrevSize)
+	var head, tail []byte
+	if (headHi > pageBase || tailHi > writeEnd) && a.Ver >= 2 {
+		if _, err := b.WaitPublished(ctx, a.Ver-1); err != nil {
+			return res, fmt.Errorf("blob: boundary merge wait: %w", err)
+		}
+		if headHi > pageBase {
+			head, err = b.ReadAt(ctx, a.Ver-1, pageBase, headHi-pageBase)
+			if err != nil {
+				return res, fmt.Errorf("blob: head merge: %w", err)
+			}
+		}
+		if tailHi > writeEnd {
+			tail, err = b.ReadAt(ctx, a.Ver-1, writeEnd, tailHi-writeEnd)
+			if err != nil {
+				return res, fmt.Errorf("blob: tail merge: %w", err)
+			}
+		}
+	}
+
+	contentEnd := maxU64(writeEnd, tailHi)
+	content := make([]byte, contentEnd-pageBase)
+	copy(content[a.Start-pageBase:], data)
+	copy(content, head) // head covers [pageBase, headHi)
+	copy(content[writeEnd-pageBase:], tail)
+
+	// 3. Provider allocation.
+	var alloc AllocResp
+	err = c.pool.Call(ctx, c.cfg.ProviderManager, PMAlloc, &AllocReq{
+		Blob:     b.id,
+		NPages:   rec.N,
+		Replicas: uint64(c.cfg.PageReplicas),
+		Bytes:    uint64(len(content)),
+	}, &alloc)
+	if err != nil {
+		return res, fmt.Errorf("blob: alloc: %w", err)
+	}
+	r := int(alloc.Replicas)
+	if uint64(len(alloc.Providers)) != rec.N*uint64(r) {
+		return res, fmt.Errorf("blob: alloc returned %d providers for %d pages", len(alloc.Providers), rec.N)
+	}
+
+	// 4. Parallel page writes.
+	refs := make([]segtree.PageRef, rec.N)
+	sem := make(chan struct{}, c.cfg.MaxParallelPages)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for i := uint64(0); i < rec.N; i++ {
+		lo := i * ps
+		hi := minU64(lo+ps, uint64(len(content)))
+		key := pagestore.Key{Blob: b.id, Version: a.Ver, Index: rec.Off + i}
+		replicas := alloc.Providers[i*uint64(r) : (i+1)*uint64(r)]
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i uint64, key pagestore.Key, page []byte, replicas []string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			var ok []string
+			var lastErr error
+			for _, addr := range replicas {
+				err := c.pool.Call(ctx, transport.Addr(addr), ProvPutPage, &PutPageReq{Key: key, Data: page}, nil)
+				if err != nil {
+					lastErr = err
+					continue
+				}
+				ok = append(ok, addr)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if len(ok) == 0 {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%w: page %d: %v", ErrPageWrite, key.Index, lastErr)
+				}
+				return
+			}
+			refs[i] = segtree.PageRef{Page: key, Providers: ok}
+		}(i, key, content[lo:hi], replicas)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		// Give up on this version so the publication chain moves on.
+		_ = b.Abort(ctx, a.Ver)
+		return res, firstErr
+	}
+
+	// 5. Metadata commit: one batched DHT write, no reads.
+	if err := segtree.Commit(ctx, c.nodes, b.id, rec, history, refs); err != nil {
+		_ = b.Abort(ctx, a.Ver)
+		return res, fmt.Errorf("blob: metadata commit: %w", err)
+	}
+
+	// 6. Notify the version manager; publication follows version order.
+	if err := c.pool.Call(ctx, c.cfg.VersionManager, VMComplete, &VersionRef{Blob: b.id, Ver: a.Ver}, nil); err != nil {
+		return res, fmt.Errorf("blob: complete: %w", err)
+	}
+	res = WriteResult{Ver: a.Ver, Start: a.Start, SizeAfter: a.SizeAfter}
+	return res, nil
+}
+
+// ReadAt reads n bytes at byte offset off from version ver (0 means
+// the latest published version). Only published versions are readable;
+// holes read as zeros.
+func (b *Blob) ReadAt(ctx context.Context, ver uint64, off, n uint64) ([]byte, error) {
+	info, err := b.resolveVersion(ctx, ver)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if off+n > info.Size {
+		return nil, fmt.Errorf("%w: [%d,%d) of %d", ErrOutOfRange, off, off+n, info.Size)
+	}
+	ps := b.pageSize
+	firstPage := off / ps
+	lastPage := (off + n - 1) / ps
+	slots, err := segtree.Resolve(ctx, b.c.nodes, b.id, info.Ver, info.Pages, firstPage, lastPage-firstPage+1)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]byte, n)
+	sem := make(chan struct{}, b.c.cfg.MaxParallelPages)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for _, slot := range slots {
+		lo := maxU64(off, slot.Index*ps)
+		hi := minU64(off+n, (slot.Index+1)*ps)
+		if slot.Ref.Hole {
+			continue // zeros already
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(slot segtree.Slot, lo, hi uint64) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			page, err := b.c.fetchPage(ctx, slot.Ref)
+			if err == nil {
+				pLo := lo - slot.Index*ps
+				pHi := hi - slot.Index*ps
+				if uint64(len(page)) < pHi {
+					err = fmt.Errorf("%w: page %d has %d bytes, need %d", ErrShortPage, slot.Index, len(page), pHi)
+				} else {
+					copy(out[lo-off:hi-off], page[pLo:pHi])
+				}
+			}
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(slot, lo, hi)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// resolveVersion maps ver (0 = latest) to a published VersionInfo.
+func (b *Blob) resolveVersion(ctx context.Context, ver uint64) (VersionInfo, error) {
+	if ver == 0 {
+		return b.Latest(ctx)
+	}
+	info, err := b.GetVersion(ctx, ver)
+	if err != nil {
+		return VersionInfo{}, err
+	}
+	if !info.Published {
+		return VersionInfo{}, ErrNotPublished
+	}
+	return info, nil
+}
+
+// fetchPage retrieves one page from its replicas, primary first.
+func (c *Client) fetchPage(ctx context.Context, ref segtree.PageRef) ([]byte, error) {
+	var lastErr error
+	for _, addr := range ref.Providers {
+		var resp GetPageResp
+		err := c.pool.Call(ctx, transport.Addr(addr), ProvGetPage, &GetPageReq{Key: ref.Page}, &resp)
+		if err == nil {
+			return resp.Data, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("%w: %s: %v", ErrPageRead, ref.Page, lastErr)
+}
+
+// PageLoc describes where one page of a version lives; the Map/Reduce
+// scheduler uses the host list for data-local task placement. This is
+// the "new primitive that exposes the pages distribution to providers"
+// of §3.2.
+type PageLoc struct {
+	Index     uint64
+	Hole      bool
+	Providers []string // endpoint addresses
+	Hosts     []string // host names (scheduling units)
+}
+
+// PageLocations resolves the page→provider mapping of [off, off+n)
+// bytes of version ver (0 = latest published).
+func (b *Blob) PageLocations(ctx context.Context, ver, off, n uint64) ([]PageLoc, error) {
+	info, err := b.resolveVersion(ctx, ver)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 || info.Size == 0 {
+		return nil, nil
+	}
+	if off+n > info.Size {
+		n = info.Size - off
+	}
+	ps := b.pageSize
+	firstPage := off / ps
+	lastPage := (off + n - 1) / ps
+	slots, err := segtree.Resolve(ctx, b.c.nodes, b.id, info.Ver, info.Pages, firstPage, lastPage-firstPage+1)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PageLoc, len(slots))
+	for i, s := range slots {
+		loc := PageLoc{Index: s.Index, Hole: s.Ref.Hole, Providers: s.Ref.Providers}
+		for _, p := range s.Ref.Providers {
+			loc.Hosts = append(loc.Hosts, transport.Addr(p).Host())
+		}
+		out[i] = loc
+	}
+	return out, nil
+}
+
+// knownPrefix returns the highest version whose record is cached.
+func (c *Client) knownPrefix(blob uint64) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if h, ok := c.hist[blob]; ok {
+		return h.complete
+	}
+	return 0
+}
+
+// mergeHistory folds the assignment's history delta plus the writer's
+// own record into the cache and returns the full history below own.Ver.
+func (c *Client) mergeHistory(blob uint64, delta []segtree.WriteRecord, own segtree.WriteRecord) ([]segtree.WriteRecord, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h, ok := c.hist[blob]
+	if !ok {
+		h = &blobHistory{}
+		c.hist[blob] = h
+	}
+	place := func(rec segtree.WriteRecord) {
+		idx := rec.Ver - 1
+		for uint64(len(h.recs)) <= idx {
+			h.recs = append(h.recs, segtree.WriteRecord{})
+		}
+		h.recs[idx] = rec
+	}
+	for _, rec := range delta {
+		place(rec)
+	}
+	place(own)
+	for h.complete < uint64(len(h.recs)) && h.recs[h.complete].Ver == h.complete+1 {
+		h.complete++
+	}
+	need := own.Ver - 1
+	if h.complete < need {
+		return nil, fmt.Errorf("%w: have %d of %d records", ErrHistoryGap, h.complete, need)
+	}
+	return append([]segtree.WriteRecord(nil), h.recs[:need]...), nil
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,174 @@
+package blob
+
+import (
+	"fmt"
+	"time"
+
+	"blobseer/internal/dht"
+	"blobseer/internal/pagestore"
+	"blobseer/internal/rpc"
+	"blobseer/internal/transport"
+)
+
+// StoreKind selects the provider storage engine.
+type StoreKind int
+
+// Provider storage engines.
+const (
+	StoreMemory StoreKind = iota
+	StoreSynthesize
+)
+
+// ClusterConfig sizes an in-process BlobSeer deployment. The defaults
+// mirror the paper's §4.1 topology proportions: one version manager,
+// one provider manager, a set of metadata providers, and the remaining
+// nodes as data providers.
+type ClusterConfig struct {
+	Providers     int       // data providers (default 8)
+	MetaProviders int       // metadata providers (default 3)
+	Store         StoreKind // provider storage engine
+	Strategy      Strategy  // provider allocation (default RoundRobin)
+	SealTimeout   time.Duration
+	MetaReplicas  int // DHT replication (default 2)
+	PageReplicas  int // page replication (default 1)
+
+	// HostPrefix names provider hosts ("<prefix>-<i>"); defaults to
+	// "node". Clients co-locate with providers by using these hosts.
+	HostPrefix string
+}
+
+// Cluster is an in-process BlobSeer deployment on one transport.
+type Cluster struct {
+	Net transport.Network
+	Cfg ClusterConfig
+
+	VM        *VersionManager
+	PM        *ProviderManager
+	Providers []*Provider
+	Metas     []*dht.Server
+
+	vmPool *rpc.Pool // pool backing the VM's seal-path metadata client
+}
+
+// NewCluster starts all services of a BlobSeer deployment on net.
+func NewCluster(net transport.Network, cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Providers <= 0 {
+		cfg.Providers = 8
+	}
+	if cfg.MetaProviders <= 0 {
+		cfg.MetaProviders = 3
+	}
+	if cfg.MetaReplicas <= 0 {
+		cfg.MetaReplicas = 2
+	}
+	if cfg.PageReplicas <= 0 {
+		cfg.PageReplicas = 1
+	}
+	if cfg.HostPrefix == "" {
+		cfg.HostPrefix = "node"
+	}
+	c := &Cluster{Net: net, Cfg: cfg}
+
+	// Metadata providers.
+	for i := 0; i < cfg.MetaProviders; i++ {
+		addr := transport.MakeAddr(fmt.Sprintf("meta-%03d", i), SvcMetadata)
+		s, err := dht.NewServer(net, addr)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.Metas = append(c.Metas, s)
+	}
+
+	// Version manager, with its own metadata client for sealing.
+	c.vmPool = rpc.NewPool(net, transport.MakeAddr("vmanager-host", "client"))
+	ring := dht.NewRing(c.MetaAddrs(), 64)
+	nodes := NewNodeStore(dht.NewClient(ring, c.vmPool, cfg.MetaReplicas))
+	vm, err := NewVersionManager(net, transport.MakeAddr("vmanager-host", SvcVersionManager),
+		VersionManagerConfig{SealTimeout: cfg.SealTimeout, Nodes: nodes})
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.VM = vm
+
+	// Provider manager.
+	pm, err := NewProviderManager(net, transport.MakeAddr("pmanager-host", SvcProviderManager), cfg.Strategy)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.PM = pm
+
+	// Data providers, registered with the provider manager.
+	for i := 0; i < cfg.Providers; i++ {
+		addr := transport.MakeAddr(fmt.Sprintf("%s-%03d", cfg.HostPrefix, i), SvcProvider)
+		var store pagestore.Store
+		switch cfg.Store {
+		case StoreSynthesize:
+			store = pagestore.NewSynthesize()
+		default:
+			store = pagestore.NewMemory()
+		}
+		p, err := NewProvider(net, addr, store)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.Providers = append(c.Providers, p)
+		pm.Register(string(addr))
+	}
+	return c, nil
+}
+
+// MetaAddrs returns the metadata provider endpoints.
+func (c *Cluster) MetaAddrs() []transport.Addr {
+	out := make([]transport.Addr, len(c.Metas))
+	for i, m := range c.Metas {
+		out[i] = m.Addr()
+	}
+	return out
+}
+
+// ProviderHosts returns the host names of all data providers, for
+// co-locating clients with providers as the paper's experiments do.
+func (c *Cluster) ProviderHosts() []string {
+	out := make([]string, len(c.Providers))
+	for i, p := range c.Providers {
+		out[i] = p.Addr().Host()
+	}
+	return out
+}
+
+// Client returns a client for this deployment running on host.
+func (c *Cluster) Client(host string) *Client {
+	return NewClient(ClientConfig{
+		Net:             c.Net,
+		Host:            host,
+		VersionManager:  c.VM.Addr(),
+		ProviderManager: c.PM.Addr(),
+		Metadata:        c.MetaAddrs(),
+		MetaReplicas:    c.Cfg.MetaReplicas,
+		PageReplicas:    c.Cfg.PageReplicas,
+	})
+}
+
+// Close tears the whole deployment down.
+func (c *Cluster) Close() error {
+	if c.VM != nil {
+		c.VM.Close()
+	}
+	if c.PM != nil {
+		c.PM.Close()
+	}
+	for _, p := range c.Providers {
+		p.Close()
+	}
+	for _, m := range c.Metas {
+		m.Close()
+	}
+	if c.vmPool != nil {
+		c.vmPool.Close()
+	}
+	return nil
+}

@@ -1,0 +1,32 @@
+package blob
+
+import (
+	"context"
+
+	"blobseer/internal/dht"
+)
+
+// dhtNodeStore adapts the metadata DHT to segtree.NodeStore, so tree
+// commits and resolves go through the metadata providers.
+type dhtNodeStore struct {
+	c *dht.Client
+}
+
+// NewNodeStore wraps a DHT client as a segment-tree node store.
+func NewNodeStore(c *dht.Client) *dhtNodeStore { //nolint:revive // deliberately unexported type
+	return &dhtNodeStore{c: c}
+}
+
+// PutNodes implements segtree.NodeStore.
+func (s *dhtNodeStore) PutNodes(ctx context.Context, keys []string, values [][]byte) error {
+	kvs := make([]dht.KV, len(keys))
+	for i := range keys {
+		kvs[i] = dht.KV{Key: keys[i], Value: values[i]}
+	}
+	return s.c.PutBatch(ctx, kvs)
+}
+
+// GetNodes implements segtree.NodeStore.
+func (s *dhtNodeStore) GetNodes(ctx context.Context, keys []string) ([][]byte, error) {
+	return s.c.GetBatch(ctx, keys)
+}

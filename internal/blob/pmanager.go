@@ -1,0 +1,229 @@
+package blob
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"blobseer/internal/rpc"
+	"blobseer/internal/transport"
+	"blobseer/internal/wire"
+)
+
+// Strategy decides which providers receive the pages of one write.
+// Implementations are called under the provider manager's lock and must
+// not block.
+type Strategy interface {
+	// Name identifies the strategy in configs and experiment output.
+	Name() string
+	// Pick returns, for each of nPages pages, `replicas` distinct
+	// provider indices into the providers slice. loads[i] is the byte
+	// load already assigned to providers[i] (strategies may ignore it).
+	Pick(nPages, replicas int, providers []string, loads []uint64) [][]int
+}
+
+// RoundRobin spreads consecutive pages over consecutive providers. It
+// is BlobSeer's default allocation: with all appenders striping in
+// round-robin order from a shared cursor, pages spread evenly.
+type RoundRobin struct{ next int }
+
+// Name implements Strategy.
+func (s *RoundRobin) Name() string { return "roundrobin" }
+
+// Pick implements Strategy.
+func (s *RoundRobin) Pick(nPages, replicas int, providers []string, loads []uint64) [][]int {
+	out := make([][]int, nPages)
+	p := len(providers)
+	for i := range out {
+		row := make([]int, replicas)
+		for j := range row {
+			row[j] = (s.next + j) % p
+		}
+		s.next = (s.next + 1) % p
+		out[i] = row
+	}
+	return out
+}
+
+// RandomK picks uniform random distinct providers per page. Collisions
+// between concurrent writers model the balls-into-bins hotspots of a
+// random placement policy.
+type RandomK struct{ rng *rand.Rand }
+
+// NewRandomK returns a RandomK strategy with the given seed.
+func NewRandomK(seed int64) *RandomK {
+	return &RandomK{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Strategy.
+func (s *RandomK) Name() string { return "random" }
+
+// Pick implements Strategy.
+func (s *RandomK) Pick(nPages, replicas int, providers []string, loads []uint64) [][]int {
+	out := make([][]int, nPages)
+	p := len(providers)
+	for i := range out {
+		row := make([]int, 0, replicas)
+		seen := make(map[int]bool, replicas)
+		for len(row) < replicas {
+			c := s.rng.Intn(p)
+			if !seen[c] {
+				seen[c] = true
+				row = append(row, c)
+			}
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// LeastLoaded assigns each page to the providers with the least bytes
+// allocated so far.
+type LeastLoaded struct{}
+
+// Name implements Strategy.
+func (s *LeastLoaded) Name() string { return "leastloaded" }
+
+// Pick implements Strategy.
+func (s *LeastLoaded) Pick(nPages, replicas int, providers []string, loads []uint64) [][]int {
+	// Work on a copy so intra-call assignments influence later pages.
+	l := append([]uint64(nil), loads...)
+	out := make([][]int, nPages)
+	for i := range out {
+		row := make([]int, 0, replicas)
+		for len(row) < replicas {
+			best := -1
+			for c := range l {
+				if contains(row, c) {
+					continue
+				}
+				if best < 0 || l[c] < l[best] {
+					best = c
+				}
+			}
+			row = append(row, best)
+			l[best]++ // placeholder unit; real bytes added by the manager
+		}
+		out[i] = row
+	}
+	return out
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// ProviderManager is BlobSeer's provider manager (§3.1.1): providers
+// register with it, and writers ask it which providers should store
+// each page, "aiming at load-balancing".
+type ProviderManager struct {
+	srv      *rpc.Server
+	strategy Strategy
+
+	mu        sync.Mutex
+	providers []string
+	index     map[string]int
+	loads     []uint64 // bytes assigned per provider
+}
+
+// NewProviderManager starts a provider manager at addr using the given
+// strategy (nil means RoundRobin).
+func NewProviderManager(net transport.Network, addr transport.Addr, strategy Strategy) (*ProviderManager, error) {
+	if strategy == nil {
+		strategy = &RoundRobin{}
+	}
+	srv, err := rpc.NewServer(net, addr)
+	if err != nil {
+		return nil, err
+	}
+	pm := &ProviderManager{srv: srv, strategy: strategy, index: make(map[string]int)}
+	srv.Handle(PMRegister, pm.handleRegister)
+	srv.Handle(PMAlloc, pm.handleAlloc)
+	srv.Handle(PMProviders, pm.handleProviders)
+	return pm, nil
+}
+
+// Addr returns the manager's endpoint.
+func (pm *ProviderManager) Addr() transport.Addr { return pm.srv.Addr() }
+
+// Close stops the manager.
+func (pm *ProviderManager) Close() error { return pm.srv.Close() }
+
+// Register adds a provider directly (used by the in-process cluster
+// harness; remote providers use the PMRegister RPC).
+func (pm *ProviderManager) Register(addr string) {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	pm.registerLocked(addr)
+}
+
+func (pm *ProviderManager) registerLocked(addr string) {
+	if _, ok := pm.index[addr]; ok {
+		return
+	}
+	pm.index[addr] = len(pm.providers)
+	pm.providers = append(pm.providers, addr)
+	pm.loads = append(pm.loads, 0)
+}
+
+func (pm *ProviderManager) handleRegister(r *wire.Reader) (wire.Marshaler, error) {
+	var req RegisterReq
+	if err := req.DecodeFrom(r); err != nil {
+		return nil, err
+	}
+	pm.Register(req.Addr)
+	return nil, nil
+}
+
+func (pm *ProviderManager) handleAlloc(r *wire.Reader) (wire.Marshaler, error) {
+	var req AllocReq
+	if err := req.DecodeFrom(r); err != nil {
+		return nil, err
+	}
+	if req.NPages == 0 {
+		return nil, errors.New("blob: alloc of zero pages")
+	}
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	if len(pm.providers) == 0 {
+		return nil, errors.New("blob: no providers registered")
+	}
+	replicas := int(req.Replicas)
+	if replicas < 1 {
+		replicas = 1
+	}
+	if replicas > len(pm.providers) {
+		replicas = len(pm.providers)
+	}
+	rows := pm.strategy.Pick(int(req.NPages), replicas, pm.providers, pm.loads)
+	if len(rows) != int(req.NPages) {
+		return nil, fmt.Errorf("blob: strategy returned %d rows for %d pages", len(rows), req.NPages)
+	}
+	resp := &AllocResp{
+		Replicas:  uint64(replicas),
+		Providers: make([]string, 0, int(req.NPages)*replicas),
+	}
+	perPage := req.Bytes / req.NPages
+	for _, row := range rows {
+		if len(row) != replicas {
+			return nil, fmt.Errorf("blob: strategy returned %d replicas, want %d", len(row), replicas)
+		}
+		for _, idx := range row {
+			resp.Providers = append(resp.Providers, pm.providers[idx])
+			pm.loads[idx] += perPage
+		}
+	}
+	return resp, nil
+}
+
+func (pm *ProviderManager) handleProviders(r *wire.Reader) (wire.Marshaler, error) {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	return &ProvidersResp{Providers: append([]string(nil), pm.providers...)}, nil
+}

@@ -1,0 +1,86 @@
+package blob
+
+import (
+	"sync/atomic"
+
+	"blobseer/internal/pagestore"
+	"blobseer/internal/rpc"
+	"blobseer/internal/transport"
+	"blobseer/internal/wire"
+)
+
+// Provider is one BlobSeer data provider: it "stores the pages, as
+// assigned by the provider manager" (§3.1.1). The storage engine is
+// pluggable (memory / durable kvlog / synthesize — see pagestore).
+type Provider struct {
+	srv   *rpc.Server
+	store pagestore.Store
+
+	// failPuts simulates a failed node for fault-injection tests: puts
+	// are rejected while it is non-zero; gets still succeed.
+	failPuts atomic.Bool
+}
+
+// NewProvider starts a provider at addr over the given store.
+func NewProvider(net transport.Network, addr transport.Addr, store pagestore.Store) (*Provider, error) {
+	srv, err := rpc.NewServer(net, addr)
+	if err != nil {
+		return nil, err
+	}
+	p := &Provider{srv: srv, store: store}
+	srv.Handle(ProvPutPage, p.handlePutPage)
+	srv.Handle(ProvGetPage, p.handleGetPage)
+	srv.Handle(ProvStats, p.handleStats)
+	return p, nil
+}
+
+// Addr returns the provider's endpoint.
+func (p *Provider) Addr() transport.Addr { return p.srv.Addr() }
+
+// Store exposes the underlying page store (tests, tools).
+func (p *Provider) Store() pagestore.Store { return p.store }
+
+// SetFailPuts toggles write-failure injection.
+func (p *Provider) SetFailPuts(fail bool) { p.failPuts.Store(fail) }
+
+// Close stops the provider and its store.
+func (p *Provider) Close() error {
+	err := p.srv.Close()
+	if cerr := p.store.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (p *Provider) handlePutPage(r *wire.Reader) (wire.Marshaler, error) {
+	var req PutPageReq
+	if err := req.DecodeFrom(r); err != nil {
+		return nil, err
+	}
+	if p.failPuts.Load() {
+		return nil, wire.RemoteError("provider: injected put failure")
+	}
+	if err := p.store.Put(req.Key, req.Data); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+func (p *Provider) handleGetPage(r *wire.Reader) (wire.Marshaler, error) {
+	var req GetPageReq
+	if err := req.DecodeFrom(r); err != nil {
+		return nil, err
+	}
+	data, err := p.store.Get(req.Key)
+	if err != nil {
+		return nil, err
+	}
+	return &GetPageResp{Data: data}, nil
+}
+
+func (p *Provider) handleStats(r *wire.Reader) (wire.Marshaler, error) {
+	return &ProvStatsResp{
+		Pages: uint64(p.store.Len()),
+		Bytes: uint64(p.store.BytesUsed()),
+	}, nil
+}

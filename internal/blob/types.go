@@ -1,0 +1,492 @@
+// Package blob implements the BlobSeer data-management service of the
+// paper (§3.1): a versioning-based, concurrency-optimized BLOB store.
+//
+// Architecture (one RPC service per entity, mirroring the original):
+//
+//   - data providers store pages (provider.go);
+//   - the provider manager assigns pages to providers with a pluggable
+//     load-balancing strategy (pmanager.go);
+//   - metadata providers form a DHT holding the versioned segment-tree
+//     nodes (package dht + mdstore.go);
+//   - the version manager assigns version numbers and append offsets,
+//     and publishes versions in order (vmanager.go);
+//   - the client library runs the decoupled append/write pipeline and
+//     serves reads of any published version (client.go);
+//   - cluster.go wires a whole in-process deployment together.
+//
+// The append pipeline is the paper's §3.1.2: pages are written in
+// parallel to providers, the version manager serializes only an O(1)
+// version-assignment exchange, metadata commits in one batched DHT
+// write computed locally (package segtree), and versions publish
+// strictly in assignment order.
+package blob
+
+import (
+	"blobseer/internal/pagestore"
+	"blobseer/internal/segtree"
+	"blobseer/internal/wire"
+)
+
+// Service names used to build endpoint addresses.
+const (
+	SvcVersionManager  = "vmanager"
+	SvcProviderManager = "pmanager"
+	SvcProvider        = "provider"
+	SvcMetadata        = "metadata"
+)
+
+// Version manager methods.
+const (
+	VMCreateBlob uint32 = iota + 1
+	VMOpenBlob
+	VMAssign
+	VMComplete
+	VMSeal
+	VMGetVersion
+	VMLatest
+	VMWaitPublished
+	VMListBlobs
+	VMStats
+)
+
+// Provider manager methods.
+const (
+	PMRegister uint32 = iota + 1
+	PMAlloc
+	PMProviders
+)
+
+// Provider methods.
+const (
+	ProvPutPage uint32 = iota + 1
+	ProvGetPage
+	ProvStats
+)
+
+// Write kinds for AssignReq.
+const (
+	KindAppend = 1
+	KindWrite  = 2
+)
+
+//
+// Shared message helpers.
+//
+
+func appendWriteRecord(b []byte, w segtree.WriteRecord) []byte {
+	b = wire.AppendUvarint(b, w.Ver)
+	b = wire.AppendUvarint(b, w.Off)
+	b = wire.AppendUvarint(b, w.N)
+	b = wire.AppendUvarint(b, w.PagesAfter)
+	return b
+}
+
+func decodeWriteRecord(r *wire.Reader) segtree.WriteRecord {
+	var w segtree.WriteRecord
+	w.Ver = r.Uvarint()
+	w.Off = r.Uvarint()
+	w.N = r.Uvarint()
+	w.PagesAfter = r.Uvarint()
+	return w
+}
+
+func appendPageKey(b []byte, k pagestore.Key) []byte {
+	b = wire.AppendUvarint(b, k.Blob)
+	b = wire.AppendUvarint(b, k.Version)
+	b = wire.AppendUvarint(b, k.Index)
+	return b
+}
+
+func decodePageKey(r *wire.Reader) pagestore.Key {
+	var k pagestore.Key
+	k.Blob = r.Uvarint()
+	k.Version = r.Uvarint()
+	k.Index = r.Uvarint()
+	return k
+}
+
+//
+// Version manager messages.
+//
+
+// CreateBlobReq creates a BLOB with the given page size.
+type CreateBlobReq struct{ PageSize uint64 }
+
+// AppendTo implements wire.Marshaler.
+func (m *CreateBlobReq) AppendTo(b []byte) []byte { return wire.AppendUvarint(b, m.PageSize) }
+
+// DecodeFrom implements wire.Unmarshaler.
+func (m *CreateBlobReq) DecodeFrom(r *wire.Reader) error {
+	m.PageSize = r.Uvarint()
+	return r.Err()
+}
+
+// CreateBlobResp returns the new BLOB's id.
+type CreateBlobResp struct{ Blob uint64 }
+
+// AppendTo implements wire.Marshaler.
+func (m *CreateBlobResp) AppendTo(b []byte) []byte { return wire.AppendUvarint(b, m.Blob) }
+
+// DecodeFrom implements wire.Unmarshaler.
+func (m *CreateBlobResp) DecodeFrom(r *wire.Reader) error {
+	m.Blob = r.Uvarint()
+	return r.Err()
+}
+
+// BlobRef names a BLOB.
+type BlobRef struct{ Blob uint64 }
+
+// AppendTo implements wire.Marshaler.
+func (m *BlobRef) AppendTo(b []byte) []byte { return wire.AppendUvarint(b, m.Blob) }
+
+// DecodeFrom implements wire.Unmarshaler.
+func (m *BlobRef) DecodeFrom(r *wire.Reader) error {
+	m.Blob = r.Uvarint()
+	return r.Err()
+}
+
+// OpenBlobResp describes a BLOB for a client opening it.
+type OpenBlobResp struct {
+	PageSize uint64
+	Latest   VersionInfo
+}
+
+// AppendTo implements wire.Marshaler.
+func (m *OpenBlobResp) AppendTo(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.PageSize)
+	return m.Latest.AppendTo(b)
+}
+
+// DecodeFrom implements wire.Unmarshaler.
+func (m *OpenBlobResp) DecodeFrom(r *wire.Reader) error {
+	m.PageSize = r.Uvarint()
+	return m.Latest.DecodeFrom(r)
+}
+
+// VersionInfo describes one version of a BLOB.
+type VersionInfo struct {
+	Ver       uint64
+	Size      uint64 // bytes
+	Pages     uint64
+	Published bool
+	Sealed    bool
+}
+
+// AppendTo implements wire.Marshaler.
+func (m *VersionInfo) AppendTo(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.Ver)
+	b = wire.AppendUvarint(b, m.Size)
+	b = wire.AppendUvarint(b, m.Pages)
+	b = wire.AppendBool(b, m.Published)
+	b = wire.AppendBool(b, m.Sealed)
+	return b
+}
+
+// DecodeFrom implements wire.Unmarshaler.
+func (m *VersionInfo) DecodeFrom(r *wire.Reader) error {
+	m.Ver = r.Uvarint()
+	m.Size = r.Uvarint()
+	m.Pages = r.Uvarint()
+	m.Published = r.Bool()
+	m.Sealed = r.Bool()
+	return r.Err()
+}
+
+// AssignReq asks the version manager for a version number. For appends
+// the offset is implicit (the size of the last assigned version, §3.1.2
+// "the offset is implicitly assumed to be the size of the latest
+// version"); for writes the caller supplies Off. SinceVer is the
+// highest version whose write record the client already caches; the
+// response carries only newer records.
+type AssignReq struct {
+	Blob     uint64
+	Kind     uint64 // KindAppend or KindWrite
+	Off      uint64 // byte offset, KindWrite only
+	Len      uint64 // bytes
+	SinceVer uint64
+}
+
+// AppendTo implements wire.Marshaler.
+func (m *AssignReq) AppendTo(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.Blob)
+	b = wire.AppendUvarint(b, m.Kind)
+	b = wire.AppendUvarint(b, m.Off)
+	b = wire.AppendUvarint(b, m.Len)
+	b = wire.AppendUvarint(b, m.SinceVer)
+	return b
+}
+
+// DecodeFrom implements wire.Unmarshaler.
+func (m *AssignReq) DecodeFrom(r *wire.Reader) error {
+	m.Blob = r.Uvarint()
+	m.Kind = r.Uvarint()
+	m.Off = r.Uvarint()
+	m.Len = r.Uvarint()
+	m.SinceVer = r.Uvarint()
+	return r.Err()
+}
+
+// AssignResp carries everything a writer needs to finish the write
+// without talking to the version manager again (except Complete).
+type AssignResp struct {
+	Ver       uint64
+	Start     uint64 // byte offset where the data lands
+	PrevSize  uint64 // size of the previous assigned version
+	SizeAfter uint64
+	Record    segtree.WriteRecord // page-unit write interval
+	History   []segtree.WriteRecord
+}
+
+// AppendTo implements wire.Marshaler.
+func (m *AssignResp) AppendTo(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.Ver)
+	b = wire.AppendUvarint(b, m.Start)
+	b = wire.AppendUvarint(b, m.PrevSize)
+	b = wire.AppendUvarint(b, m.SizeAfter)
+	b = appendWriteRecord(b, m.Record)
+	b = wire.AppendUvarint(b, uint64(len(m.History)))
+	for _, h := range m.History {
+		b = appendWriteRecord(b, h)
+	}
+	return b
+}
+
+// DecodeFrom implements wire.Unmarshaler.
+func (m *AssignResp) DecodeFrom(r *wire.Reader) error {
+	m.Ver = r.Uvarint()
+	m.Start = r.Uvarint()
+	m.PrevSize = r.Uvarint()
+	m.SizeAfter = r.Uvarint()
+	m.Record = decodeWriteRecord(r)
+	n := r.Uvarint()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	m.History = make([]segtree.WriteRecord, 0, n)
+	for i := uint64(0); i < n; i++ {
+		m.History = append(m.History, decodeWriteRecord(r))
+	}
+	return r.Err()
+}
+
+// VersionRef names one version of a BLOB.
+type VersionRef struct {
+	Blob uint64
+	Ver  uint64
+}
+
+// AppendTo implements wire.Marshaler.
+func (m *VersionRef) AppendTo(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.Blob)
+	return wire.AppendUvarint(b, m.Ver)
+}
+
+// DecodeFrom implements wire.Unmarshaler.
+func (m *VersionRef) DecodeFrom(r *wire.Reader) error {
+	m.Blob = r.Uvarint()
+	m.Ver = r.Uvarint()
+	return r.Err()
+}
+
+// WaitPublishedReq blocks until a version is published or the server-
+// side timeout elapses.
+type WaitPublishedReq struct {
+	Blob          uint64
+	Ver           uint64
+	TimeoutMillis uint64
+}
+
+// AppendTo implements wire.Marshaler.
+func (m *WaitPublishedReq) AppendTo(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.Blob)
+	b = wire.AppendUvarint(b, m.Ver)
+	b = wire.AppendUvarint(b, m.TimeoutMillis)
+	return b
+}
+
+// DecodeFrom implements wire.Unmarshaler.
+func (m *WaitPublishedReq) DecodeFrom(r *wire.Reader) error {
+	m.Blob = r.Uvarint()
+	m.Ver = r.Uvarint()
+	m.TimeoutMillis = r.Uvarint()
+	return r.Err()
+}
+
+// ListBlobsResp lists all BLOB ids.
+type ListBlobsResp struct{ Blobs []uint64 }
+
+// AppendTo implements wire.Marshaler.
+func (m *ListBlobsResp) AppendTo(b []byte) []byte { return wire.AppendUint64Slice(b, m.Blobs) }
+
+// DecodeFrom implements wire.Unmarshaler.
+func (m *ListBlobsResp) DecodeFrom(r *wire.Reader) error {
+	m.Blobs = r.Uint64Slice()
+	return r.Err()
+}
+
+// VMStatsResp reports version-manager counters for tests and tools.
+type VMStatsResp struct {
+	Blobs     uint64
+	Assigned  uint64
+	Published uint64
+	Sealed    uint64
+}
+
+// AppendTo implements wire.Marshaler.
+func (m *VMStatsResp) AppendTo(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.Blobs)
+	b = wire.AppendUvarint(b, m.Assigned)
+	b = wire.AppendUvarint(b, m.Published)
+	b = wire.AppendUvarint(b, m.Sealed)
+	return b
+}
+
+// DecodeFrom implements wire.Unmarshaler.
+func (m *VMStatsResp) DecodeFrom(r *wire.Reader) error {
+	m.Blobs = r.Uvarint()
+	m.Assigned = r.Uvarint()
+	m.Published = r.Uvarint()
+	m.Sealed = r.Uvarint()
+	return r.Err()
+}
+
+//
+// Provider manager messages.
+//
+
+// RegisterReq announces a provider to the provider manager.
+type RegisterReq struct{ Addr string }
+
+// AppendTo implements wire.Marshaler.
+func (m *RegisterReq) AppendTo(b []byte) []byte { return wire.AppendString(b, m.Addr) }
+
+// DecodeFrom implements wire.Unmarshaler.
+func (m *RegisterReq) DecodeFrom(r *wire.Reader) error {
+	m.Addr = r.String()
+	return r.Err()
+}
+
+// AllocReq asks for provider assignments for NPages pages, Replicas
+// providers each.
+type AllocReq struct {
+	Blob     uint64
+	NPages   uint64
+	Replicas uint64
+	Bytes    uint64 // total bytes, for load accounting
+}
+
+// AppendTo implements wire.Marshaler.
+func (m *AllocReq) AppendTo(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.Blob)
+	b = wire.AppendUvarint(b, m.NPages)
+	b = wire.AppendUvarint(b, m.Replicas)
+	b = wire.AppendUvarint(b, m.Bytes)
+	return b
+}
+
+// DecodeFrom implements wire.Unmarshaler.
+func (m *AllocReq) DecodeFrom(r *wire.Reader) error {
+	m.Blob = r.Uvarint()
+	m.NPages = r.Uvarint()
+	m.Replicas = r.Uvarint()
+	m.Bytes = r.Uvarint()
+	return r.Err()
+}
+
+// AllocResp carries, for each page, Replicas provider addresses
+// (flattened row-major: page i replica j at [i*Replicas+j]).
+type AllocResp struct {
+	Replicas  uint64
+	Providers []string
+}
+
+// AppendTo implements wire.Marshaler.
+func (m *AllocResp) AppendTo(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.Replicas)
+	return wire.AppendStringSlice(b, m.Providers)
+}
+
+// DecodeFrom implements wire.Unmarshaler.
+func (m *AllocResp) DecodeFrom(r *wire.Reader) error {
+	m.Replicas = r.Uvarint()
+	m.Providers = r.StringSlice()
+	return r.Err()
+}
+
+// ProvidersResp lists registered providers.
+type ProvidersResp struct{ Providers []string }
+
+// AppendTo implements wire.Marshaler.
+func (m *ProvidersResp) AppendTo(b []byte) []byte { return wire.AppendStringSlice(b, m.Providers) }
+
+// DecodeFrom implements wire.Unmarshaler.
+func (m *ProvidersResp) DecodeFrom(r *wire.Reader) error {
+	m.Providers = r.StringSlice()
+	return r.Err()
+}
+
+//
+// Provider messages.
+//
+
+// PutPageReq stores one page.
+type PutPageReq struct {
+	Key  pagestore.Key
+	Data []byte
+}
+
+// AppendTo implements wire.Marshaler.
+func (m *PutPageReq) AppendTo(b []byte) []byte {
+	b = appendPageKey(b, m.Key)
+	return wire.AppendBytes(b, m.Data)
+}
+
+// DecodeFrom implements wire.Unmarshaler.
+func (m *PutPageReq) DecodeFrom(r *wire.Reader) error {
+	m.Key = decodePageKey(r)
+	m.Data = r.BytesCopy()
+	return r.Err()
+}
+
+// GetPageReq fetches one page.
+type GetPageReq struct{ Key pagestore.Key }
+
+// AppendTo implements wire.Marshaler.
+func (m *GetPageReq) AppendTo(b []byte) []byte { return appendPageKey(b, m.Key) }
+
+// DecodeFrom implements wire.Unmarshaler.
+func (m *GetPageReq) DecodeFrom(r *wire.Reader) error {
+	m.Key = decodePageKey(r)
+	return r.Err()
+}
+
+// GetPageResp carries the page content.
+type GetPageResp struct{ Data []byte }
+
+// AppendTo implements wire.Marshaler.
+func (m *GetPageResp) AppendTo(b []byte) []byte { return wire.AppendBytes(b, m.Data) }
+
+// DecodeFrom implements wire.Unmarshaler.
+func (m *GetPageResp) DecodeFrom(r *wire.Reader) error {
+	m.Data = r.BytesCopy()
+	return r.Err()
+}
+
+// ProvStatsResp reports provider storage counters.
+type ProvStatsResp struct {
+	Pages uint64
+	Bytes uint64
+}
+
+// AppendTo implements wire.Marshaler.
+func (m *ProvStatsResp) AppendTo(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.Pages)
+	return wire.AppendUvarint(b, m.Bytes)
+}
+
+// DecodeFrom implements wire.Unmarshaler.
+func (m *ProvStatsResp) DecodeFrom(r *wire.Reader) error {
+	m.Pages = r.Uvarint()
+	m.Bytes = r.Uvarint()
+	return r.Err()
+}

@@ -1,0 +1,476 @@
+package blob
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"blobseer/internal/rpc"
+	"blobseer/internal/segtree"
+	"blobseer/internal/transport"
+	"blobseer/internal/wire"
+)
+
+// Sentinel errors returned by the version manager. They cross the RPC
+// boundary as message text; wire.RemoteError makes errors.Is work on
+// the client side.
+var (
+	ErrBlobNotFound    = errors.New("blob: not found")
+	ErrNotPublished    = errors.New("blob: version not published")
+	ErrNoSuchVersion   = errors.New("blob: no such version")
+	ErrWaitTimeout     = errors.New("blob: wait-published timeout")
+	ErrVersionFinished = errors.New("blob: version already completed or sealed")
+)
+
+// Version lifecycle inside the manager.
+type vstatus uint8
+
+const (
+	vsPending vstatus = iota
+	vsCompleted
+	vsSealing
+	vsSealed
+)
+
+// blobState is the version manager's bookkeeping for one BLOB.
+type blobState struct {
+	pageSize uint64
+	// Per assigned version v (index v-1):
+	records    []segtree.WriteRecord
+	sizes      []uint64
+	status     []vstatus
+	assignedAt []time.Time
+	// published is the highest published version (0 = none). Versions
+	// publish strictly in assignment order: v publishes only once v-1
+	// has published and v has completed (or been sealed).
+	published uint64
+	waiters   map[uint64][]chan struct{}
+}
+
+func (bs *blobState) info(ver uint64) VersionInfo {
+	if ver == 0 {
+		return VersionInfo{Ver: 0, Published: true}
+	}
+	i := ver - 1
+	return VersionInfo{
+		Ver:       ver,
+		Size:      bs.sizes[i],
+		Pages:     bs.records[i].PagesAfter,
+		Published: ver <= bs.published,
+		Sealed:    bs.status[i] == vsSealed || bs.status[i] == vsSealing,
+	}
+}
+
+// VersionManagerConfig configures a version manager.
+type VersionManagerConfig struct {
+	// SealTimeout is how long an assigned version may stay pending
+	// before the manager seals it (commits hole metadata) so the
+	// publication chain cannot stall on a dead writer. Zero disables
+	// automatic sealing (explicit Seal RPCs still work).
+	SealTimeout time.Duration
+	// Nodes is the metadata store used to commit hole metadata when
+	// sealing. Required if sealing is used.
+	Nodes segtree.NodeStore
+}
+
+// VersionManager is BlobSeer's centralized version manager (§3.1.1):
+// it assigns version numbers and append offsets, and is "responsible
+// for ensuring consistency when concurrent writes to the same BLOB are
+// issued". Assignment is the only serialized step of a write and
+// exchanges O(1) data plus the write-record history delta.
+type VersionManager struct {
+	srv *rpc.Server
+	cfg VersionManagerConfig
+
+	mu       sync.Mutex
+	blobs    map[uint64]*blobState
+	nextBlob uint64
+
+	assigned       uint64
+	publishedCount uint64
+	sealed         uint64
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewVersionManager starts a version manager at addr.
+func NewVersionManager(net transport.Network, addr transport.Addr, cfg VersionManagerConfig) (*VersionManager, error) {
+	srv, err := rpc.NewServer(net, addr)
+	if err != nil {
+		return nil, err
+	}
+	vm := &VersionManager{
+		srv:   srv,
+		cfg:   cfg,
+		blobs: make(map[uint64]*blobState),
+		done:  make(chan struct{}),
+	}
+	srv.Handle(VMCreateBlob, vm.handleCreateBlob)
+	srv.Handle(VMOpenBlob, vm.handleOpenBlob)
+	srv.Handle(VMAssign, vm.handleAssign)
+	srv.Handle(VMComplete, vm.handleComplete)
+	srv.Handle(VMSeal, vm.handleSeal)
+	srv.Handle(VMGetVersion, vm.handleGetVersion)
+	srv.Handle(VMLatest, vm.handleLatest)
+	srv.Handle(VMWaitPublished, vm.handleWaitPublished)
+	srv.Handle(VMListBlobs, vm.handleListBlobs)
+	srv.Handle(VMStats, vm.handleStats)
+	if cfg.SealTimeout > 0 {
+		vm.wg.Add(1)
+		go vm.sealLoop()
+	}
+	return vm, nil
+}
+
+// Addr returns the manager's endpoint.
+func (vm *VersionManager) Addr() transport.Addr { return vm.srv.Addr() }
+
+// Close stops the manager.
+func (vm *VersionManager) Close() error {
+	select {
+	case <-vm.done:
+	default:
+		close(vm.done)
+	}
+	err := vm.srv.Close()
+	vm.wg.Wait()
+	return err
+}
+
+func (vm *VersionManager) handleCreateBlob(r *wire.Reader) (wire.Marshaler, error) {
+	var req CreateBlobReq
+	if err := req.DecodeFrom(r); err != nil {
+		return nil, err
+	}
+	if req.PageSize == 0 {
+		return nil, errors.New("blob: zero page size")
+	}
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	vm.nextBlob++
+	id := vm.nextBlob
+	vm.blobs[id] = &blobState{
+		pageSize: req.PageSize,
+		waiters:  make(map[uint64][]chan struct{}),
+	}
+	return &CreateBlobResp{Blob: id}, nil
+}
+
+func (vm *VersionManager) handleOpenBlob(r *wire.Reader) (wire.Marshaler, error) {
+	var req BlobRef
+	if err := req.DecodeFrom(r); err != nil {
+		return nil, err
+	}
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	bs, ok := vm.blobs[req.Blob]
+	if !ok {
+		return nil, ErrBlobNotFound
+	}
+	return &OpenBlobResp{PageSize: bs.pageSize, Latest: bs.info(bs.published)}, nil
+}
+
+func (vm *VersionManager) handleAssign(r *wire.Reader) (wire.Marshaler, error) {
+	var req AssignReq
+	if err := req.DecodeFrom(r); err != nil {
+		return nil, err
+	}
+	if req.Len == 0 {
+		return nil, errors.New("blob: zero-length write")
+	}
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	bs, ok := vm.blobs[req.Blob]
+	if !ok {
+		return nil, ErrBlobNotFound
+	}
+	ps := bs.pageSize
+	var prevSize uint64
+	if n := len(bs.sizes); n > 0 {
+		prevSize = bs.sizes[n-1]
+	}
+
+	var start uint64
+	switch req.Kind {
+	case KindAppend:
+		// §3.1.2: "the offset is implicitly assumed to be the size of
+		// the latest version" — latest *assigned*, so concurrent
+		// appenders receive disjoint consecutive regions.
+		start = prevSize
+	case KindWrite:
+		start = req.Off
+	default:
+		return nil, fmt.Errorf("blob: unknown write kind %d", req.Kind)
+	}
+
+	sizeAfter := start + req.Len
+	if sizeAfter < prevSize {
+		sizeAfter = prevSize
+	}
+	pageOff := start / ps
+	pageEnd := (start + req.Len + ps - 1) / ps
+	ver := uint64(len(bs.records)) + 1
+	rec := segtree.WriteRecord{
+		Ver:        ver,
+		Off:        pageOff,
+		N:          pageEnd - pageOff,
+		PagesAfter: (sizeAfter + ps - 1) / ps,
+	}
+	bs.records = append(bs.records, rec)
+	bs.sizes = append(bs.sizes, sizeAfter)
+	bs.status = append(bs.status, vsPending)
+	bs.assignedAt = append(bs.assignedAt, time.Now())
+	vm.assigned++
+
+	// History delta: records in (SinceVer, ver).
+	var hist []segtree.WriteRecord
+	if req.SinceVer < ver-1 {
+		hist = append(hist, bs.records[req.SinceVer:ver-1]...)
+	}
+	return &AssignResp{
+		Ver:       ver,
+		Start:     start,
+		PrevSize:  prevSize,
+		SizeAfter: sizeAfter,
+		Record:    rec,
+		History:   hist,
+	}, nil
+}
+
+func (vm *VersionManager) handleComplete(r *wire.Reader) (wire.Marshaler, error) {
+	var req VersionRef
+	if err := req.DecodeFrom(r); err != nil {
+		return nil, err
+	}
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	bs, ok := vm.blobs[req.Blob]
+	if !ok {
+		return nil, ErrBlobNotFound
+	}
+	if req.Ver == 0 || req.Ver > uint64(len(bs.status)) {
+		return nil, ErrNoSuchVersion
+	}
+	switch bs.status[req.Ver-1] {
+	case vsPending:
+		bs.status[req.Ver-1] = vsCompleted
+		vm.advanceLocked(bs)
+		return nil, nil
+	default:
+		// Sealed while the writer was finishing: the writer must know
+		// its version did not (cleanly) publish.
+		return nil, ErrVersionFinished
+	}
+}
+
+// advanceLocked publishes the longest contiguous prefix of finished
+// versions and wakes the corresponding waiters.
+func (vm *VersionManager) advanceLocked(bs *blobState) {
+	for bs.published < uint64(len(bs.status)) {
+		st := bs.status[bs.published]
+		if st != vsCompleted && st != vsSealed {
+			break
+		}
+		bs.published++
+		vm.publishedCount++
+		if chans, ok := bs.waiters[bs.published]; ok {
+			for _, ch := range chans {
+				close(ch)
+			}
+			delete(bs.waiters, bs.published)
+		}
+	}
+}
+
+func (vm *VersionManager) handleSeal(r *wire.Reader) (wire.Marshaler, error) {
+	var req VersionRef
+	if err := req.DecodeFrom(r); err != nil {
+		return nil, err
+	}
+	if err := vm.seal(req.Blob, req.Ver); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+// seal aborts a pending version: the manager commits hole metadata for
+// its write interval so readers of later versions see zeros there and
+// the publication chain advances past the failed writer.
+func (vm *VersionManager) seal(blob, ver uint64) error {
+	vm.mu.Lock()
+	bs, ok := vm.blobs[blob]
+	if !ok {
+		vm.mu.Unlock()
+		return ErrBlobNotFound
+	}
+	if ver == 0 || ver > uint64(len(bs.status)) {
+		vm.mu.Unlock()
+		return ErrNoSuchVersion
+	}
+	if bs.status[ver-1] != vsPending {
+		vm.mu.Unlock()
+		return nil // already finished; nothing to do
+	}
+	bs.status[ver-1] = vsSealing
+	rec := bs.records[ver-1]
+	history := append([]segtree.WriteRecord(nil), bs.records[:ver-1]...)
+	vm.mu.Unlock()
+
+	// Commit hole metadata outside the lock (network I/O).
+	holes := make([]segtree.PageRef, rec.N)
+	for i := range holes {
+		holes[i] = segtree.PageRef{Hole: true}
+	}
+	var commitErr error
+	if vm.cfg.Nodes != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		commitErr = segtree.Commit(ctx, vm.cfg.Nodes, blob, rec, history, holes)
+		cancel()
+	} else {
+		commitErr = errors.New("blob: version manager has no metadata store for sealing")
+	}
+
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	if commitErr != nil {
+		// Roll back to pending; the seal loop will retry.
+		bs.status[ver-1] = vsPending
+		return fmt.Errorf("blob: seal %d/%d: %w", blob, ver, commitErr)
+	}
+	bs.status[ver-1] = vsSealed
+	vm.sealed++
+	vm.advanceLocked(bs)
+	return nil
+}
+
+// sealLoop periodically seals pending versions older than SealTimeout.
+func (vm *VersionManager) sealLoop() {
+	defer vm.wg.Done()
+	tick := time.NewTicker(vm.cfg.SealTimeout / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-vm.done:
+			return
+		case <-tick.C:
+		}
+		type target struct{ blob, ver uint64 }
+		var targets []target
+		now := time.Now()
+		vm.mu.Lock()
+		for id, bs := range vm.blobs {
+			// Only the version blocking publication can stall others;
+			// seal any expired pending version though, oldest first.
+			for v := bs.published + 1; v <= uint64(len(bs.status)); v++ {
+				if bs.status[v-1] == vsPending && now.Sub(bs.assignedAt[v-1]) > vm.cfg.SealTimeout {
+					targets = append(targets, target{id, v})
+				}
+			}
+		}
+		vm.mu.Unlock()
+		for _, t := range targets {
+			// Errors are retried on the next tick.
+			_ = vm.seal(t.blob, t.ver)
+		}
+	}
+}
+
+func (vm *VersionManager) handleGetVersion(r *wire.Reader) (wire.Marshaler, error) {
+	var req VersionRef
+	if err := req.DecodeFrom(r); err != nil {
+		return nil, err
+	}
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	bs, ok := vm.blobs[req.Blob]
+	if !ok {
+		return nil, ErrBlobNotFound
+	}
+	if req.Ver > uint64(len(bs.records)) {
+		return nil, ErrNoSuchVersion
+	}
+	info := bs.info(req.Ver)
+	return &info, nil
+}
+
+func (vm *VersionManager) handleLatest(r *wire.Reader) (wire.Marshaler, error) {
+	var req BlobRef
+	if err := req.DecodeFrom(r); err != nil {
+		return nil, err
+	}
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	bs, ok := vm.blobs[req.Blob]
+	if !ok {
+		return nil, ErrBlobNotFound
+	}
+	info := bs.info(bs.published)
+	return &info, nil
+}
+
+func (vm *VersionManager) handleWaitPublished(r *wire.Reader) (wire.Marshaler, error) {
+	var req WaitPublishedReq
+	if err := req.DecodeFrom(r); err != nil {
+		return nil, err
+	}
+	vm.mu.Lock()
+	bs, ok := vm.blobs[req.Blob]
+	if !ok {
+		vm.mu.Unlock()
+		return nil, ErrBlobNotFound
+	}
+	if req.Ver > uint64(len(bs.records)) {
+		vm.mu.Unlock()
+		return nil, ErrNoSuchVersion
+	}
+	if req.Ver <= bs.published {
+		info := bs.info(req.Ver)
+		vm.mu.Unlock()
+		return &info, nil
+	}
+	ch := make(chan struct{})
+	bs.waiters[req.Ver] = append(bs.waiters[req.Ver], ch)
+	vm.mu.Unlock()
+
+	timeout := time.Duration(req.TimeoutMillis) * time.Millisecond
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+	select {
+	case <-ch:
+		vm.mu.Lock()
+		info := bs.info(req.Ver)
+		vm.mu.Unlock()
+		return &info, nil
+	case <-time.After(timeout):
+		return nil, ErrWaitTimeout
+	case <-vm.done:
+		return nil, rpc.ErrServerClosed
+	}
+}
+
+func (vm *VersionManager) handleListBlobs(r *wire.Reader) (wire.Marshaler, error) {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	resp := &ListBlobsResp{Blobs: make([]uint64, 0, len(vm.blobs))}
+	for id := uint64(1); id <= vm.nextBlob; id++ {
+		if _, ok := vm.blobs[id]; ok {
+			resp.Blobs = append(resp.Blobs, id)
+		}
+	}
+	return resp, nil
+}
+
+func (vm *VersionManager) handleStats(r *wire.Reader) (wire.Marshaler, error) {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	return &VMStatsResp{
+		Blobs:     uint64(len(vm.blobs)),
+		Assigned:  vm.assigned,
+		Published: vm.publishedCount,
+		Sealed:    vm.sealed,
+	}, nil
+}

@@ -1,0 +1,287 @@
+package blob
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"blobseer/internal/rpc"
+	"blobseer/internal/segtree"
+	"blobseer/internal/transport"
+)
+
+// vmHarness drives the version manager protocol directly.
+type vmHarness struct {
+	vm   *VersionManager
+	pool *rpc.Pool
+	blob uint64
+}
+
+func newVMHarness(t *testing.T, pageSize uint64) *vmHarness {
+	t.Helper()
+	net := transport.NewMemNet()
+	nodes := segtree.NewMemStore()
+	vm, err := NewVersionManager(net, "vm-host/vmanager", VersionManagerConfig{Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { vm.Close() })
+	pool := rpc.NewPool(net, "cli/x")
+	t.Cleanup(func() { pool.Close() })
+
+	var resp CreateBlobResp
+	if err := pool.Call(ctx, vm.Addr(), VMCreateBlob, &CreateBlobReq{PageSize: pageSize}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	return &vmHarness{vm: vm, pool: pool, blob: resp.Blob}
+}
+
+func (h *vmHarness) assign(t *testing.T, kind, off, length, since uint64) AssignResp {
+	t.Helper()
+	var resp AssignResp
+	err := h.pool.Call(ctx, h.vm.Addr(), VMAssign,
+		&AssignReq{Blob: h.blob, Kind: kind, Off: off, Len: length, SinceVer: since}, &resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func (h *vmHarness) complete(t *testing.T, ver uint64) error {
+	t.Helper()
+	return h.pool.Call(ctx, h.vm.Addr(), VMComplete, &VersionRef{Blob: h.blob, Ver: ver}, nil)
+}
+
+func (h *vmHarness) latest(t *testing.T) VersionInfo {
+	t.Helper()
+	var info VersionInfo
+	if err := h.pool.Call(ctx, h.vm.Addr(), VMLatest, &BlobRef{Blob: h.blob}, &info); err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+func TestAssignAppendOffsets(t *testing.T) {
+	h := newVMHarness(t, 100)
+	// Three concurrent-style appends: offsets are consecutive in
+	// assignment order, regardless of completion.
+	a1 := h.assign(t, KindAppend, 0, 250, 0)
+	a2 := h.assign(t, KindAppend, 0, 100, 0)
+	a3 := h.assign(t, KindAppend, 0, 50, 0)
+	if a1.Start != 0 || a2.Start != 250 || a3.Start != 350 {
+		t.Fatalf("starts = %d, %d, %d", a1.Start, a2.Start, a3.Start)
+	}
+	if a1.Ver != 1 || a2.Ver != 2 || a3.Ver != 3 {
+		t.Fatalf("versions = %d, %d, %d", a1.Ver, a2.Ver, a3.Ver)
+	}
+	// Page intervals: a1 covers pages [0,3), a2 [2,4) (unaligned
+	// boundary shares page 2), a3 [3,4).
+	if a1.Record.Off != 0 || a1.Record.N != 3 {
+		t.Errorf("a1 record = %+v", a1.Record)
+	}
+	if a2.Record.Off != 2 || a2.Record.N != 2 {
+		t.Errorf("a2 record = %+v", a2.Record)
+	}
+	if a3.Record.Off != 3 || a3.Record.N != 1 {
+		t.Errorf("a3 record = %+v", a3.Record)
+	}
+}
+
+func TestAssignHistoryDelta(t *testing.T) {
+	h := newVMHarness(t, 100)
+	h.assign(t, KindAppend, 0, 100, 0)
+	h.assign(t, KindAppend, 0, 100, 0)
+	// A client that knows nothing gets the full history.
+	a3 := h.assign(t, KindAppend, 0, 100, 0)
+	if len(a3.History) != 2 {
+		t.Fatalf("history = %d records", len(a3.History))
+	}
+	if a3.History[0].Ver != 1 || a3.History[1].Ver != 2 {
+		t.Fatalf("history versions = %+v", a3.History)
+	}
+	// A client that already caches through version 2 gets only v3.
+	a4 := h.assign(t, KindAppend, 0, 100, 2)
+	if len(a4.History) != 1 || a4.History[0].Ver != 3 {
+		t.Fatalf("delta history = %+v", a4.History)
+	}
+	// Fully caught up: empty delta.
+	a5 := h.assign(t, KindAppend, 0, 100, 4)
+	if len(a5.History) != 0 {
+		t.Fatalf("caught-up history = %+v", a5.History)
+	}
+}
+
+func TestPublicationStrictOrder(t *testing.T) {
+	h := newVMHarness(t, 100)
+	h.assign(t, KindAppend, 0, 100, 0)
+	h.assign(t, KindAppend, 0, 100, 0)
+	h.assign(t, KindAppend, 0, 100, 0)
+
+	// Completing v2 and v3 publishes nothing while v1 is pending.
+	if err := h.complete(t, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.complete(t, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.latest(t); got.Ver != 0 {
+		t.Fatalf("latest = %d before v1 completes", got.Ver)
+	}
+	// Completing v1 releases the whole chain at once.
+	if err := h.complete(t, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.latest(t); got.Ver != 3 || got.Size != 300 {
+		t.Fatalf("latest = %+v", got)
+	}
+}
+
+func TestWaitPublishedWakesInOrder(t *testing.T) {
+	h := newVMHarness(t, 100)
+	h.assign(t, KindAppend, 0, 100, 0)
+	h.assign(t, KindAppend, 0, 100, 0)
+
+	done := make(chan VersionInfo, 1)
+	go func() {
+		var info VersionInfo
+		err := h.pool.Call(ctx, h.vm.Addr(), VMWaitPublished,
+			&WaitPublishedReq{Blob: h.blob, Ver: 2, TimeoutMillis: 5000}, &info)
+		if err == nil {
+			done <- info
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("woke before publication")
+	default:
+	}
+	if err := h.complete(t, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.complete(t, 2); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case info := <-done:
+		if info.Ver != 2 || !info.Published {
+			t.Fatalf("info = %+v", info)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter never woke")
+	}
+}
+
+func TestWaitPublishedTimeout(t *testing.T) {
+	h := newVMHarness(t, 100)
+	h.assign(t, KindAppend, 0, 100, 0)
+	var info VersionInfo
+	err := h.pool.Call(ctx, h.vm.Addr(), VMWaitPublished,
+		&WaitPublishedReq{Blob: h.blob, Ver: 1, TimeoutMillis: 50}, &info)
+	if !errors.Is(err, ErrWaitTimeout) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWriteExtendsAndKeepsSizeMonotonic(t *testing.T) {
+	h := newVMHarness(t, 100)
+	h.assign(t, KindAppend, 0, 500, 0)
+	// An interior write must not shrink the size.
+	a2 := h.assign(t, KindWrite, 100, 50, 0)
+	if a2.SizeAfter != 500 {
+		t.Fatalf("interior write SizeAfter = %d", a2.SizeAfter)
+	}
+	// A write past the end extends it.
+	a3 := h.assign(t, KindWrite, 900, 100, 0)
+	if a3.SizeAfter != 1000 {
+		t.Fatalf("extending write SizeAfter = %d", a3.SizeAfter)
+	}
+	if a3.Record.PagesAfter != 10 {
+		t.Fatalf("PagesAfter = %d", a3.Record.PagesAfter)
+	}
+}
+
+func TestZeroLengthAssignRejected(t *testing.T) {
+	h := newVMHarness(t, 100)
+	var resp AssignResp
+	err := h.pool.Call(ctx, h.vm.Addr(), VMAssign,
+		&AssignReq{Blob: h.blob, Kind: KindAppend, Len: 0}, &resp)
+	if err == nil {
+		t.Fatal("zero-length assign accepted")
+	}
+}
+
+func TestAssignUnknownBlob(t *testing.T) {
+	h := newVMHarness(t, 100)
+	var resp AssignResp
+	err := h.pool.Call(ctx, h.vm.Addr(), VMAssign,
+		&AssignReq{Blob: 999, Kind: KindAppend, Len: 10}, &resp)
+	if !errors.Is(err, ErrBlobNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCompleteValidation(t *testing.T) {
+	h := newVMHarness(t, 100)
+	if err := h.complete(t, 1); !errors.Is(err, ErrNoSuchVersion) {
+		t.Errorf("complete unassigned: %v", err)
+	}
+	h.assign(t, KindAppend, 0, 100, 0)
+	if err := h.complete(t, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Double complete is rejected (already finished).
+	if err := h.complete(t, 1); !errors.Is(err, ErrVersionFinished) {
+		t.Errorf("double complete: %v", err)
+	}
+}
+
+func TestSealTimeoutAdvancesChain(t *testing.T) {
+	net := transport.NewMemNet()
+	nodes := segtree.NewMemStore()
+	vm, err := NewVersionManager(net, "vm-host/vmanager", VersionManagerConfig{
+		Nodes:       nodes,
+		SealTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vm.Close()
+	pool := rpc.NewPool(net, "cli/x")
+	defer pool.Close()
+
+	var created CreateBlobResp
+	if err := pool.Call(ctx, vm.Addr(), VMCreateBlob, &CreateBlobReq{PageSize: 100}, &created); err != nil {
+		t.Fatal(err)
+	}
+	// v1 is abandoned; v2 completes.
+	var a1, a2 AssignResp
+	if err := pool.Call(ctx, vm.Addr(), VMAssign, &AssignReq{Blob: created.Blob, Kind: KindAppend, Len: 100}, &a1); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Call(ctx, vm.Addr(), VMAssign, &AssignReq{Blob: created.Blob, Kind: KindAppend, Len: 100}, &a2); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Call(ctx, vm.Addr(), VMComplete, &VersionRef{Blob: created.Blob, Ver: a2.Ver}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The seal loop must eventually publish v2 over the dead v1.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var info VersionInfo
+		if err := pool.Call(ctx, vm.Addr(), VMLatest, &BlobRef{Blob: created.Blob}, &info); err != nil {
+			t.Fatal(err)
+		}
+		if info.Ver == a2.Ver {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("seal loop never advanced publication")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// The sealed version's metadata exists (hole tree committed).
+	if nodes.Len() == 0 {
+		t.Error("no hole metadata committed for the sealed version")
+	}
+}

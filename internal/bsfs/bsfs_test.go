@@ -1,0 +1,478 @@
+package bsfs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"blobseer/internal/blob"
+	"blobseer/internal/dfs"
+	"blobseer/internal/transport"
+)
+
+var ctx = context.Background()
+
+// newDeployment spins up BlobSeer + BSFS with small blocks for tests.
+func newDeployment(t *testing.T, blockSize uint64) *Deployment {
+	t.Helper()
+	cluster, err := blob.NewCluster(transport.NewMemNet(), blob.ClusterConfig{
+		Providers: 6, MetaProviders: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cluster.Close() })
+	d, err := Deploy(cluster, blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+func mount(t *testing.T, d *Deployment, host string) *FS {
+	t.Helper()
+	fs := d.Mount(host)
+	t.Cleanup(func() { fs.Close() })
+	return fs
+}
+
+func pattern(tag byte, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(int(tag)*37 + i*11)
+	}
+	return out
+}
+
+func TestCreateWriteRead(t *testing.T) {
+	d := newDeployment(t, 1024)
+	fs := mount(t, d, "cli")
+	data := pattern(1, 5000) // crosses block boundaries, partial tail
+	if err := dfs.WriteFile(ctx, fs, "/data/input.txt", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dfs.ReadAll(ctx, fs, "/data/input.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("content mismatch")
+	}
+	fi, err := fs.Stat(ctx, "/data/input.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size != 5000 || fi.IsDir {
+		t.Errorf("Stat = %+v", fi)
+	}
+}
+
+func TestCreateExclusive(t *testing.T) {
+	d := newDeployment(t, 512)
+	fs := mount(t, d, "cli")
+	if err := dfs.WriteFile(ctx, fs, "/f", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create(ctx, "/f"); !errors.Is(err, dfs.ErrExists) {
+		t.Errorf("second create: %v", err)
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	d := newDeployment(t, 512)
+	fs := mount(t, d, "cli")
+	if _, err := fs.Open(ctx, "/nope"); !errors.Is(err, dfs.ErrNotExist) {
+		t.Errorf("open missing: %v", err)
+	}
+	if _, err := fs.Stat(ctx, "/nope"); !errors.Is(err, dfs.ErrNotExist) {
+		t.Errorf("stat missing: %v", err)
+	}
+}
+
+func TestAppendGrowsFile(t *testing.T) {
+	d := newDeployment(t, 512)
+	fs := mount(t, d, "cli")
+	if err := dfs.WriteFile(ctx, fs, "/log", pattern(1, 700)); err != nil {
+		t.Fatal(err)
+	}
+	w, err := fs.Append(ctx, "/log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(pattern(2, 900)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dfs.ReadAll(ctx, fs, "/log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append(pattern(1, 700), pattern(2, 900)...)
+	if !bytes.Equal(got, want) {
+		t.Fatal("append content mismatch")
+	}
+}
+
+func TestAppendCreatesFile(t *testing.T) {
+	d := newDeployment(t, 512)
+	fs := mount(t, d, "cli")
+	w, err := fs.Append(ctx, "/fresh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dfs.ReadAll(ctx, fs, "/fresh")
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read = %q, %v", got, err)
+	}
+}
+
+func TestConcurrentAppendersSharedFile(t *testing.T) {
+	// The paper's modified-Hadoop pattern: many writers append blocks
+	// to one shared file; every block must appear exactly once.
+	d := newDeployment(t, 256)
+	const writers = 8
+	const blocksPerWriter = 4
+
+	// Create the shared file up front.
+	fs0 := mount(t, d, "host-0")
+	w0, err := fs0.Create(ctx, "/shared/out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w0.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fs := d.Mount(fmt.Sprintf("host-%d", i))
+			defer fs.Close()
+			w, err := fs.Append(ctx, "/shared/out")
+			if err != nil {
+				errs <- err
+				return
+			}
+			for blk := 0; blk < blocksPerWriter; blk++ {
+				if _, err := w.Write(pattern(byte(i*blocksPerWriter+blk+1), 256)); err != nil {
+					errs <- err
+					return
+				}
+			}
+			if err := w.Close(); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	got, err := dfs.ReadAll(ctx, fs0, "/shared/out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != writers*blocksPerWriter*256 {
+		t.Fatalf("size = %d", len(got))
+	}
+	seen := map[byte]bool{}
+	for off := 0; off < len(got); off += 256 {
+		blk := got[off : off+256]
+		var tag byte
+		found := false
+		for k := 1; k <= writers*blocksPerWriter; k++ {
+			if bytes.Equal(blk, pattern(byte(k), 256)) {
+				tag, found = byte(k), true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("block at %d matches no writer", off)
+		}
+		if seen[tag] {
+			t.Fatalf("block %d duplicated", tag)
+		}
+		seen[tag] = true
+	}
+}
+
+func TestReaderSnapshotAndRefresh(t *testing.T) {
+	d := newDeployment(t, 256)
+	fs := mount(t, d, "cli")
+	if err := dfs.WriteFile(ctx, fs, "/log", pattern(1, 512)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := fs.Open(ctx, "/log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Size() != 512 {
+		t.Fatalf("Size = %d", r.Size())
+	}
+
+	// Append while the reader holds its snapshot.
+	w, err := fs.Append(ctx, "/log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(pattern(2, 512)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Snapshot still sees the old size.
+	if r.Size() != 512 {
+		t.Errorf("snapshot size changed to %d", r.Size())
+	}
+	buf := make([]byte, 512)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, pattern(1, 512)) {
+		t.Error("snapshot content wrong")
+	}
+	if _, err := r.Read(buf); err != io.EOF {
+		t.Errorf("read past snapshot: %v", err)
+	}
+
+	// Refresh sees the appended data and can keep reading — the
+	// §5 pipeline scenario (readers follow appenders).
+	size, err := r.Refresh(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 1024 {
+		t.Fatalf("refreshed size = %d", size)
+	}
+	if _, err := io.ReadFull(r, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, pattern(2, 512)) {
+		t.Error("refreshed content wrong")
+	}
+}
+
+func TestReadAt(t *testing.T) {
+	d := newDeployment(t, 256)
+	fs := mount(t, d, "cli")
+	data := pattern(3, 1000)
+	if err := dfs.WriteFile(ctx, fs, "/f", data); err != nil {
+		t.Fatal(err)
+	}
+	r, err := fs.Open(ctx, "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	buf := make([]byte, 100)
+	if _, err := r.ReadAt(buf, 450); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data[450:550]) {
+		t.Error("ReadAt content mismatch")
+	}
+	// Tail read returns io.EOF with partial data.
+	n, err := r.ReadAt(buf, 950)
+	if n != 50 || err != io.EOF {
+		t.Errorf("tail ReadAt = %d, %v", n, err)
+	}
+}
+
+func TestListAndMkdir(t *testing.T) {
+	d := newDeployment(t, 256)
+	fs := mount(t, d, "cli")
+	if err := fs.Mkdir(ctx, "/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := dfs.WriteFile(ctx, fs, "/a/b/f1", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := dfs.WriteFile(ctx, fs, "/a/b/f2", []byte("yy")); err != nil {
+		t.Fatal(err)
+	}
+	infos, err := fs.List(ctx, "/a/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 {
+		t.Fatalf("List = %+v", infos)
+	}
+	if infos[0].Path != "/a/b/f1" || infos[1].Path != "/a/b/f2" {
+		t.Errorf("List order = %v, %v", infos[0].Path, infos[1].Path)
+	}
+	// Listing a file fails.
+	if _, err := fs.List(ctx, "/a/b/f1"); !errors.Is(err, dfs.ErrNotDir) {
+		t.Errorf("List(file) = %v", err)
+	}
+	// Root listing includes /a.
+	root, err := fs.List(ctx, "/")
+	if err != nil || len(root) != 1 || root[0].Path != "/a" {
+		t.Errorf("List(/) = %v, %v", root, err)
+	}
+}
+
+func TestRename(t *testing.T) {
+	d := newDeployment(t, 256)
+	fs := mount(t, d, "cli")
+	if err := dfs.WriteFile(ctx, fs, "/tmp/part-0", pattern(1, 300)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(ctx, "/tmp/part-0", "/out/part-0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat(ctx, "/tmp/part-0"); !errors.Is(err, dfs.ErrNotExist) {
+		t.Errorf("src after rename: %v", err)
+	}
+	got, err := dfs.ReadAll(ctx, fs, "/out/part-0")
+	if err != nil || !bytes.Equal(got, pattern(1, 300)) {
+		t.Fatalf("dst after rename: %v", err)
+	}
+	if err := fs.Rename(ctx, "/missing", "/x"); !errors.Is(err, dfs.ErrNotExist) {
+		t.Errorf("rename missing: %v", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	d := newDeployment(t, 256)
+	fs := mount(t, d, "cli")
+	if err := dfs.WriteFile(ctx, fs, "/dir/f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Delete(ctx, "/dir"); !errors.Is(err, dfs.ErrNotEmpty) {
+		t.Errorf("delete non-empty dir: %v", err)
+	}
+	if err := fs.Delete(ctx, "/dir/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Delete(ctx, "/dir"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Delete(ctx, "/dir"); !errors.Is(err, dfs.ErrNotExist) {
+		t.Errorf("delete missing: %v", err)
+	}
+}
+
+func TestBlockLocations(t *testing.T) {
+	d := newDeployment(t, 256)
+	fs := mount(t, d, "cli")
+	if err := dfs.WriteFile(ctx, fs, "/f", pattern(1, 256*4+100)); err != nil {
+		t.Fatal(err)
+	}
+	locs, err := fs.BlockLocations(ctx, "/f", 0, 256*5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(locs) != 5 {
+		t.Fatalf("got %d blocks", len(locs))
+	}
+	var total uint64
+	for i, l := range locs {
+		if len(l.Hosts) == 0 {
+			t.Errorf("block %d has no hosts", i)
+		}
+		if l.Offset != uint64(i)*256 {
+			t.Errorf("block %d offset = %d", i, l.Offset)
+		}
+		total += l.Length
+	}
+	if total != 256*4+100 {
+		t.Errorf("total length = %d", total)
+	}
+}
+
+func TestMetadataEntriesCountsNamespaceOnly(t *testing.T) {
+	d := newDeployment(t, 256)
+	fs := mount(t, d, "cli")
+	base, err := fs.MetadataEntries(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One file with many blocks adds exactly one namespace entry
+	// (plus its parent dir): block metadata lives in the DHT.
+	if err := dfs.WriteFile(ctx, fs, "/big/file", pattern(1, 256*40)); err != nil {
+		t.Fatal(err)
+	}
+	after, err := fs.MetadataEntries(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after-base != 2 {
+		t.Errorf("entries grew by %d, want 2 (dir + file)", after-base)
+	}
+}
+
+func TestWriterAfterClose(t *testing.T) {
+	d := newDeployment(t, 256)
+	fs := mount(t, d, "cli")
+	w, err := fs.Create(ctx, "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("late")); err == nil {
+		t.Error("write after close succeeded")
+	}
+	if err := w.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	d := newDeployment(t, 256)
+	fs := mount(t, d, "cli")
+	if err := dfs.WriteFile(ctx, fs, "/empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := fs.Stat(ctx, "/empty")
+	if err != nil || fi.Size != 0 {
+		t.Fatalf("Stat = %+v, %v", fi, err)
+	}
+	got, err := dfs.ReadAll(ctx, fs, "/empty")
+	if err != nil || len(got) != 0 {
+		t.Fatalf("ReadAll = %q, %v", got, err)
+	}
+}
+
+func TestLargeStreamingCopy(t *testing.T) {
+	d := newDeployment(t, 1024)
+	fs := mount(t, d, "cli")
+	data := pattern(5, 64<<10)
+	if err := dfs.WriteFile(ctx, fs, "/big", data); err != nil {
+		t.Fatal(err)
+	}
+	r, err := fs.Open(ctx, "/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var out bytes.Buffer
+	if _, err := io.Copy(&out, r); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), data) {
+		t.Fatal("streamed copy mismatch")
+	}
+}

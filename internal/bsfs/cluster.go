@@ -1,0 +1,52 @@
+package bsfs
+
+import (
+	"blobseer/internal/blob"
+	"blobseer/internal/transport"
+)
+
+// Deployment bundles a BlobSeer cluster with a BSFS namespace manager:
+// a complete BSFS installation.
+type Deployment struct {
+	Blob *blob.Cluster
+	NS   *NamespaceManager
+
+	nsClient  *blob.Client // owned by the namespace manager
+	blockSize uint64
+}
+
+// Deploy starts a namespace manager on host "bsfs-ns-host" attached to
+// an existing BlobSeer cluster. blockSize is the page size of newly
+// created files.
+func Deploy(c *blob.Cluster, blockSize uint64) (*Deployment, error) {
+	nsClient := c.Client("bsfs-ns-host")
+	ns, err := NewNamespaceManager(c.Net, transport.MakeAddr("bsfs-ns-host", SvcNamespace), nsClient)
+	if err != nil {
+		nsClient.Close()
+		return nil, err
+	}
+	return &Deployment{Blob: c, NS: ns, nsClient: nsClient, blockSize: blockSize}, nil
+}
+
+// Mount returns a BSFS client mount running on host.
+func (d *Deployment) Mount(host string) *FS {
+	return New(Config{
+		Net:             d.Blob.Net,
+		Host:            host,
+		Namespace:       d.NS.Addr(),
+		VersionManager:  d.Blob.VM.Addr(),
+		ProviderManager: d.Blob.PM.Addr(),
+		Metadata:        d.Blob.MetaAddrs(),
+		BlockSize:       d.blockSize,
+		MetaReplicas:    d.Blob.Cfg.MetaReplicas,
+		PageReplicas:    d.Blob.Cfg.PageReplicas,
+	})
+}
+
+// Close stops the namespace manager (the BlobSeer cluster is owned by
+// the caller).
+func (d *Deployment) Close() error {
+	err := d.NS.Close()
+	d.nsClient.Close()
+	return err
+}

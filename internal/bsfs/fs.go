@@ -1,0 +1,426 @@
+package bsfs
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"blobseer/internal/blob"
+	"blobseer/internal/dfs"
+	"blobseer/internal/rpc"
+	"blobseer/internal/transport"
+)
+
+// Config configures a BSFS client mount.
+type Config struct {
+	Net  transport.Network
+	Host string
+
+	Namespace       transport.Addr
+	VersionManager  transport.Addr
+	ProviderManager transport.Addr
+	Metadata        []transport.Addr
+
+	// BlockSize is the page size of newly created files and the unit
+	// of client-side buffering/prefetching (the paper uses 64 MB to
+	// match HDFS chunks; tests and experiments scale it down).
+	BlockSize uint64
+
+	MetaReplicas int
+	PageReplicas int
+}
+
+// FS is a BSFS mount implementing dfs.FileSystem.
+type FS struct {
+	cfg  Config
+	pool *rpc.Pool
+	bc   *blob.Client
+}
+
+var _ dfs.FileSystem = (*FS)(nil)
+
+// New returns a BSFS mount for the given deployment.
+func New(cfg Config) *FS {
+	if cfg.BlockSize == 0 {
+		cfg.BlockSize = 64 << 20
+	}
+	return &FS{
+		cfg:  cfg,
+		pool: rpc.NewPool(cfg.Net, transport.MakeAddr(cfg.Host, "bsfs-client")),
+		bc: blob.NewClient(blob.ClientConfig{
+			Net:             cfg.Net,
+			Host:            cfg.Host,
+			VersionManager:  cfg.VersionManager,
+			ProviderManager: cfg.ProviderManager,
+			Metadata:        cfg.Metadata,
+			MetaReplicas:    cfg.MetaReplicas,
+			PageReplicas:    cfg.PageReplicas,
+		}),
+	}
+}
+
+// Close releases the mount's connections.
+func (fs *FS) Close() error {
+	fs.pool.Close()
+	return fs.bc.Close()
+}
+
+// Name implements dfs.FileSystem.
+func (fs *FS) Name() string { return "bsfs" }
+
+// BlockSize implements dfs.FileSystem.
+func (fs *FS) BlockSize() uint64 { return fs.cfg.BlockSize }
+
+// BlobClient exposes the underlying BlobSeer client (tools, tests).
+func (fs *FS) BlobClient() *blob.Client { return fs.bc }
+
+// Create implements dfs.FileSystem.
+func (fs *FS) Create(ctx context.Context, path string) (dfs.FileWriter, error) {
+	return fs.openWriter(ctx, path, true)
+}
+
+// Append implements dfs.FileSystem. BSFS supports concurrent appends:
+// each buffered block is appended atomically via BlobSeer.
+func (fs *FS) Append(ctx context.Context, path string) (dfs.FileWriter, error) {
+	return fs.openWriter(ctx, path, false)
+}
+
+func (fs *FS) openWriter(ctx context.Context, path string, exclusive bool) (dfs.FileWriter, error) {
+	var ent EntryResp
+	err := fs.pool.Call(ctx, fs.cfg.Namespace, NSCreate,
+		&CreateReq{Path: path, PageSize: fs.cfg.BlockSize, Exclusive: exclusive}, &ent)
+	if err != nil {
+		return nil, err
+	}
+	return &fileWriter{
+		ctx:  ctx,
+		fs:   fs,
+		path: path,
+		b:    fs.bc.Handle(ent.Blob, ent.PageSize),
+		buf:  make([]byte, 0, ent.PageSize),
+	}, nil
+}
+
+// Open implements dfs.FileSystem. The reader pins the latest published
+// version at open time (a consistent snapshot); Refresh re-pins.
+func (fs *FS) Open(ctx context.Context, path string) (dfs.FileReader, error) {
+	ent, err := fs.lookup(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	if ent.IsDir {
+		return nil, dfs.ErrIsDir
+	}
+	b := fs.bc.Handle(ent.Blob, ent.PageSize)
+	info, err := b.Latest(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &fileReader{ctx: ctx, b: b, ver: info.Ver, size: info.Size, blockSize: ent.PageSize}, nil
+}
+
+func (fs *FS) lookup(ctx context.Context, path string) (EntryResp, error) {
+	var ent EntryResp
+	err := fs.pool.Call(ctx, fs.cfg.Namespace, NSLookup, &dfs.PathReq{Path: path}, &ent)
+	return ent, err
+}
+
+// Stat implements dfs.FileSystem. File sizes come from the BLOB's
+// latest published version (authoritative), not the namespace cache.
+func (fs *FS) Stat(ctx context.Context, path string) (dfs.FileInfo, error) {
+	ent, err := fs.lookup(ctx, path)
+	if err != nil {
+		return dfs.FileInfo{}, err
+	}
+	clean, err := dfs.CleanPath(path)
+	if err != nil {
+		return dfs.FileInfo{}, err
+	}
+	fi := dfs.FileInfo{Path: clean, IsDir: ent.IsDir}
+	if !ent.IsDir {
+		info, err := fs.bc.Handle(ent.Blob, ent.PageSize).Latest(ctx)
+		if err != nil {
+			return dfs.FileInfo{}, err
+		}
+		fi.Size = info.Size
+		fi.Blocks = info.Pages
+	}
+	return fi, nil
+}
+
+// List implements dfs.FileSystem. Sizes reflect the namespace's cached
+// values, which appenders update after each block.
+func (fs *FS) List(ctx context.Context, dir string) ([]dfs.FileInfo, error) {
+	var resp dfs.ListResp
+	if err := fs.pool.Call(ctx, fs.cfg.Namespace, NSList, &dfs.PathReq{Path: dir}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Infos, nil
+}
+
+// Rename implements dfs.FileSystem.
+func (fs *FS) Rename(ctx context.Context, src, dst string) error {
+	return fs.pool.Call(ctx, fs.cfg.Namespace, NSRename, &dfs.PathPairReq{Src: src, Dst: dst}, nil)
+}
+
+// Delete implements dfs.FileSystem.
+func (fs *FS) Delete(ctx context.Context, path string) error {
+	return fs.pool.Call(ctx, fs.cfg.Namespace, NSDelete, &dfs.PathReq{Path: path}, nil)
+}
+
+// Mkdir implements dfs.FileSystem.
+func (fs *FS) Mkdir(ctx context.Context, path string) error {
+	return fs.pool.Call(ctx, fs.cfg.Namespace, NSMkdir, &dfs.PathReq{Path: path}, nil)
+}
+
+// BlockLocations implements dfs.FileSystem via the primitive of §3.2
+// that "exposes the pages distribution to providers" for the scheduler.
+func (fs *FS) BlockLocations(ctx context.Context, path string, off, length uint64) ([]dfs.BlockLoc, error) {
+	ent, err := fs.lookup(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	if ent.IsDir {
+		return nil, dfs.ErrIsDir
+	}
+	b := fs.bc.Handle(ent.Blob, ent.PageSize)
+	info, err := b.Latest(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if off >= info.Size {
+		return nil, nil
+	}
+	locs, err := b.PageLocations(ctx, info.Ver, off, length)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]dfs.BlockLoc, 0, len(locs))
+	for _, l := range locs {
+		start := l.Index * ent.PageSize
+		end := start + ent.PageSize
+		if end > info.Size {
+			end = info.Size
+		}
+		out = append(out, dfs.BlockLoc{Offset: start, Length: end - start, Hosts: l.Hosts})
+	}
+	return out, nil
+}
+
+// MetadataEntries implements dfs.FileSystem: the number of records the
+// centralized namespace manager holds. Page locations live in the
+// scalable metadata DHT, so they do not count against the centralized
+// server — the heart of the paper's file-count argument.
+func (fs *FS) MetadataEntries(ctx context.Context) (uint64, error) {
+	var resp dfs.CountResp
+	if err := fs.pool.Call(ctx, fs.cfg.Namespace, NSEntries, nil, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Count, nil
+}
+
+//
+// Writer: client-side caching of §3.2 ("delays committing writes until
+// a whole block has been filled in the cache").
+//
+
+type fileWriter struct {
+	ctx  context.Context
+	fs   *FS
+	path string
+	b    *blob.Blob
+
+	buf     []byte
+	lastVer uint64
+	err     error
+	closed  bool
+}
+
+// Write implements io.Writer.
+func (w *fileWriter) Write(p []byte) (int, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
+	if w.closed {
+		return 0, fmt.Errorf("bsfs: write to closed file %s", w.path)
+	}
+	total := 0
+	bs := int(w.b.PageSize())
+	for len(p) > 0 {
+		space := bs - len(w.buf)
+		n := len(p)
+		if n > space {
+			n = space
+		}
+		w.buf = append(w.buf, p[:n]...)
+		p = p[n:]
+		total += n
+		if len(w.buf) == bs {
+			if err := w.flush(); err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, nil
+}
+
+// flush appends the buffered block to the BLOB and updates the
+// namespace's file size — the two-step append translation of §3.2.
+func (w *fileWriter) flush() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	res, err := w.b.Append(w.ctx, w.buf)
+	if err != nil {
+		w.err = err
+		return err
+	}
+	w.lastVer = res.Ver
+	w.buf = w.buf[:0]
+	if err := w.fs.pool.Call(w.ctx, w.fs.cfg.Namespace, NSUpdateSize,
+		&UpdateSizeReq{Path: w.path, Size: res.SizeAfter}, nil); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}
+
+// Flush appends the buffered bytes immediately (as one atomic BlobSeer
+// append) instead of waiting for a full block. Writers that need
+// record atomicity across concurrent appenders — the reducers of a
+// shared-append job — flush at record boundaries.
+func (w *fileWriter) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return fmt.Errorf("bsfs: flush of closed file %s", w.path)
+	}
+	return w.flush()
+}
+
+// Close flushes the tail block and waits until this writer's last
+// version is published, so data is readable when Close returns.
+func (w *fileWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.flush(); err != nil {
+		return err
+	}
+	if w.lastVer > 0 {
+		if _, err := w.b.WaitPublished(w.ctx, w.lastVer); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+//
+// Reader: whole-block prefetching (§3.2: "prefetches a whole block when
+// the requested data is not already cached").
+//
+
+type fileReader struct {
+	ctx       context.Context
+	b         *blob.Blob
+	ver       uint64
+	size      uint64
+	blockSize uint64
+
+	pos    uint64
+	bufOff uint64
+	buf    []byte
+}
+
+// fillBlock loads the whole block containing pos into the cache
+// (§3.2: the cache "prefetches a whole block when the requested data
+// is not already cached").
+func (r *fileReader) fillBlock(pos uint64) error {
+	lo := pos - pos%r.blockSize
+	hi := lo + r.blockSize
+	if hi > r.size {
+		hi = r.size
+	}
+	buf, err := r.b.ReadAt(r.ctx, r.ver, lo, hi-lo)
+	if err != nil {
+		return err
+	}
+	r.bufOff, r.buf = lo, buf
+	return nil
+}
+
+// cached reports whether pos is inside the cached block.
+func (r *fileReader) cached(pos uint64) bool {
+	return len(r.buf) > 0 && pos >= r.bufOff && pos < r.bufOff+uint64(len(r.buf))
+}
+
+// Read implements io.Reader with whole-block prefetch.
+func (r *fileReader) Read(p []byte) (int, error) {
+	if r.pos >= r.size {
+		return 0, io.EOF
+	}
+	if !r.cached(r.pos) {
+		if err := r.fillBlock(r.pos); err != nil {
+			return 0, err
+		}
+	}
+	n := copy(p, r.buf[r.pos-r.bufOff:])
+	r.pos += uint64(n)
+	return n, nil
+}
+
+// ReadAt implements io.ReaderAt through the same one-block cache, so
+// sequential sub-block ReadAt patterns (the Map/Reduce record readers)
+// fetch every block exactly once instead of re-transferring the whole
+// containing block per call.
+func (r *fileReader) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("bsfs: negative offset")
+	}
+	pos := uint64(off)
+	if pos >= r.size {
+		return 0, io.EOF
+	}
+	want := uint64(len(p))
+	var eof bool
+	if pos+want > r.size {
+		want = r.size - pos
+		eof = true
+	}
+	var done uint64
+	for done < want {
+		if !r.cached(pos + done) {
+			if err := r.fillBlock(pos + done); err != nil {
+				return int(done), err
+			}
+		}
+		done += uint64(copy(p[done:want], r.buf[pos+done-r.bufOff:]))
+	}
+	if eof {
+		return int(done), io.EOF
+	}
+	return int(done), nil
+}
+
+// Close implements io.Closer.
+func (r *fileReader) Close() error { return nil }
+
+// Size implements dfs.FileReader.
+func (r *fileReader) Size() uint64 { return r.size }
+
+// Refresh re-pins the latest published version so a reader can follow
+// a file that concurrent appenders are growing (the pipeline scenario
+// of §5).
+func (r *fileReader) Refresh(ctx context.Context) (uint64, error) {
+	info, err := r.b.Latest(ctx)
+	if err != nil {
+		return 0, err
+	}
+	r.ver, r.size = info.Ver, info.Size
+	return r.size, nil
+}

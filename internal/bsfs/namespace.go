@@ -1,0 +1,408 @@
+// Package bsfs implements the BlobSeer File System of the paper (§3.2):
+// "an additional layer on top of the BlobSeer service ... a centralized
+// namespace manager, which is responsible for maintaining a file system
+// namespace, and for mapping files to BLOBs", plus the client-side
+// caching mechanism that buffers whole blocks, and the primitive that
+// exposes page distribution to the Map/Reduce scheduler.
+//
+// Every file is backed by one BLOB; appends go to the BLOB (fully
+// concurrent thanks to versioning) and the file size is updated at the
+// namespace manager, exactly the two-step translation the paper
+// describes.
+package bsfs
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"sync"
+
+	"blobseer/internal/blob"
+	"blobseer/internal/dfs"
+	"blobseer/internal/rpc"
+	"blobseer/internal/transport"
+	"blobseer/internal/wire"
+)
+
+// SvcNamespace is the namespace manager's service name.
+const SvcNamespace = "bsfs-ns"
+
+// Namespace manager methods.
+const (
+	NSCreate uint32 = iota + 1
+	NSLookup
+	NSUpdateSize
+	NSList
+	NSRename
+	NSDelete
+	NSMkdir
+	NSEntries
+)
+
+//
+// Messages.
+//
+
+// CreateReq creates (or opens for append) the file at Path.
+type CreateReq struct {
+	Path      string
+	PageSize  uint64
+	Exclusive bool // fail with dfs.ErrExists when the file exists
+}
+
+// AppendTo implements wire.Marshaler.
+func (m *CreateReq) AppendTo(b []byte) []byte {
+	b = wire.AppendString(b, m.Path)
+	b = wire.AppendUvarint(b, m.PageSize)
+	return wire.AppendBool(b, m.Exclusive)
+}
+
+// DecodeFrom implements wire.Unmarshaler.
+func (m *CreateReq) DecodeFrom(r *wire.Reader) error {
+	m.Path = r.String()
+	m.PageSize = r.Uvarint()
+	m.Exclusive = r.Bool()
+	return r.Err()
+}
+
+// EntryResp describes a namespace entry.
+type EntryResp struct {
+	Blob     uint64
+	PageSize uint64
+	Size     uint64
+	IsDir    bool
+}
+
+// AppendTo implements wire.Marshaler.
+func (m *EntryResp) AppendTo(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.Blob)
+	b = wire.AppendUvarint(b, m.PageSize)
+	b = wire.AppendUvarint(b, m.Size)
+	return wire.AppendBool(b, m.IsDir)
+}
+
+// DecodeFrom implements wire.Unmarshaler.
+func (m *EntryResp) DecodeFrom(r *wire.Reader) error {
+	m.Blob = r.Uvarint()
+	m.PageSize = r.Uvarint()
+	m.Size = r.Uvarint()
+	m.IsDir = r.Bool()
+	return r.Err()
+}
+
+// UpdateSizeReq raises the namespace's cached size for a file.
+type UpdateSizeReq struct {
+	Path string
+	Size uint64
+}
+
+// AppendTo implements wire.Marshaler.
+func (m *UpdateSizeReq) AppendTo(b []byte) []byte {
+	b = wire.AppendString(b, m.Path)
+	return wire.AppendUvarint(b, m.Size)
+}
+
+// DecodeFrom implements wire.Unmarshaler.
+func (m *UpdateSizeReq) DecodeFrom(r *wire.Reader) error {
+	m.Path = r.String()
+	m.Size = r.Uvarint()
+	return r.Err()
+}
+
+//
+// Server.
+//
+
+// nsEntry is one namespace record. For files, Size is the monotonic
+// cached size reported by appenders; the BLOB's published size is
+// authoritative.
+type nsEntry struct {
+	isDir    bool
+	blob     uint64
+	pageSize uint64
+	size     uint64
+}
+
+// NamespaceManager is BSFS's centralized namespace manager. It owns the
+// file-system tree and the file→BLOB mapping; BLOBs are created through
+// the version manager on demand.
+type NamespaceManager struct {
+	srv *rpc.Server
+	bc  *blob.Client // for creating BLOBs
+
+	mu      sync.Mutex
+	entries map[string]*nsEntry
+}
+
+// NewNamespaceManager starts a namespace manager at addr; bc is used to
+// create one BLOB per new file.
+func NewNamespaceManager(net transport.Network, addr transport.Addr, bc *blob.Client) (*NamespaceManager, error) {
+	srv, err := rpc.NewServer(net, addr)
+	if err != nil {
+		return nil, err
+	}
+	ns := &NamespaceManager{
+		srv:     srv,
+		bc:      bc,
+		entries: map[string]*nsEntry{"/": {isDir: true}},
+	}
+	srv.Handle(NSCreate, ns.handleCreate)
+	srv.Handle(NSLookup, ns.handleLookup)
+	srv.Handle(NSUpdateSize, ns.handleUpdateSize)
+	srv.Handle(NSList, ns.handleList)
+	srv.Handle(NSRename, ns.handleRename)
+	srv.Handle(NSDelete, ns.handleDelete)
+	srv.Handle(NSMkdir, ns.handleMkdir)
+	srv.Handle(NSEntries, ns.handleEntries)
+	return ns, nil
+}
+
+// Addr returns the manager's endpoint.
+func (ns *NamespaceManager) Addr() transport.Addr { return ns.srv.Addr() }
+
+// Close stops the manager.
+func (ns *NamespaceManager) Close() error { return ns.srv.Close() }
+
+// mkdirAllLocked creates dir and its ancestors; fails if a path
+// component is a file.
+func (ns *NamespaceManager) mkdirAllLocked(dir string) error {
+	for _, p := range append(dfs.Ancestors(dir), dir) {
+		if p == "/" {
+			continue
+		}
+		e, ok := ns.entries[p]
+		if !ok {
+			ns.entries[p] = &nsEntry{isDir: true}
+			continue
+		}
+		if !e.isDir {
+			return dfs.ErrNotDir
+		}
+	}
+	return nil
+}
+
+func (ns *NamespaceManager) handleCreate(r *wire.Reader) (wire.Marshaler, error) {
+	var req CreateReq
+	if err := req.DecodeFrom(r); err != nil {
+		return nil, err
+	}
+	path, err := dfs.CleanPath(req.Path)
+	if err != nil {
+		return nil, err
+	}
+	if path == "/" {
+		return nil, dfs.ErrIsDir
+	}
+
+	ns.mu.Lock()
+	if e, ok := ns.entries[path]; ok {
+		defer ns.mu.Unlock()
+		if e.isDir {
+			return nil, dfs.ErrIsDir
+		}
+		if req.Exclusive {
+			return nil, dfs.ErrExists
+		}
+		return &EntryResp{Blob: e.blob, PageSize: e.pageSize, Size: e.size}, nil
+	}
+	if err := ns.mkdirAllLocked(dfs.Parent(path)); err != nil {
+		ns.mu.Unlock()
+		return nil, err
+	}
+	ns.mu.Unlock()
+
+	// Create the backing BLOB outside the lock (network I/O).
+	ctx, cancel := context.WithTimeout(context.Background(), 30e9)
+	bl, err := ns.bc.Create(ctx, req.PageSize)
+	cancel()
+	if err != nil {
+		return nil, err
+	}
+
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if e, ok := ns.entries[path]; ok {
+		// Lost a create race; the other BLOB wins, ours leaks (GC'd by
+		// the version manager in a real deployment).
+		if e.isDir {
+			return nil, dfs.ErrIsDir
+		}
+		if req.Exclusive {
+			return nil, dfs.ErrExists
+		}
+		return &EntryResp{Blob: e.blob, PageSize: e.pageSize, Size: e.size}, nil
+	}
+	ns.entries[path] = &nsEntry{blob: bl.ID(), pageSize: req.PageSize}
+	return &EntryResp{Blob: bl.ID(), PageSize: req.PageSize}, nil
+}
+
+func (ns *NamespaceManager) handleLookup(r *wire.Reader) (wire.Marshaler, error) {
+	var req dfs.PathReq
+	if err := req.DecodeFrom(r); err != nil {
+		return nil, err
+	}
+	path, err := dfs.CleanPath(req.Path)
+	if err != nil {
+		return nil, err
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	e, ok := ns.entries[path]
+	if !ok {
+		return nil, dfs.ErrNotExist
+	}
+	return &EntryResp{Blob: e.blob, PageSize: e.pageSize, Size: e.size, IsDir: e.isDir}, nil
+}
+
+func (ns *NamespaceManager) handleUpdateSize(r *wire.Reader) (wire.Marshaler, error) {
+	var req UpdateSizeReq
+	if err := req.DecodeFrom(r); err != nil {
+		return nil, err
+	}
+	path, err := dfs.CleanPath(req.Path)
+	if err != nil {
+		return nil, err
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	e, ok := ns.entries[path]
+	if !ok {
+		return nil, dfs.ErrNotExist
+	}
+	if e.isDir {
+		return nil, dfs.ErrIsDir
+	}
+	if req.Size > e.size {
+		e.size = req.Size
+	}
+	return nil, nil
+}
+
+func (ns *NamespaceManager) handleList(r *wire.Reader) (wire.Marshaler, error) {
+	var req dfs.PathReq
+	if err := req.DecodeFrom(r); err != nil {
+		return nil, err
+	}
+	dir, err := dfs.CleanPath(req.Path)
+	if err != nil {
+		return nil, err
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	e, ok := ns.entries[dir]
+	if !ok {
+		return nil, dfs.ErrNotExist
+	}
+	if !e.isDir {
+		return nil, dfs.ErrNotDir
+	}
+	prefix := dir
+	if prefix != "/" {
+		prefix += "/"
+	}
+	var resp dfs.ListResp
+	for p, ent := range ns.entries {
+		if p == "/" || !strings.HasPrefix(p, prefix) {
+			continue
+		}
+		if strings.ContainsRune(p[len(prefix):], '/') {
+			continue // not a direct child
+		}
+		blocks := uint64(0)
+		if ent.pageSize > 0 {
+			blocks = (ent.size + ent.pageSize - 1) / ent.pageSize
+		}
+		resp.Infos = append(resp.Infos, dfs.FileInfo{
+			Path: p, IsDir: ent.isDir, Size: ent.size, Blocks: blocks,
+		})
+	}
+	sort.Slice(resp.Infos, func(i, j int) bool { return resp.Infos[i].Path < resp.Infos[j].Path })
+	return &resp, nil
+}
+
+func (ns *NamespaceManager) handleRename(r *wire.Reader) (wire.Marshaler, error) {
+	var req dfs.PathPairReq
+	if err := req.DecodeFrom(r); err != nil {
+		return nil, err
+	}
+	src, err := dfs.CleanPath(req.Src)
+	if err != nil {
+		return nil, err
+	}
+	dst, err := dfs.CleanPath(req.Dst)
+	if err != nil {
+		return nil, err
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	e, ok := ns.entries[src]
+	if !ok {
+		return nil, dfs.ErrNotExist
+	}
+	if e.isDir {
+		return nil, dfs.ErrIsDir
+	}
+	if d, ok := ns.entries[dst]; ok && d.isDir {
+		return nil, dfs.ErrIsDir
+	}
+	if err := ns.mkdirAllLocked(dfs.Parent(dst)); err != nil {
+		return nil, err
+	}
+	delete(ns.entries, src)
+	ns.entries[dst] = e
+	return nil, nil
+}
+
+func (ns *NamespaceManager) handleDelete(r *wire.Reader) (wire.Marshaler, error) {
+	var req dfs.PathReq
+	if err := req.DecodeFrom(r); err != nil {
+		return nil, err
+	}
+	path, err := dfs.CleanPath(req.Path)
+	if err != nil {
+		return nil, err
+	}
+	if path == "/" {
+		return nil, dfs.ErrInvalidPath
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	e, ok := ns.entries[path]
+	if !ok {
+		return nil, dfs.ErrNotExist
+	}
+	if e.isDir {
+		prefix := path + "/"
+		for p := range ns.entries {
+			if strings.HasPrefix(p, prefix) {
+				return nil, dfs.ErrNotEmpty
+			}
+		}
+	}
+	delete(ns.entries, path)
+	return nil, nil
+}
+
+func (ns *NamespaceManager) handleMkdir(r *wire.Reader) (wire.Marshaler, error) {
+	var req dfs.PathReq
+	if err := req.DecodeFrom(r); err != nil {
+		return nil, err
+	}
+	path, err := dfs.CleanPath(req.Path)
+	if err != nil {
+		return nil, err
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if err := ns.mkdirAllLocked(path); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+func (ns *NamespaceManager) handleEntries(r *wire.Reader) (wire.Marshaler, error) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return &dfs.CountResp{Count: uint64(len(ns.entries))}, nil
+}

@@ -1,0 +1,336 @@
+package dfs_test
+
+// Conformance battery: the same behavioural tests run against every
+// dfs.FileSystem backend (BSFS and HDFS), pinning down the semantics
+// the Map/Reduce framework relies on — and the one deliberate
+// divergence, append support.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+
+	"blobseer/internal/blob"
+	"blobseer/internal/bsfs"
+	"blobseer/internal/dfs"
+	"blobseer/internal/hdfs"
+	"blobseer/internal/transport"
+)
+
+var ctx = context.Background()
+
+const confBlock = 1 << 10
+
+// backend describes one FS under test.
+type backend struct {
+	name          string
+	appendSupport bool
+	mk            func(t *testing.T) dfs.FileSystem
+}
+
+func backends() []backend {
+	return []backend{
+		{
+			name:          "bsfs",
+			appendSupport: true,
+			mk: func(t *testing.T) dfs.FileSystem {
+				cluster, err := blob.NewCluster(transport.NewMemNet(), blob.ClusterConfig{
+					Providers: 4, MetaProviders: 2,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { cluster.Close() })
+				d, err := bsfs.Deploy(cluster, confBlock)
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { d.Close() })
+				fs := d.Mount("conf-cli")
+				t.Cleanup(func() { fs.Close() })
+				return fs
+			},
+		},
+		{
+			name:          "hdfs",
+			appendSupport: false,
+			mk: func(t *testing.T) dfs.FileSystem {
+				cluster, err := hdfs.NewCluster(transport.NewMemNet(), hdfs.ClusterConfig{Datanodes: 4})
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { cluster.Close() })
+				fs := cluster.Mount("conf-cli", confBlock)
+				t.Cleanup(func() { fs.Close() })
+				return fs
+			},
+		},
+	}
+}
+
+// forEachBackend runs fn once per backend.
+func forEachBackend(t *testing.T, fn func(t *testing.T, b backend, fs dfs.FileSystem)) {
+	for _, b := range backends() {
+		b := b
+		t.Run(b.name, func(t *testing.T) {
+			fn(t, b, b.mk(t))
+		})
+	}
+}
+
+func confPattern(tag byte, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(int(tag)*53 + i*17)
+	}
+	return out
+}
+
+func TestConformanceRoundTrip(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, b backend, fs dfs.FileSystem) {
+		for _, size := range []int{0, 1, confBlock - 1, confBlock, confBlock + 1, 5 * confBlock, 5*confBlock + 100} {
+			path := fmt.Sprintf("/rt/size-%d", size)
+			data := confPattern(byte(size%250), size)
+			if err := dfs.WriteFile(ctx, fs, path, data); err != nil {
+				t.Fatalf("write %d: %v", size, err)
+			}
+			got, err := dfs.ReadAll(ctx, fs, path)
+			if err != nil {
+				t.Fatalf("read %d: %v", size, err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("round trip %d bytes: mismatch", size)
+			}
+			fi, err := fs.Stat(ctx, path)
+			if err != nil || fi.Size != uint64(size) {
+				t.Fatalf("stat %d: %+v, %v", size, fi, err)
+			}
+		}
+	})
+}
+
+func TestConformanceNamespace(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, b backend, fs dfs.FileSystem) {
+		// Implicit parents.
+		if err := dfs.WriteFile(ctx, fs, "/a/b/c/file", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		fi, err := fs.Stat(ctx, "/a/b")
+		if err != nil || !fi.IsDir {
+			t.Fatalf("implicit parent: %+v, %v", fi, err)
+		}
+		// Create over a directory fails.
+		if _, err := fs.Create(ctx, "/a/b"); err == nil {
+			t.Error("create over directory succeeded")
+		}
+		// File as path component fails.
+		if err := dfs.WriteFile(ctx, fs, "/a/b/c/file/sub", []byte("y")); err == nil {
+			t.Error("file used as directory")
+		}
+		// Duplicate create fails.
+		if _, err := fs.Create(ctx, "/a/b/c/file"); !errors.Is(err, dfs.ErrExists) {
+			t.Errorf("duplicate create: %v", err)
+		}
+		// List ordering is lexicographic.
+		for _, n := range []string{"/a/z", "/a/m", "/a/k"} {
+			if err := dfs.WriteFile(ctx, fs, n, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		infos, err := fs.List(ctx, "/a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var names []string
+		for _, fi := range infos {
+			names = append(names, fi.Path)
+		}
+		want := []string{"/a/b", "/a/k", "/a/m", "/a/z"}
+		if len(names) != len(want) {
+			t.Fatalf("list = %v", names)
+		}
+		for i := range want {
+			if names[i] != want[i] {
+				t.Fatalf("list order = %v", names)
+			}
+		}
+	})
+}
+
+func TestConformanceRenameSemantics(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, b backend, fs dfs.FileSystem) {
+		if err := dfs.WriteFile(ctx, fs, "/src", confPattern(1, 100)); err != nil {
+			t.Fatal(err)
+		}
+		// Rename into a new implicit directory.
+		if err := fs.Rename(ctx, "/src", "/deep/dst"); err != nil {
+			t.Fatal(err)
+		}
+		got, err := dfs.ReadAll(ctx, fs, "/deep/dst")
+		if err != nil || !bytes.Equal(got, confPattern(1, 100)) {
+			t.Fatalf("after rename: %v", err)
+		}
+		// Rename replaces an existing destination (committer semantics).
+		if err := dfs.WriteFile(ctx, fs, "/v2", confPattern(2, 50)); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Rename(ctx, "/v2", "/deep/dst"); err != nil {
+			t.Fatal(err)
+		}
+		got, err = dfs.ReadAll(ctx, fs, "/deep/dst")
+		if err != nil || !bytes.Equal(got, confPattern(2, 50)) {
+			t.Fatalf("replace rename: %v", err)
+		}
+		// Renaming a directory is rejected.
+		if err := fs.Mkdir(ctx, "/dir"); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Rename(ctx, "/dir", "/dir2"); !errors.Is(err, dfs.ErrIsDir) {
+			t.Errorf("dir rename: %v", err)
+		}
+	})
+}
+
+func TestConformanceAppendDivergence(t *testing.T) {
+	// The paper's point, as a conformance case: the interface exposes
+	// Append everywhere, but only BSFS implements it.
+	forEachBackend(t, func(t *testing.T, b backend, fs dfs.FileSystem) {
+		if err := dfs.WriteFile(ctx, fs, "/log", []byte("one\n")); err != nil {
+			t.Fatal(err)
+		}
+		w, err := fs.Append(ctx, "/log")
+		if !b.appendSupport {
+			if !errors.Is(err, dfs.ErrAppendNotSupported) {
+				t.Fatalf("append on %s: %v", b.name, err)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Write([]byte("two\n")); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := dfs.ReadAll(ctx, fs, "/log")
+		if err != nil || string(got) != "one\ntwo\n" {
+			t.Fatalf("appended file = %q, %v", got, err)
+		}
+	})
+}
+
+func TestConformanceReaderAt(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, b backend, fs dfs.FileSystem) {
+		data := confPattern(5, 4*confBlock+77)
+		if err := dfs.WriteFile(ctx, fs, "/f", data); err != nil {
+			t.Fatal(err)
+		}
+		f, err := fs.Open(ctx, "/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		// Random-access patterns, including block-straddling reads.
+		for _, c := range []struct{ off, n int }{
+			{0, 10}, {confBlock - 5, 10}, {2*confBlock + 1, 2 * confBlock},
+			{len(data) - 3, 3}, {0, len(data)},
+		} {
+			buf := make([]byte, c.n)
+			n, err := f.ReadAt(buf, int64(c.off))
+			if err != nil && err != io.EOF {
+				t.Fatalf("ReadAt(%d,%d): %v", c.off, c.n, err)
+			}
+			if !bytes.Equal(buf[:n], data[c.off:c.off+n]) {
+				t.Fatalf("ReadAt(%d,%d): mismatch", c.off, c.n)
+			}
+		}
+		// Past-EOF read.
+		if _, err := f.ReadAt(make([]byte, 1), int64(len(data))); err != io.EOF {
+			t.Errorf("past-EOF ReadAt: %v", err)
+		}
+	})
+}
+
+func TestConformanceBlockLocations(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, b backend, fs dfs.FileSystem) {
+		data := confPattern(6, 4*confBlock)
+		if err := dfs.WriteFile(ctx, fs, "/f", data); err != nil {
+			t.Fatal(err)
+		}
+		locs, err := fs.BlockLocations(ctx, "/f", 0, uint64(len(data)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(locs) != 4 {
+			t.Fatalf("%d blocks", len(locs))
+		}
+		var total uint64
+		for _, l := range locs {
+			if len(l.Hosts) == 0 {
+				t.Error("block without hosts")
+			}
+			total += l.Length
+		}
+		if total != uint64(len(data)) {
+			t.Errorf("coverage = %d", total)
+		}
+		// Sub-range query returns only overlapping blocks.
+		locs, err = fs.BlockLocations(ctx, "/f", confBlock, confBlock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(locs) != 1 || locs[0].Offset != confBlock {
+			t.Errorf("sub-range locations = %+v", locs)
+		}
+	})
+}
+
+func TestConformanceErrors(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, b backend, fs dfs.FileSystem) {
+		if _, err := fs.Open(ctx, "/missing"); !errors.Is(err, dfs.ErrNotExist) {
+			t.Errorf("open missing: %v", err)
+		}
+		if _, err := fs.Stat(ctx, "/missing"); !errors.Is(err, dfs.ErrNotExist) {
+			t.Errorf("stat missing: %v", err)
+		}
+		if err := fs.Delete(ctx, "/missing"); !errors.Is(err, dfs.ErrNotExist) {
+			t.Errorf("delete missing: %v", err)
+		}
+		if _, err := fs.List(ctx, "/missing"); !errors.Is(err, dfs.ErrNotExist) {
+			t.Errorf("list missing: %v", err)
+		}
+		if _, err := fs.Open(ctx, "relative/path"); !errors.Is(err, dfs.ErrInvalidPath) {
+			t.Errorf("invalid path: %v", err)
+		}
+	})
+}
+
+func TestConformanceSequentialStreaming(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, b backend, fs dfs.FileSystem) {
+		data := confPattern(7, 10*confBlock+123)
+		if err := dfs.WriteFile(ctx, fs, "/big", data); err != nil {
+			t.Fatal(err)
+		}
+		f, err := fs.Open(ctx, "/big")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if f.Size() != uint64(len(data)) {
+			t.Fatalf("Size = %d", f.Size())
+		}
+		var out bytes.Buffer
+		n, err := io.CopyBuffer(&out, f, make([]byte, 333)) // odd buffer size
+		if err != nil || n != int64(len(data)) {
+			t.Fatalf("copy = %d, %v", n, err)
+		}
+		if !bytes.Equal(out.Bytes(), data) {
+			t.Fatal("stream mismatch")
+		}
+	})
+}

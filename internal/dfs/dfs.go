@@ -1,0 +1,192 @@
+// Package dfs defines the file-system interface shared by the two
+// storage backends of the reproduction:
+//
+//   - bsfs: the paper's BlobSeer File System, which supports concurrent
+//     appends to a shared file (§3.2);
+//   - hdfs: the write-once-read-many HDFS-like baseline, which rejects
+//     appends (§2.2).
+//
+// The Map/Reduce framework is written against this interface, exactly
+// like Hadoop's framework accesses storage "through an interface that
+// exposes the basic functions of a file system" — and, as in the paper,
+// "the append operation is available in the interface" even though one
+// backend refuses it.
+package dfs
+
+import (
+	"context"
+	"errors"
+	"io"
+	"strings"
+)
+
+// Errors shared by all backends. They cross RPC boundaries as message
+// text; keep them stable.
+var (
+	ErrNotExist           = errors.New("dfs: no such file or directory")
+	ErrExists             = errors.New("dfs: file exists")
+	ErrIsDir              = errors.New("dfs: is a directory")
+	ErrNotDir             = errors.New("dfs: not a directory")
+	ErrNotEmpty           = errors.New("dfs: directory not empty")
+	ErrUnderConstruction  = errors.New("dfs: file is under construction")
+	ErrAppendNotSupported = errors.New("dfs: append is not supported by this file system")
+	ErrInvalidPath        = errors.New("dfs: invalid path")
+)
+
+// FileInfo describes a namespace entry.
+type FileInfo struct {
+	Path  string
+	IsDir bool
+	Size  uint64
+	// Blocks is the number of storage blocks/pages backing the file.
+	Blocks uint64
+}
+
+// BlockLoc locates one block of a file for locality-aware scheduling.
+type BlockLoc struct {
+	// Offset and Length delimit the block within the file.
+	Offset uint64
+	Length uint64
+	// Hosts are the machines holding a replica.
+	Hosts []string
+}
+
+// FileWriter is a streaming writer. Data becomes durable (and, for
+// appends, visible) in backend-sized blocks; Close flushes the tail.
+type FileWriter interface {
+	io.Writer
+	io.Closer
+}
+
+// Flusher is implemented by writers that can push their buffered bytes
+// immediately as one atomic unit. Append-capable backends expose it so
+// applications can keep records whole across concurrent appenders
+// (GFS-style record append).
+type Flusher interface {
+	Flush() error
+}
+
+// FileReader is a streaming reader with random access.
+type FileReader interface {
+	io.Reader
+	io.ReaderAt
+	io.Closer
+	// Size returns the file size observed when the reader was opened.
+	Size() uint64
+	// Refresh re-reads the file size (a file being appended to may
+	// have grown) and returns the new size.
+	Refresh(ctx context.Context) (uint64, error)
+}
+
+// FileSystem is the storage interface the Map/Reduce framework uses.
+// Implementations must be safe for concurrent use.
+type FileSystem interface {
+	// Create creates a new file for writing. Parent directories are
+	// created implicitly. Fails with ErrExists if the path exists.
+	Create(ctx context.Context, path string) (FileWriter, error)
+	// Open opens a file for reading.
+	Open(ctx context.Context, path string) (FileReader, error)
+	// Append opens an existing file (creating it if absent) for
+	// appending. Multiple writers may hold append streams to the same
+	// file concurrently on backends that support it; each buffered
+	// block is appended atomically. Backends without append support
+	// return ErrAppendNotSupported.
+	Append(ctx context.Context, path string) (FileWriter, error)
+	// Stat describes a path.
+	Stat(ctx context.Context, path string) (FileInfo, error)
+	// List returns the entries of a directory.
+	List(ctx context.Context, dir string) ([]FileInfo, error)
+	// Rename moves a file (not a directory). Destination parents are
+	// created implicitly; an existing destination is replaced, like
+	// Hadoop's output-commit rename.
+	Rename(ctx context.Context, src, dst string) error
+	// Delete removes a file or empty directory.
+	Delete(ctx context.Context, path string) error
+	// Mkdir creates a directory (and parents).
+	Mkdir(ctx context.Context, path string) error
+	// BlockLocations reports which hosts store each block overlapping
+	// [off, off+length) of the file, for data-local scheduling.
+	BlockLocations(ctx context.Context, path string, off, length uint64) ([]BlockLoc, error)
+	// MetadataEntries counts namespace metadata records (files,
+	// directories and block records): the "file-count problem" metric.
+	MetadataEntries(ctx context.Context) (uint64, error)
+	// BlockSize returns the backend's block/page size in bytes.
+	BlockSize() uint64
+	// Name identifies the backend ("bsfs", "hdfs") in experiment output.
+	Name() string
+}
+
+// CleanPath canonicalizes a path: it must be absolute, and redundant
+// slashes are removed. Returns ErrInvalidPath for malformed input.
+func CleanPath(p string) (string, error) {
+	if p == "" || p[0] != '/' {
+		return "", ErrInvalidPath
+	}
+	parts := strings.Split(p, "/")
+	out := make([]string, 0, len(parts))
+	for _, part := range parts {
+		switch part {
+		case "", ".":
+			continue
+		case "..":
+			return "", ErrInvalidPath
+		default:
+			out = append(out, part)
+		}
+	}
+	return "/" + strings.Join(out, "/"), nil
+}
+
+// Parent returns the parent directory of a cleaned path ("/" for "/a").
+func Parent(p string) string {
+	i := strings.LastIndexByte(p, '/')
+	if i <= 0 {
+		return "/"
+	}
+	return p[:i]
+}
+
+// Base returns the final element of a cleaned path.
+func Base(p string) string {
+	i := strings.LastIndexByte(p, '/')
+	return p[i+1:]
+}
+
+// Ancestors lists every ancestor directory of a cleaned path, outermost
+// first, excluding "/" and the path itself.
+func Ancestors(p string) []string {
+	var out []string
+	for i := 1; i < len(p); i++ {
+		if p[i] == '/' {
+			out = append(out, p[:i])
+		}
+	}
+	return out
+}
+
+// ReadAll reads a whole file through fs.
+func ReadAll(ctx context.Context, fs FileSystem, path string) ([]byte, error) {
+	f, err := fs.Open(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, f.Size())
+	if _, err := io.ReadFull(f, buf); err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// WriteFile creates path and writes data through fs.
+func WriteFile(ctx context.Context, fs FileSystem, path string, data []byte) error {
+	w, err := fs.Create(ctx, path)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}

@@ -1,0 +1,75 @@
+package dfs
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestCleanPath(t *testing.T) {
+	cases := map[string]string{
+		"/":          "/",
+		"/a":         "/a",
+		"/a/b/c":     "/a/b/c",
+		"//a///b/":   "/a/b",
+		"/a/./b":     "/a/b",
+		"/out/part0": "/out/part0",
+	}
+	for in, want := range cases {
+		got, err := CleanPath(in)
+		if err != nil {
+			t.Errorf("CleanPath(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("CleanPath(%q) = %q, want %q", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "relative", "a/b", "/a/../b", ".."} {
+		if _, err := CleanPath(bad); !errors.Is(err, ErrInvalidPath) {
+			t.Errorf("CleanPath(%q) err = %v, want ErrInvalidPath", bad, err)
+		}
+	}
+}
+
+func TestParentBase(t *testing.T) {
+	cases := []struct{ p, parent, base string }{
+		{"/a/b/c", "/a/b", "c"},
+		{"/a", "/", "a"},
+		{"/", "/", ""},
+	}
+	for _, c := range cases {
+		if got := Parent(c.p); got != c.parent {
+			t.Errorf("Parent(%q) = %q, want %q", c.p, got, c.parent)
+		}
+		if got := Base(c.p); got != c.base {
+			t.Errorf("Base(%q) = %q, want %q", c.p, got, c.base)
+		}
+	}
+}
+
+func TestAncestors(t *testing.T) {
+	got := Ancestors("/a/b/c")
+	want := []string{"/a", "/a/b"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Ancestors = %v, want %v", got, want)
+	}
+	if got := Ancestors("/a"); len(got) != 0 {
+		t.Errorf("Ancestors(/a) = %v", got)
+	}
+}
+
+func TestCleanPathIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		p, err := CleanPath("/" + s)
+		if err != nil {
+			return true // invalid inputs are fine, just must not panic
+		}
+		p2, err := CleanPath(p)
+		return err == nil && p2 == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

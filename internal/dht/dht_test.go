@@ -1,0 +1,279 @@
+package dht
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"blobseer/internal/rpc"
+	"blobseer/internal/transport"
+)
+
+// testCluster spins up n metadata providers on a MemNet.
+func testCluster(t *testing.T, n, replicas int) (*Client, []*Server) {
+	t.Helper()
+	net := transport.NewMemNet()
+	servers := make([]*Server, n)
+	members := make([]transport.Addr, n)
+	for i := range servers {
+		addr := transport.MakeAddr(fmt.Sprintf("meta-%d", i), "dht")
+		s, err := NewServer(net, addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		servers[i] = s
+		members[i] = addr
+	}
+	pool := rpc.NewPool(net, "client/dht")
+	t.Cleanup(func() { pool.Close() })
+	return NewClient(NewRing(members, 64), pool, replicas), servers
+}
+
+func TestPutGet(t *testing.T) {
+	c, _ := testCluster(t, 5, 2)
+	ctx := context.Background()
+	if err := c.Put(ctx, "node/1/0/8", []byte("tree node")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Get(ctx, "node/1/0/8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "tree node" {
+		t.Fatalf("Get = %q", v)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	c, _ := testCluster(t, 3, 2)
+	if _, err := c.Get(context.Background(), "nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	c, _ := testCluster(t, 3, 3)
+	ctx := context.Background()
+	if err := c.Put(ctx, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete(ctx, "k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(ctx, "k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("after delete: %v", err)
+	}
+}
+
+func TestReplication(t *testing.T) {
+	c, servers := testCluster(t, 5, 3)
+	ctx := context.Background()
+	const keys = 100
+	for i := 0; i < keys; i++ {
+		if err := c.Put(ctx, fmt.Sprintf("key-%d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := 0
+	for _, s := range servers {
+		total += s.Len()
+	}
+	if total != keys*3 {
+		t.Errorf("total stored entries = %d, want %d (3 replicas each)", total, keys*3)
+	}
+}
+
+func TestSurvivesReplicaFailure(t *testing.T) {
+	c, servers := testCluster(t, 5, 3)
+	ctx := context.Background()
+	const keys = 50
+	for i := 0; i < keys; i++ {
+		if err := c.Put(ctx, fmt.Sprintf("key-%d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Kill two of five providers; with 3 replicas every key survives.
+	servers[1].Close()
+	servers[3].Close()
+	for i := 0; i < keys; i++ {
+		v, err := c.Get(ctx, fmt.Sprintf("key-%d", i))
+		if err != nil {
+			t.Fatalf("Get key-%d after failures: %v", i, err)
+		}
+		if len(v) != 1 || v[0] != byte(i) {
+			t.Fatalf("key-%d = %v", i, v)
+		}
+	}
+	// Writes also continue.
+	if err := c.Put(ctx, "post-failure", []byte("ok")); err != nil {
+		t.Fatalf("Put after failures: %v", err)
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	c, _ := testCluster(t, 5, 2)
+	ctx := context.Background()
+	kvs := make([]KV, 200)
+	keys := make([]string, 200)
+	for i := range kvs {
+		keys[i] = fmt.Sprintf("batch-%d", i)
+		kvs[i] = KV{Key: keys[i], Value: []byte(fmt.Sprintf("val-%d", i))}
+	}
+	if err := c.PutBatch(ctx, kvs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.GetBatch(ctx, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range keys {
+		if string(got[i]) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("batch get %d = %q", i, got[i])
+		}
+	}
+}
+
+func TestGetBatchMissingEntries(t *testing.T) {
+	c, _ := testCluster(t, 3, 2)
+	ctx := context.Background()
+	if err := c.Put(ctx, "present", []byte("yes")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.GetBatch(ctx, []string{"present", "absent"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[0]) != "yes" {
+		t.Errorf("got[0] = %q", got[0])
+	}
+	if got[1] != nil {
+		t.Errorf("got[1] = %q, want nil", got[1])
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	c, _ := testCluster(t, 3, 2)
+	if err := c.PutBatch(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.GetBatch(context.Background(), nil)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("GetBatch(nil) = %v, %v", out, err)
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	members := make([]transport.Addr, 20)
+	for i := range members {
+		members[i] = transport.MakeAddr(fmt.Sprintf("meta-%d", i), "dht")
+	}
+	ring := NewRing(members, 64)
+	counts := make(map[transport.Addr]int)
+	const keys = 20000
+	for i := 0; i < keys; i++ {
+		prim := ring.Lookup(fmt.Sprintf("key-%d", i), 1)
+		counts[prim[0]]++
+	}
+	mean := float64(keys) / float64(len(members))
+	for m, c := range counts {
+		if math.Abs(float64(c)-mean)/mean > 0.5 {
+			t.Errorf("member %s holds %d keys, mean %.0f (>50%% imbalance)", m, c, mean)
+		}
+	}
+	if len(counts) != len(members) {
+		t.Errorf("only %d of %d members received keys", len(counts), len(members))
+	}
+}
+
+func TestRingLookupDistinct(t *testing.T) {
+	members := []transport.Addr{"a/dht", "b/dht", "c/dht", "d/dht"}
+	ring := NewRing(members, 32)
+	for i := 0; i < 100; i++ {
+		got := ring.Lookup(fmt.Sprintf("k%d", i), 3)
+		if len(got) != 3 {
+			t.Fatalf("Lookup returned %d members", len(got))
+		}
+		seen := map[transport.Addr]bool{}
+		for _, m := range got {
+			if seen[m] {
+				t.Fatalf("duplicate member %s in replica set", m)
+			}
+			seen[m] = true
+		}
+	}
+	// n larger than membership is capped.
+	if got := ring.Lookup("k", 10); len(got) != 4 {
+		t.Errorf("Lookup(10) = %d members, want 4", len(got))
+	}
+}
+
+func TestRingDeterministic(t *testing.T) {
+	members := []transport.Addr{"a/dht", "b/dht", "c/dht"}
+	r1 := NewRing(members, 64)
+	r2 := NewRing(members, 64)
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		a := r1.Lookup(k, 2)
+		b := r2.Lookup(k, 2)
+		if len(a) != len(b) || a[0] != b[0] || a[1] != b[1] {
+			t.Fatalf("ring not deterministic for %q: %v vs %v", k, a, b)
+		}
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	c, _ := testCluster(t, 5, 2)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := fmt.Sprintf("g%d-%d", g, i)
+				if err := c.Put(ctx, k, []byte(k)); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+				v, err := c.Get(ctx, k)
+				if err != nil || string(v) != k {
+					t.Errorf("get %q = %q, %v", k, v, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestServerStats(t *testing.T) {
+	net := transport.NewMemNet()
+	s, err := NewServer(net, "meta-0/dht")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	pool := rpc.NewPool(net, "cli/x")
+	defer pool.Close()
+
+	ring := NewRing([]transport.Addr{"meta-0/dht"}, 8)
+	c := NewClient(ring, pool, 1)
+	ctx := context.Background()
+	if err := c.Put(ctx, "a", make([]byte, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(ctx, "b", make([]byte, 20)); err != nil {
+		t.Fatal(err)
+	}
+	var stats StatsResp
+	if err := pool.Call(ctx, "meta-0/dht", MethodStats, nil, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Entries != 2 || stats.Bytes != 30 {
+		t.Errorf("stats = %+v", stats)
+	}
+}

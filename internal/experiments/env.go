@@ -1,0 +1,240 @@
+// Package experiments regenerates every figure of the paper's
+// evaluation (§4) plus the derived file-count table, the §5 pipeline
+// extension, and ablations of the design choices called out in
+// DESIGN.md.
+//
+// The environment reproduces §4.1 at laptop scale: one simulated
+// cluster of cfg.Nodes machines on a bandwidth/latency-shaped
+// transport; one version manager, one provider manager, one namespace
+// manager and cfg.MetaProviders metadata providers on dedicated
+// machines; every remaining machine is a data provider, and clients
+// are "launched simultaneously on the same machines as the datanodes
+// (data providers, respectively)". Pages/chunks are scaled from the
+// paper's 64 MB to cfg.PageSize (default 256 KiB) so a full sweep
+// takes seconds, not hours; shapes, not absolute MB/s, are the
+// reproduction target (see EXPERIMENTS.md).
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"blobseer/internal/blob"
+	"blobseer/internal/bsfs"
+	"blobseer/internal/hdfs"
+	"blobseer/internal/simnet"
+	"blobseer/internal/transport"
+)
+
+// Config scales an experiment environment.
+type Config struct {
+	// Nodes is the total machine count (paper: 270).
+	Nodes int
+	// MetaProviders is the metadata provider count (paper: 20).
+	MetaProviders int
+	// PageSize is the BlobSeer page = HDFS chunk = append unit
+	// ("As HDFS handles data in 64 MB chunks, we also set the page
+	// size at the level of BlobSeer to 64 MB", §4.1). Scaled down.
+	PageSize uint64
+	// Bandwidth models each machine's NIC in bytes/second.
+	Bandwidth float64
+	// Latency is the one-way per-frame delay.
+	Latency time.Duration
+	// Reps repeats each measurement ("Each test is executed 5 times").
+	Reps int
+	// Placement selects the provider-allocation strategy (default
+	// random, which models balls-into-bins hotspots; see Abl 2).
+	Placement blob.Strategy
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// withDefaults fills unset fields with the scaled §4.1 topology.
+func (c Config) withDefaults() Config {
+	if c.Nodes <= 0 {
+		c.Nodes = 270
+	}
+	if c.MetaProviders <= 0 {
+		c.MetaProviders = 20
+	}
+	if c.PageSize == 0 {
+		c.PageSize = 256 << 10
+	}
+	if c.Bandwidth == 0 {
+		// Modeled NIC: 1/10 of GbE. Together with 256 KiB pages this
+		// puts one chunk transfer at ~20 ms, far above the ~1 ms sleep
+		// granularity of a shared machine, so shaping error stays in
+		// the low percent. Absolute MB/s therefore read ~10x below the
+		// paper's GbE testbed; the shapes are the reproduction target.
+		c.Bandwidth = 12.5 * (1 << 20)
+	}
+	if c.Latency == 0 {
+		c.Latency = 200 * time.Microsecond
+	}
+	if c.Reps <= 0 {
+		c.Reps = 5
+	}
+	if c.Placement == nil {
+		c.Placement = blob.NewRandomK(c.Seed + 1)
+	}
+	return c
+}
+
+// providers returns the data-provider count implied by the topology:
+// total nodes minus version manager, provider manager, namespace
+// manager and metadata providers.
+func (c Config) providers() int {
+	p := c.Nodes - c.MetaProviders - 3
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// bsfsEnv is a running shaped BlobSeer+BSFS deployment.
+type bsfsEnv struct {
+	cfg     Config
+	net     *simnet.Net
+	cluster *blob.Cluster
+	deploy  *bsfs.Deployment
+
+	mu     sync.Mutex
+	mounts []*bsfs.FS
+}
+
+// newBSFSEnv boots the shaped BSFS environment for throughput
+// microbenchmarks (Figures 3-5): page content is irrelevant there, so
+// the synthesizing store keeps 270-node runs memory-flat.
+func newBSFSEnv(cfg Config) (*bsfsEnv, error) {
+	return newBSFSEnvStore(cfg, blob.StoreSynthesize)
+}
+
+// newBSFSEnvStore boots the environment with an explicit page-store
+// engine. Application experiments (Figure 6, the pipeline) need
+// content-retaining storage: the data join matches real keys.
+func newBSFSEnvStore(cfg Config, store blob.StoreKind) (*bsfsEnv, error) {
+	net := simnet.New(transport.NewMemNet(), simnet.Config{
+		Bandwidth:     cfg.Bandwidth,
+		Latency:       cfg.Latency,
+		FrameOverhead: 64,
+	})
+	cluster, err := blob.NewCluster(net, blob.ClusterConfig{
+		Providers:     cfg.providers(),
+		MetaProviders: cfg.MetaProviders,
+		Store:         store,
+		Strategy:      cfg.Placement,
+	})
+	if err != nil {
+		return nil, err
+	}
+	deploy, err := bsfs.Deploy(cluster, cfg.PageSize)
+	if err != nil {
+		cluster.Close()
+		return nil, err
+	}
+	return &bsfsEnv{cfg: cfg, net: net, cluster: cluster, deploy: deploy}, nil
+}
+
+// mount returns a BSFS mount co-located with provider i (mod the
+// provider count), like the paper's clients.
+func (e *bsfsEnv) mount(i int) *bsfs.FS {
+	hosts := e.cluster.ProviderHosts()
+	fs := e.deploy.Mount(hosts[i%len(hosts)])
+	e.mu.Lock()
+	e.mounts = append(e.mounts, fs)
+	e.mu.Unlock()
+	return fs
+}
+
+// closeMounts releases client mounts between sweep points.
+func (e *bsfsEnv) closeMounts() {
+	e.mu.Lock()
+	mounts := e.mounts
+	e.mounts = nil
+	e.mu.Unlock()
+	for _, m := range mounts {
+		m.Close()
+	}
+}
+
+// Close tears the environment down.
+func (e *bsfsEnv) Close() {
+	e.closeMounts()
+	e.deploy.Close()
+	e.cluster.Close()
+}
+
+// hdfsEnv is a running shaped HDFS deployment of the same scale.
+type hdfsEnv struct {
+	cfg     Config
+	net     *simnet.Net
+	cluster *hdfs.Cluster
+
+	mu     sync.Mutex
+	mounts []*hdfs.FS
+}
+
+// newHDFSEnv boots the shaped HDFS environment: a dedicated namenode
+// machine and datanodes on the remaining nodes (§4.1). Blocks retain
+// content (HDFS only appears in application experiments).
+func newHDFSEnv(cfg Config) (*hdfsEnv, error) {
+	net := simnet.New(transport.NewMemNet(), simnet.Config{
+		Bandwidth:     cfg.Bandwidth,
+		Latency:       cfg.Latency,
+		FrameOverhead: 64,
+	})
+	cluster, err := hdfs.NewCluster(net, hdfs.ClusterConfig{
+		Datanodes: cfg.Nodes - 1,
+		Seed:      cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &hdfsEnv{cfg: cfg, net: net, cluster: cluster}, nil
+}
+
+func (e *hdfsEnv) mount(i int) *hdfs.FS {
+	hosts := e.cluster.DatanodeHosts()
+	fs := e.cluster.Mount(hosts[i%len(hosts)], e.cfg.PageSize)
+	e.mu.Lock()
+	e.mounts = append(e.mounts, fs)
+	e.mu.Unlock()
+	return fs
+}
+
+func (e *hdfsEnv) closeMounts() {
+	e.mu.Lock()
+	mounts := e.mounts
+	e.mounts = nil
+	e.mu.Unlock()
+	for _, m := range mounts {
+		m.Close()
+	}
+}
+
+func (e *hdfsEnv) Close() {
+	e.closeMounts()
+	e.cluster.Close()
+}
+
+// chunk builds one deterministic chunk (= page) of payload.
+func chunk(cfg Config, tag int) []byte {
+	buf := make([]byte, cfg.PageSize)
+	x := uint64(tag)*2654435761 + 12345
+	for i := range buf {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		buf[i] = byte(x)
+	}
+	return buf
+}
+
+// freshPath returns a unique file path for a sweep point.
+func freshPath(kind string, point int) string {
+	return fmt.Sprintf("/bench/%s/point-%03d", kind, point)
+}
+
+var ctx = context.Background()

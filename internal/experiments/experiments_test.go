@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// smallCfg keeps smoke tests fast: a 24-node cluster, 64 KiB pages,
+// 2 reps, high modeled bandwidth so shaping costs stay tiny.
+func smallCfg() Config {
+	return Config{
+		Nodes:         24,
+		MetaProviders: 3,
+		PageSize:      64 << 10,
+		Bandwidth:     500 << 20,
+		Latency:       50 * time.Microsecond,
+		Reps:          2,
+		Seed:          1,
+	}
+}
+
+func TestFig3Smoke(t *testing.T) {
+	series, err := Fig3(smallCfg(), []int{1, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series.Points) != 3 {
+		t.Fatalf("points = %d", len(series.Points))
+	}
+	for _, p := range series.Points {
+		if p.Y <= 0 {
+			t.Errorf("N=%g: throughput %g", p.X, p.Y)
+		}
+	}
+	// Shape: single-client throughput should be at least as good as
+	// the most contended point (generous 1.05 slack for noise).
+	first, last := series.Points[0].Y, series.Points[len(series.Points)-1].Y
+	if last > first*1.5 {
+		t.Errorf("throughput grew with contention: %g -> %g", first, last)
+	}
+}
+
+func TestFig4Fig5Smoke(t *testing.T) {
+	cfg := smallCfg()
+	s4, err := Fig4(cfg, []int{0, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s4.Points) != 2 || s4.Points[0].Y <= 0 || s4.Points[1].Y <= 0 {
+		t.Fatalf("fig4 = %+v", s4.Points)
+	}
+	s5, err := Fig5(cfg, []int{0, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s5.Points) != 2 || s5.Points[0].Y <= 0 || s5.Points[1].Y <= 0 {
+		t.Fatalf("fig5 = %+v", s5.Points)
+	}
+}
+
+func TestFig6Smoke(t *testing.T) {
+	cfg := smallCfg()
+	res, err := Fig6(cfg, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.HDFS.Points) != 2 || len(res.BSFS.Points) != 2 {
+		t.Fatalf("points: hdfs=%d bsfs=%d", len(res.HDFS.Points), len(res.BSFS.Points))
+	}
+	// The headline claim: BSFS produces exactly one output file at any
+	// reducer count; HDFS produces one per reducer.
+	for i, p := range res.FilesBSFS.Points {
+		if p.Y != 1 {
+			t.Errorf("BSFS output files at r=%g: %g", p.X, p.Y)
+		}
+		if res.FilesHDFS.Points[i].Y != res.FilesHDFS.Points[i].X {
+			t.Errorf("HDFS output files at r=%g: %g", p.X, res.FilesHDFS.Points[i].Y)
+		}
+	}
+	// BSFS's centralized metadata grows slower than HDFS's namenode
+	// (which also tracks every block).
+	lastB := res.MetaBSFS.Points[len(res.MetaBSFS.Points)-1].Y
+	lastH := res.MetaHDFS.Points[len(res.MetaHDFS.Points)-1].Y
+	if lastB >= lastH {
+		t.Errorf("metadata entries: bsfs=%g hdfs=%g", lastB, lastH)
+	}
+}
+
+func TestPipelineSmoke(t *testing.T) {
+	cfg := smallCfg()
+	res, err := Pipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SequentialSec <= 0 || res.PipelinedSec <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestAblationLockedSmoke(t *testing.T) {
+	// The lock's queueing penalty only shows when transfers dominate,
+	// so this smoke test runs shaped (10 ms per chunk), unlike the
+	// others: unshaped, everything is CPU-bound and serialization
+	// can even win on a 2-core box.
+	cfg := smallCfg()
+	cfg.Bandwidth = 12.5 * (1 << 20)
+	cfg.PageSize = 128 << 10
+	versioned, locked, err := AblationLockedAppend(cfg, []int{1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At N=8 the lock must hurt: versioning clearly beats it.
+	v8 := versioned.Points[1].Y
+	l8 := locked.Points[1].Y
+	if v8 <= l8 {
+		t.Errorf("versioning (%g MB/s) not better than lock (%g MB/s) at N=8", v8, l8)
+	}
+}
+
+func TestAblationPlacementSmoke(t *testing.T) {
+	series, err := AblationPlacement(smallCfg(), []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("strategies = %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) != 1 || s.Points[0].Y <= 0 {
+			t.Errorf("series %s = %+v", s.Name, s.Points)
+		}
+	}
+}
+
+func TestAblationPageSizeSmoke(t *testing.T) {
+	series, err := AblationPageSize(smallCfg(), []uint64{16 << 10, 64 << 10}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series.Points) != 2 {
+		t.Fatalf("points = %d", len(series.Points))
+	}
+}

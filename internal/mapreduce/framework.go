@@ -1,0 +1,95 @@
+package mapreduce
+
+import (
+	"context"
+	"fmt"
+
+	"blobseer/internal/dfs"
+	"blobseer/internal/transport"
+)
+
+// FrameworkConfig wires a Map/Reduce deployment.
+type FrameworkConfig struct {
+	Net transport.Network
+	// Hosts are the tasktracker machines; in the paper's setup the
+	// tasktrackers are "co-deployed with the datanodes/providers"
+	// (§4.3), so pass the storage hosts here.
+	Hosts []string
+	// Mount returns a file-system mount bound to the given host.
+	Mount func(host string) dfs.FileSystem
+	// ClientHost runs job setup/cleanup (default "jobclient", i.e. a
+	// dedicated machine like the paper's jobtracker node).
+	ClientHost string
+
+	MapSlots    int // per tracker (default 2)
+	ReduceSlots int // per tracker (default 2)
+}
+
+// Framework is a running Map/Reduce deployment: one jobtracker plus a
+// tasktracker per host.
+type Framework struct {
+	cfg      FrameworkConfig
+	jt       *JobTracker
+	trackers []*TaskTracker
+	mounts   []dfs.FileSystem
+	clientFS dfs.FileSystem
+}
+
+// NewFramework starts tasktrackers on every host.
+func NewFramework(cfg FrameworkConfig) (*Framework, error) {
+	if len(cfg.Hosts) == 0 {
+		return nil, fmt.Errorf("mapreduce: no tasktracker hosts")
+	}
+	if cfg.Mount == nil {
+		return nil, fmt.Errorf("mapreduce: no Mount factory")
+	}
+	if cfg.ClientHost == "" {
+		cfg.ClientHost = "jobclient"
+	}
+	fw := &Framework{cfg: cfg}
+	for _, host := range cfg.Hosts {
+		m := cfg.Mount(host)
+		tt, err := NewTaskTracker(cfg.Net, host, m)
+		if err != nil {
+			fw.Close()
+			return nil, err
+		}
+		fw.trackers = append(fw.trackers, tt)
+		fw.mounts = append(fw.mounts, m)
+	}
+	fw.clientFS = cfg.Mount(cfg.ClientHost)
+	fw.jt = NewJobTracker(fw.trackers, cfg.MapSlots, cfg.ReduceSlots)
+	return fw, nil
+}
+
+// Run executes one job to completion.
+func (fw *Framework) Run(ctx context.Context, conf JobConf) (JobResult, error) {
+	return fw.jt.Run(ctx, fw.clientFS, conf)
+}
+
+// RunStreaming executes a job fed by a split channel (see JobTracker).
+func (fw *Framework) RunStreaming(ctx context.Context, conf JobConf, splits <-chan Split) (JobResult, error) {
+	return fw.jt.RunStreaming(ctx, fw.clientFS, conf, splits)
+}
+
+// ClientFS returns the submitting client's mount.
+func (fw *Framework) ClientFS() dfs.FileSystem { return fw.clientFS }
+
+// Trackers exposes the tasktrackers (failure injection in tests).
+func (fw *Framework) Trackers() []*TaskTracker { return fw.trackers }
+
+// Close stops every tasktracker and mount.
+func (fw *Framework) Close() error {
+	for _, tt := range fw.trackers {
+		tt.Close()
+	}
+	for _, m := range fw.mounts {
+		if c, ok := m.(interface{ Close() error }); ok {
+			c.Close()
+		}
+	}
+	if c, ok := fw.clientFS.(interface{ Close() error }); ok && c != nil {
+		c.Close()
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"blobseer/internal/dfs"
+)
+
+// RunPipeline executes a chain of jobs where stage i+1 consumes stage
+// i's output. This is the paper's future-work scenario (§5): "the
+// reducers generate the data and append it to a file that is at the
+// same time, read and processed by the mappers" of the next stage.
+//
+// Every stage except the last must use SharedAppend (one growing file
+// the next stage can follow), so the pipeline requires an append-
+// capable backend — it is exactly the capability BSFS adds. Stage i+1's
+// splits are fed incrementally as stage i's output grows; within a
+// stage the usual map barrier before reduce still holds, so the overlap
+// is between stage i's reduce phase and stage i+1's map phase.
+func (fw *Framework) RunPipeline(ctx context.Context, stages []JobConf) ([]JobResult, error) {
+	if len(stages) == 0 {
+		return nil, errors.New("mapreduce: empty pipeline")
+	}
+	for i := range stages[:len(stages)-1] {
+		if stages[i].OutputMode != SharedAppend {
+			return nil, fmt.Errorf("mapreduce: pipeline stage %d must use SharedAppend", i)
+		}
+	}
+	// Later stages read the previous stage's shared file.
+	for i := 1; i < len(stages); i++ {
+		stages[i].Input = []string{stages[i-1].OutputDir + "/" + SharedOutputName}
+	}
+
+	results := make([]JobResult, len(stages))
+	errs := make([]error, len(stages))
+	done := make([]chan struct{}, len(stages))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+
+	var wg sync.WaitGroup
+	for i := range stages {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer close(done[i])
+			conf := stages[i]
+			if i == 0 {
+				results[i], errs[i] = fw.Run(ctx, conf)
+				return
+			}
+			splitSize := conf.SplitSize
+			if splitSize == 0 {
+				splitSize = fw.clientFS.BlockSize()
+			}
+			splits := make(chan Split, 64)
+			go fw.feedGrowingSplits(ctx, conf.Input[0], splitSize, done[i-1], splits)
+			results[i], errs[i] = fw.RunStreaming(ctx, conf, splits)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return results, fmt.Errorf("mapreduce: pipeline stage %d: %w", i, err)
+		}
+	}
+	return results, nil
+}
+
+// feedGrowingSplits polls a growing file and emits splits for complete
+// chunks as they are published; when the producer stage finishes it
+// emits the tail and closes the channel.
+func (fw *Framework) feedGrowingSplits(ctx context.Context, path string, splitSize uint64, producerDone <-chan struct{}, out chan<- Split) {
+	defer close(out)
+	var emitted uint64
+	producerFinished := false
+
+	emitUpTo := func(size uint64, final bool) bool {
+		for emitted+splitSize <= size {
+			select {
+			case out <- Split{Path: path, Offset: emitted, Length: splitSize}:
+			case <-ctx.Done():
+				return false
+			}
+			emitted += splitSize
+		}
+		if final && emitted < size {
+			select {
+			case out <- Split{Path: path, Offset: emitted, Length: size - emitted}:
+			case <-ctx.Done():
+				return false
+			}
+			emitted = size
+		}
+		return true
+	}
+
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-producerDone:
+			producerFinished = true
+		case <-time.After(20 * time.Millisecond):
+		}
+		fi, err := fw.clientFS.Stat(ctx, path)
+		if err != nil {
+			if errors.Is(err, dfs.ErrNotExist) && !producerFinished {
+				continue // producer has not created the file yet
+			}
+			return
+		}
+		if !emitUpTo(fi.Size, producerFinished) {
+			return
+		}
+		if producerFinished {
+			return
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package mapreduce
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"blobseer/internal/dfs"
+)
+
+// runReduce executes one reduce task on this tracker: fetch every map
+// output partition over the network (re-requesting lost outputs), merge
+// and group by key, apply the reduce function with modeled cost, and
+// commit the output according to the job's OutputMode.
+func (tt *TaskTracker) runReduce(ctx context.Context, job *jobState, r int) (outRecords, outBytes, shuffled uint64, err error) {
+	if tt.Dead() {
+		return 0, 0, 0, fmt.Errorf("mapreduce: tracker is dead")
+	}
+	ctx, cancel := mergeCtx(ctx, tt.ctx)
+	defer cancel()
+
+	// Shuffle phase.
+	nMaps := job.mapCount()
+	var pairs []Pair
+	for m := 0; m < nMaps; m++ {
+		for {
+			loc, err := job.waitMapLoc(ctx, m)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			data, ferr := tt.fetchMapOutput(ctx, loc.ShuffleAddr(), job.id, uint64(m), uint64(r))
+			if ferr != nil {
+				job.reportLostOutput(m, loc)
+				select {
+				case <-ctx.Done():
+					return 0, 0, 0, ctx.Err()
+				case <-time.After(10 * time.Millisecond):
+				}
+				continue
+			}
+			shuffled += uint64(len(data))
+			part, derr := decodePairs(data)
+			if derr != nil {
+				return 0, 0, 0, fmt.Errorf("reduce %d: decode map %d output: %w", r, m, derr)
+			}
+			pairs = append(pairs, part...)
+			break
+		}
+	}
+
+	// Sort phase (map outputs are individually sorted; a full sort of
+	// the concatenation doubles as the merge).
+	sortPairs(pairs)
+
+	// Reduce + output phase.
+	w, commit, err := tt.openReduceOutput(ctx, job, r)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	cw := &countingWriter{w: w}
+	cost := costModel{perRecord: job.conf.ReduceCostPerRecord}
+	var emitErr error
+	emit := func(k, v string) {
+		if emitErr != nil {
+			return
+		}
+		if _, err := fmt.Fprintf(cw, "%s\t%s\n", k, v); err != nil {
+			emitErr = err
+			return
+		}
+		outRecords++
+	}
+	start := 0
+	for i := 1; i <= len(pairs) && emitErr == nil; i++ {
+		if i == len(pairs) || pairs[i].Key != pairs[start].Key {
+			values := make([]string, 0, i-start)
+			for _, p := range pairs[start:i] {
+				values = append(values, p.Value)
+				cost.tick()
+			}
+			job.conf.Reduce(pairs[start].Key, values, emit)
+			start = i
+		}
+		if ctx.Err() != nil {
+			emitErr = ctx.Err()
+		}
+	}
+	cost.flush()
+	if emitErr != nil {
+		_ = commit(false)
+		return 0, 0, shuffled, emitErr
+	}
+	if err := commit(true); err != nil {
+		return 0, 0, shuffled, err
+	}
+	return outRecords, cw.n, shuffled, nil
+}
+
+// recordWriter batches whole records (each Write call is one record)
+// and flushes each batch as one atomic append, padded with newlines to
+// an exact multiple of the block size.
+//
+// The padding is the same trade GFS record append makes: keeping every
+// append block-aligned means the BLOB's size is always page-aligned,
+// so concurrent appenders never share a page slot and never pay the
+// serialized boundary merge — appends from all reducers stay fully
+// parallel (that is what makes Figure 6's BSFS completion time match
+// HDFS's). The cost is interior padding, which for the text record
+// format is just empty lines that every record reader already skips.
+//
+// Records must not exceed the block size (GFS imposes the analogous
+// record ≤ 1/4 chunk limit); oversized records fall back to an
+// unpadded, possibly-merging append, trading speed for correctness.
+type recordWriter struct {
+	w    dfs.FileWriter
+	max  int
+	buf  []byte
+	err  error
+	done bool
+}
+
+func newRecordWriter(w dfs.FileWriter, blockSize int) *recordWriter {
+	if blockSize <= 0 {
+		blockSize = 64 << 20
+	}
+	return &recordWriter{w: w, max: blockSize, buf: make([]byte, 0, blockSize)}
+}
+
+// Write implements io.Writer; p must be one whole record.
+func (rw *recordWriter) Write(p []byte) (int, error) {
+	if rw.err != nil {
+		return 0, rw.err
+	}
+	if len(rw.buf)+len(p) > rw.max && len(rw.buf) > 0 {
+		if err := rw.flush(); err != nil {
+			return 0, err
+		}
+	}
+	rw.buf = append(rw.buf, p...)
+	if len(rw.buf) >= rw.max {
+		if err := rw.flush(); err != nil {
+			return 0, err
+		}
+	}
+	return len(p), nil
+}
+
+// flush pads the batch to a block multiple and forces it out as one
+// atomic append.
+func (rw *recordWriter) flush() error {
+	if len(rw.buf) == 0 {
+		return nil
+	}
+	if len(rw.buf) <= rw.max {
+		for len(rw.buf) < rw.max {
+			rw.buf = append(rw.buf, '\n')
+		}
+	}
+	// else: single oversized record; append unpadded (see type doc).
+	if _, err := rw.w.Write(rw.buf); err != nil {
+		rw.err = err
+		return err
+	}
+	rw.buf = rw.buf[:0]
+	if f, ok := rw.w.(dfs.Flusher); ok {
+		if err := f.Flush(); err != nil {
+			rw.err = err
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes the final batch and closes the underlying stream.
+func (rw *recordWriter) Close() error {
+	if rw.done {
+		return rw.err
+	}
+	rw.done = true
+	if err := rw.flush(); err != nil {
+		rw.w.Close()
+		return err
+	}
+	return rw.w.Close()
+}
+
+// countingWriter tracks bytes written to the committer stream.
+type countingWriter struct {
+	w dfs.FileWriter
+	n uint64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += uint64(n)
+	return n, err
+}
+
+// openReduceOutput returns the reducer's output stream plus a commit
+// function finishing (or abandoning) the attempt.
+func (tt *TaskTracker) openReduceOutput(ctx context.Context, job *jobState, r int) (dfs.FileWriter, func(bool) error, error) {
+	switch job.conf.OutputMode {
+	case SharedAppend:
+		// Figure 2: "all the reducers append to the same file". Each
+		// flushed batch is one atomic append, and the record writer
+		// flushes only at record boundaries so concurrent reducers'
+		// blocks interleave without ever tearing a record (the
+		// GFS-record-append discipline).
+		path := job.conf.OutputDir + "/" + SharedOutputName
+		w, err := tt.fs.Append(ctx, path)
+		if err != nil {
+			return nil, nil, err
+		}
+		rw := newRecordWriter(w, int(tt.fs.BlockSize()))
+		commit := func(ok bool) error {
+			// Failed attempts keep already-appended records (at-least-
+			// once semantics on retry, like GFS record append).
+			if err := rw.Close(); err != nil && ok {
+				return err
+			}
+			return nil
+		}
+		return rw, commit, nil
+
+	default: // SeparateFiles
+		// Figure 1: "each reducer writes to a separate file", via the
+		// temp + rename committer.
+		job.mu.Lock()
+		attempt := job.reduceAttempts[r]
+		job.mu.Unlock()
+		tmp := fmt.Sprintf("%s/_temporary/attempt_%d_r%05d", job.conf.OutputDir, attempt, r)
+		final := fmt.Sprintf("%s/part-r%05d", job.conf.OutputDir, r)
+		w, err := tt.fs.Create(ctx, tmp)
+		if err != nil {
+			return nil, nil, err
+		}
+		commit := func(ok bool) error {
+			if !ok {
+				w.Close()
+				_ = tt.fs.Delete(ctx, tmp)
+				return nil
+			}
+			if err := w.Close(); err != nil {
+				return err
+			}
+			return tt.fs.Rename(ctx, tmp, final)
+		}
+		return w, commit, nil
+	}
+}

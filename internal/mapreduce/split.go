@@ -1,0 +1,178 @@
+package mapreduce
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+
+	"blobseer/internal/dfs"
+)
+
+// Split is one map task's input: a byte range of a file. Hosts lists
+// machines storing the range's first block, for locality scheduling.
+type Split struct {
+	Path   string
+	Offset uint64
+	Length uint64
+	Hosts  []string
+}
+
+// computeSplits cuts the input files into splits of splitSize bytes
+// ("the input data is also split into chunks of equal size", §2.2) and
+// annotates each split with its block's hosts.
+func computeSplits(ctx context.Context, fs dfs.FileSystem, inputs []string, splitSize uint64) ([]Split, error) {
+	if splitSize == 0 {
+		splitSize = fs.BlockSize()
+	}
+	var out []Split
+	for _, path := range inputs {
+		fi, err := fs.Stat(ctx, path)
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: stat input %s: %w", path, err)
+		}
+		if fi.IsDir {
+			return nil, fmt.Errorf("mapreduce: input %s: %w", path, dfs.ErrIsDir)
+		}
+		locs, err := fs.BlockLocations(ctx, path, 0, fi.Size)
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: locations of %s: %w", path, err)
+		}
+		hostsAt := func(off uint64) []string {
+			for _, l := range locs {
+				if off >= l.Offset && off < l.Offset+l.Length {
+					return l.Hosts
+				}
+			}
+			return nil
+		}
+		for off := uint64(0); off < fi.Size; off += splitSize {
+			length := splitSize
+			if off+length > fi.Size {
+				length = fi.Size - off
+			}
+			out = append(out, Split{
+				Path:   path,
+				Offset: off,
+				Length: length,
+				Hosts:  hostsAt(off),
+			})
+		}
+	}
+	return out, nil
+}
+
+// lineReader yields the records of one split using Hadoop's text-split
+// convention: a split skips the (possibly partial) line at its start
+// unless it begins at offset 0, and reads past its end until the line
+// it started is complete.
+type lineReader struct {
+	f    dfs.FileReader
+	path string
+	pos  uint64 // absolute offset of buf[0]
+	buf  []byte
+	used int    // bytes of buf already consumed
+	end  uint64 // split end; lines starting at >= end belong elsewhere
+	size uint64
+	eof  bool
+}
+
+// newLineReader positions a reader at the first record of the split.
+func newLineReader(f dfs.FileReader, split Split) (*lineReader, error) {
+	lr := &lineReader{
+		f:    f,
+		path: split.Path,
+		pos:  split.Offset,
+		end:  split.Offset + split.Length,
+		size: f.Size(),
+	}
+	if split.Offset > 0 {
+		// Skip the line in progress; it belongs to the previous split.
+		if err := lr.skipPartialLine(); err != nil {
+			return nil, err
+		}
+	}
+	return lr, nil
+}
+
+const lineBuf = 64 << 10
+
+// fill compacts consumed bytes and reads more of the file. It sets
+// lr.eof at the end of the file and returns io.EOF only when nothing
+// remains buffered.
+func (lr *lineReader) fill() error {
+	if lr.used > 0 {
+		lr.pos += uint64(lr.used)
+		lr.buf = append(lr.buf[:0], lr.buf[lr.used:]...)
+		lr.used = 0
+	}
+	if lr.eof {
+		if len(lr.buf) == 0 {
+			return io.EOF
+		}
+		return nil
+	}
+	chunk := make([]byte, lineBuf)
+	n, err := lr.f.ReadAt(chunk, int64(lr.pos+uint64(len(lr.buf))))
+	if n > 0 {
+		lr.buf = append(lr.buf, chunk[:n]...)
+	}
+	if err == io.EOF {
+		lr.eof = true
+		if len(lr.buf) == 0 {
+			return io.EOF
+		}
+		return nil
+	}
+	return err
+}
+
+func (lr *lineReader) skipPartialLine() error {
+	for {
+		if i := bytes.IndexByte(lr.buf[lr.used:], '\n'); i >= 0 {
+			lr.used += i + 1
+			return nil
+		}
+		// Consume the whole buffer and read on.
+		lr.used = len(lr.buf)
+		if err := lr.fill(); err != nil {
+			if err == io.EOF {
+				return nil // split contains no complete line start
+			}
+			return err
+		}
+	}
+}
+
+// next returns the next record (absolute offset, line without the
+// trailing newline). io.EOF ends the split.
+//
+// Boundary convention (Hadoop's LineRecordReader): a split also reads
+// the line starting exactly AT its end offset, because the following
+// split unconditionally skips its first line — otherwise a line whose
+// first byte is a split boundary would be lost.
+func (lr *lineReader) next() (uint64, string, error) {
+	lineStart := lr.pos + uint64(lr.used)
+	if lineStart > lr.end || lineStart >= lr.size {
+		return 0, "", io.EOF
+	}
+	for {
+		if i := bytes.IndexByte(lr.buf[lr.used:], '\n'); i >= 0 {
+			line := string(lr.buf[lr.used : lr.used+i])
+			lr.used += i + 1
+			return lineStart, line, nil
+		}
+		if lr.eof {
+			// Final line without trailing newline.
+			if lr.used < len(lr.buf) {
+				line := string(lr.buf[lr.used:])
+				lr.used = len(lr.buf)
+				return lineStart, line, nil
+			}
+			return 0, "", io.EOF
+		}
+		if err := lr.fill(); err != nil {
+			return 0, "", err
+		}
+	}
+}

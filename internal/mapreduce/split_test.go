@@ -1,0 +1,194 @@
+package mapreduce
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// memReader is an in-memory dfs.FileReader for unit tests.
+type memReader struct {
+	data []byte
+	pos  int
+}
+
+func (m *memReader) Read(p []byte) (int, error) {
+	if m.pos >= len(m.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, m.data[m.pos:])
+	m.pos += n
+	return n, nil
+}
+
+func (m *memReader) ReadAt(p []byte, off int64) (int, error) {
+	if off >= int64(len(m.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, m.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (m *memReader) Close() error { return nil }
+
+func (m *memReader) Size() uint64 { return uint64(len(m.data)) }
+
+func (m *memReader) Refresh(ctx context.Context) (uint64, error) { return m.Size(), nil }
+
+// collectSplit gathers all records a split yields.
+func collectSplit(t *testing.T, data []byte, split Split) []string {
+	t.Helper()
+	lr, err := newLineReader(&memReader{data: data}, split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for {
+		_, line, err := lr.next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, line)
+	}
+}
+
+func TestLineReaderSingleSplit(t *testing.T) {
+	data := []byte("alpha\nbeta\ngamma\n")
+	got := collectSplit(t, data, Split{Path: "/f", Offset: 0, Length: uint64(len(data))})
+	want := []string{"alpha", "beta", "gamma"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLineReaderNoTrailingNewline(t *testing.T) {
+	data := []byte("one\ntwo")
+	got := collectSplit(t, data, Split{Path: "/f", Offset: 0, Length: uint64(len(data))})
+	if len(got) != 2 || got[1] != "two" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestLineReaderEmptyLines(t *testing.T) {
+	data := []byte("\n\nx\n\n")
+	got := collectSplit(t, data, Split{Path: "/f", Offset: 0, Length: uint64(len(data))})
+	if len(got) != 4 {
+		t.Fatalf("got %d records %v", len(got), got)
+	}
+}
+
+// TestSplitsPartitionRecords is the Hadoop text-split invariant: no
+// matter where split boundaries fall, every line is read by exactly
+// one split.
+func TestSplitsPartitionRecords(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		// Random content with random line lengths (some empty).
+		var sb strings.Builder
+		nLines := 1 + rng.Intn(60)
+		var want []string
+		for i := 0; i < nLines; i++ {
+			line := strings.Repeat("x", rng.Intn(30)) + fmt.Sprintf("#%d", i)
+			want = append(want, line)
+			sb.WriteString(line)
+			sb.WriteByte('\n')
+		}
+		if rng.Intn(2) == 0 { // sometimes no trailing newline
+			line := fmt.Sprintf("tail#%d", trial)
+			want = append(want, line)
+			sb.WriteString(line)
+		}
+		data := []byte(sb.String())
+
+		splitSize := 1 + rng.Intn(40)
+		var got []string
+		for off := 0; off < len(data); off += splitSize {
+			length := splitSize
+			if off+length > len(data) {
+				length = len(data) - off
+			}
+			got = append(got, collectSplit(t, data, Split{
+				Path: "/f", Offset: uint64(off), Length: uint64(length),
+			})...)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (split=%d): got %d records, want %d\n%q",
+				trial, splitSize, len(got), len(want), data)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: record %d = %q, want %q", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPartitionOfSpread(t *testing.T) {
+	const n = 16
+	counts := make([]int, n)
+	for i := 0; i < 16000; i++ {
+		p := partitionOf(fmt.Sprintf("key-%d", i), n)
+		if p < 0 || p >= n {
+			t.Fatalf("partition %d out of range", p)
+		}
+		counts[p]++
+	}
+	for p, c := range counts {
+		if c < 500 || c > 2000 {
+			t.Errorf("partition %d holds %d of 16000 keys", p, c)
+		}
+	}
+}
+
+func TestPartitionOfDeterministic(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if partitionOf(k, 7) != partitionOf(k, 7) {
+			t.Fatal("partitionOf not deterministic")
+		}
+	}
+}
+
+func TestEncodeDecodePairs(t *testing.T) {
+	in := []Pair{{"a", "1"}, {"b", ""}, {"", "x"}, {"key with\ttab", "v"}}
+	out, err := decodePairs(encodePairs(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("len = %d", len(out))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("pair %d = %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestCombinePairs(t *testing.T) {
+	pairs := []Pair{{"a", "1"}, {"a", "1"}, {"a", "1"}, {"b", "1"}}
+	sum := func(key string, values []string, emit func(k, v string)) {
+		emit(key, fmt.Sprintf("%d", len(values)))
+	}
+	out := combinePairs(pairs, sum)
+	if len(out) != 2 || out[0] != (Pair{"a", "3"}) || out[1] != (Pair{"b", "1"}) {
+		t.Fatalf("combined = %+v", out)
+	}
+	if got := combinePairs(nil, sum); len(got) != 0 {
+		t.Errorf("combine(nil) = %v", got)
+	}
+}

@@ -1,0 +1,259 @@
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"blobseer/internal/dfs"
+	"blobseer/internal/rpc"
+	"blobseer/internal/transport"
+	"blobseer/internal/wire"
+)
+
+// SvcShuffle is the tasktracker's map-output service name.
+const SvcShuffle = "shuffle"
+
+// Shuffle methods.
+const (
+	ShuffleGet uint32 = iota + 1
+)
+
+// ErrOutputLost is returned when a reducer asks for a map output the
+// tracker no longer has (tracker restarted / output evicted). The
+// jobtracker responds by re-executing the map task, like Hadoop.
+var ErrOutputLost = errors.New("mapreduce: map output lost")
+
+// ShuffleReq identifies one map output partition.
+type ShuffleReq struct {
+	Job  uint64
+	Map  uint64
+	Part uint64
+}
+
+// AppendTo implements wire.Marshaler.
+func (m *ShuffleReq) AppendTo(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.Job)
+	b = wire.AppendUvarint(b, m.Map)
+	return wire.AppendUvarint(b, m.Part)
+}
+
+// DecodeFrom implements wire.Unmarshaler.
+func (m *ShuffleReq) DecodeFrom(r *wire.Reader) error {
+	m.Job = r.Uvarint()
+	m.Map = r.Uvarint()
+	m.Part = r.Uvarint()
+	return r.Err()
+}
+
+// ShuffleResp carries an encoded partition.
+type ShuffleResp struct{ Data []byte }
+
+// AppendTo implements wire.Marshaler.
+func (m *ShuffleResp) AppendTo(b []byte) []byte { return wire.AppendBytes(b, m.Data) }
+
+// DecodeFrom implements wire.Unmarshaler.
+func (m *ShuffleResp) DecodeFrom(r *wire.Reader) error {
+	m.Data = r.BytesCopy()
+	return r.Err()
+}
+
+// outputKey identifies a stored map output partition.
+type outputKey struct {
+	job  uint64
+	m    uint64
+	part uint64
+}
+
+// TaskTracker executes tasks on one simulated machine. Its file-system
+// mount and shuffle service are bound to the machine's host, so all of
+// its data traffic is attributed to that host's NIC.
+type TaskTracker struct {
+	host string
+	fs   dfs.FileSystem
+	pool *rpc.Pool
+	srv  *rpc.Server
+
+	mu      sync.Mutex
+	outputs map[outputKey][]byte
+	dead    bool
+	cancel  context.CancelFunc
+	ctx     context.Context
+}
+
+// NewTaskTracker starts a tasktracker on host with the given mount.
+func NewTaskTracker(net transport.Network, host string, fs dfs.FileSystem) (*TaskTracker, error) {
+	srv, err := rpc.NewServer(net, transport.MakeAddr(host, SvcShuffle))
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	tt := &TaskTracker{
+		host:    host,
+		fs:      fs,
+		pool:    rpc.NewPool(net, transport.MakeAddr(host, "tasktracker")),
+		srv:     srv,
+		outputs: make(map[outputKey][]byte),
+		ctx:     ctx,
+		cancel:  cancel,
+	}
+	srv.Handle(ShuffleGet, tt.handleShuffleGet)
+	return tt, nil
+}
+
+// Host returns the tracker's machine name.
+func (tt *TaskTracker) Host() string { return tt.host }
+
+// ShuffleAddr returns the tracker's map-output endpoint.
+func (tt *TaskTracker) ShuffleAddr() transport.Addr {
+	return transport.MakeAddr(tt.host, SvcShuffle)
+}
+
+// Kill simulates a machine failure: running tasks abort, the shuffle
+// service stops answering, and stored map outputs are lost.
+func (tt *TaskTracker) Kill() {
+	tt.mu.Lock()
+	tt.dead = true
+	tt.outputs = make(map[outputKey][]byte)
+	tt.mu.Unlock()
+	tt.cancel()
+	tt.srv.Close()
+}
+
+// Dead reports whether the tracker has been killed.
+func (tt *TaskTracker) Dead() bool {
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	return tt.dead
+}
+
+// Close shuts the tracker down at the end of a run.
+func (tt *TaskTracker) Close() error {
+	tt.cancel()
+	tt.srv.Close()
+	return tt.pool.Close()
+}
+
+func (tt *TaskTracker) handleShuffleGet(r *wire.Reader) (wire.Marshaler, error) {
+	var req ShuffleReq
+	if err := req.DecodeFrom(r); err != nil {
+		return nil, err
+	}
+	tt.mu.Lock()
+	data, ok := tt.outputs[outputKey{req.Job, req.Map, req.Part}]
+	tt.mu.Unlock()
+	if !ok {
+		return nil, ErrOutputLost
+	}
+	return &ShuffleResp{Data: data}, nil
+}
+
+// storeOutputs records a finished map task's partitions.
+func (tt *TaskTracker) storeOutputs(job, mapID uint64, parts [][]byte) error {
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	if tt.dead {
+		return errors.New("mapreduce: tracker is dead")
+	}
+	for p, data := range parts {
+		tt.outputs[outputKey{job, mapID, uint64(p)}] = data
+	}
+	return nil
+}
+
+// dropJobOutputs frees a completed job's intermediate data.
+func (tt *TaskTracker) dropJobOutputs(job uint64) {
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	for k := range tt.outputs {
+		if k.job == job {
+			delete(tt.outputs, k)
+		}
+	}
+}
+
+// fetchMapOutput pulls one partition from a peer tracker's shuffle
+// service over the network.
+func (tt *TaskTracker) fetchMapOutput(ctx context.Context, from transport.Addr, job, mapID, part uint64) ([]byte, error) {
+	var resp ShuffleResp
+	err := tt.pool.Call(ctx, from, ShuffleGet, &ShuffleReq{Job: job, Map: mapID, Part: part}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Data, nil
+}
+
+// runMap executes one map task: read the split, apply the map function
+// with modeled compute cost, partition + sort (+ combine), store the
+// partitions for the shuffle.
+func (tt *TaskTracker) runMap(ctx context.Context, job *jobState, mapID int, split Split) (recordsIn, recordsOut uint64, err error) {
+	if tt.Dead() {
+		return 0, 0, errors.New("mapreduce: tracker is dead")
+	}
+	ctx, cancel := mergeCtx(ctx, tt.ctx)
+	defer cancel()
+
+	f, err := tt.fs.Open(ctx, split.Path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("map %d: open %s: %w", mapID, split.Path, err)
+	}
+	defer f.Close()
+	lr, err := newLineReader(f, split)
+	if err != nil {
+		return 0, 0, fmt.Errorf("map %d: position: %w", mapID, err)
+	}
+
+	R := job.conf.NumReducers
+	parts := make([][]Pair, R)
+	emit := func(k, v string) {
+		p := partitionOf(k, R)
+		parts[p] = append(parts[p], Pair{k, v})
+		recordsOut++
+	}
+	cost := costModel{perRecord: job.conf.MapCostPerRecord}
+	for {
+		off, line, err := lr.next()
+		if err != nil {
+			break
+		}
+		if ctx.Err() != nil {
+			return 0, 0, ctx.Err()
+		}
+		job.conf.Map(fmt.Sprintf("%s:%d", split.Path, off), line, emit)
+		recordsIn++
+		// Modeled compute scales with actual data: empty records (e.g.
+		// the newline padding of shared-append blocks) cost nothing.
+		if len(line) > 0 {
+			cost.tick()
+		}
+	}
+	cost.flush()
+
+	encoded := make([][]byte, R)
+	for p := range parts {
+		sortPairs(parts[p])
+		if job.conf.Combine != nil {
+			parts[p] = combinePairs(parts[p], job.conf.Combine)
+		}
+		encoded[p] = encodePairs(parts[p])
+	}
+	if err := tt.storeOutputs(job.id, uint64(mapID), encoded); err != nil {
+		return 0, 0, err
+	}
+	return recordsIn, recordsOut, nil
+}
+
+// mergeCtx derives a context cancelled when either parent is.
+func mergeCtx(a, b context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(a)
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-b.Done():
+			cancel()
+		case <-stop:
+		}
+	}()
+	return ctx, func() { close(stop); cancel() }
+}

@@ -1,0 +1,240 @@
+// Package mapreduce is the Hadoop-like Map/Reduce framework of the
+// reproduction (§2.2): a jobtracker schedules map and reduce tasks onto
+// tasktrackers (one per simulated machine, with a fixed number of task
+// slots), map tasks read data-local splits where possible, map outputs
+// are partitioned/sorted/combined and served to reducers over the
+// (shaped) network, and reducers write job output through one of two
+// committers:
+//
+//   - SeparateFiles — the original Hadoop behaviour: every reducer
+//     writes its own temporary part file and renames it into the output
+//     directory on success (Figure 1 of the paper);
+//   - SharedAppend — the paper's modified framework: every reducer
+//     appends its output to one shared file (Figure 2), which only
+//     works on a backend with concurrent append support (BSFS).
+//
+// Divergence from Hadoop noted for reviewers: job coordination
+// (jobtracker↔tasktracker control messages) is in-process function
+// calls rather than RPC, because Go functions cannot cross a process
+// boundary; all DATA movement — split reads, shuffle transfers, output
+// writes — goes through the transport layer and is therefore shaped
+// and measured like the paper's.
+package mapreduce
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"blobseer/internal/wire"
+)
+
+// Pair is one key/value record.
+type Pair struct {
+	Key   string
+	Value string
+}
+
+// MapFunc processes one input record. For text inputs key is
+// "<path>:<offset>" and value is the line.
+type MapFunc func(key, value string, emit func(k, v string))
+
+// ReduceFunc merges all values of one intermediate key.
+type ReduceFunc func(key string, values []string, emit func(k, v string))
+
+// OutputMode selects the reduce-output committer.
+type OutputMode int
+
+// Output modes.
+const (
+	// SeparateFiles: one part file per reducer, temp + rename commit.
+	SeparateFiles OutputMode = iota
+	// SharedAppend: all reducers append to one shared file.
+	SharedAppend
+)
+
+// String implements fmt.Stringer.
+func (m OutputMode) String() string {
+	switch m {
+	case SeparateFiles:
+		return "separate-files"
+	case SharedAppend:
+		return "shared-append"
+	default:
+		return fmt.Sprintf("OutputMode(%d)", int(m))
+	}
+}
+
+// JobConf describes one Map/Reduce job.
+type JobConf struct {
+	Name string
+
+	// Input files (text, newline-delimited records).
+	Input []string
+	// OutputDir receives part files (SeparateFiles) or the single
+	// shared file (SharedAppend).
+	OutputDir string
+
+	Map     MapFunc
+	Combine ReduceFunc // optional map-side pre-aggregation
+	Reduce  ReduceFunc
+
+	NumReducers int
+	OutputMode  OutputMode
+
+	// SplitSize is the map input split size in bytes; zero uses the
+	// file system's block size (Hadoop's default: one mapper per
+	// chunk).
+	SplitSize uint64
+
+	// Modeled per-record compute cost, standing in for the real CPU
+	// work of the paper's applications ("data join is a computation-
+	// intensive application", §4.3). Zero means no modeled cost.
+	MapCostPerRecord    time.Duration
+	ReduceCostPerRecord time.Duration
+
+	// MaxAttempts bounds task re-execution (default 4, like Hadoop).
+	MaxAttempts int
+}
+
+// SharedOutputName is the single output file of SharedAppend jobs.
+const SharedOutputName = "part-all"
+
+// JobResult summarizes a completed job.
+type JobResult struct {
+	Duration time.Duration
+	// MapPhase is the time until the last map finished (and reduces
+	// could start); ReducePhase is the remainder.
+	MapPhase    time.Duration
+	ReducePhase time.Duration
+
+	MapTasks    int
+	ReduceTasks int
+	// LocalMaps counts map tasks that ran on a host holding a replica
+	// of their split (the jobtracker "will use it to execute tasks on
+	// datanodes in such way as to achieve load balancing", §2.2).
+	LocalMaps int
+
+	MapInputRecords     uint64
+	MapOutputRecords    uint64
+	ShuffleBytes        uint64
+	ReduceOutputRecords uint64
+	OutputBytes         uint64
+
+	// OutputFiles lists the committed output paths: NumReducers files
+	// for SeparateFiles, exactly one for SharedAppend.
+	OutputFiles []string
+
+	// TaskFailures counts task attempts that failed and were retried.
+	TaskFailures int
+}
+
+//
+// Intermediate data encoding (map output partitions).
+//
+
+// encodePairs renders sorted pairs as a byte stream for the shuffle.
+func encodePairs(pairs []Pair) []byte {
+	var b []byte
+	b = wire.AppendUvarint(b, uint64(len(pairs)))
+	for _, p := range pairs {
+		b = wire.AppendString(b, p.Key)
+		b = wire.AppendString(b, p.Value)
+	}
+	return b
+}
+
+// decodePairs parses an encoded partition.
+func decodePairs(raw []byte) ([]Pair, error) {
+	r := wire.NewReader(raw)
+	n := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	pairs := make([]Pair, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var p Pair
+		p.Key = r.String()
+		p.Value = r.String()
+		pairs = append(pairs, p)
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return pairs, nil
+}
+
+// sortPairs orders by key, then value (stable output for tests).
+func sortPairs(pairs []Pair) {
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].Key != pairs[j].Key {
+			return pairs[i].Key < pairs[j].Key
+		}
+		return pairs[i].Value < pairs[j].Value
+	})
+}
+
+// partitionOf assigns a key to one of n reduce partitions (Hadoop's
+// hash partitioner).
+func partitionOf(key string, n int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	// Avalanche so short keys spread (same fix as the DHT ring).
+	h ^= h >> 16
+	h *= 0x7feb352d
+	h ^= h >> 15
+	return int(h % uint32(n))
+}
+
+// combinePairs applies a combiner to sorted pairs, producing the
+// combined (still sorted) stream.
+func combinePairs(pairs []Pair, combine ReduceFunc) []Pair {
+	if len(pairs) == 0 {
+		return pairs
+	}
+	out := make([]Pair, 0, len(pairs))
+	emit := func(k, v string) { out = append(out, Pair{k, v}) }
+	start := 0
+	for i := 1; i <= len(pairs); i++ {
+		if i == len(pairs) || pairs[i].Key != pairs[start].Key {
+			values := make([]string, 0, i-start)
+			for _, p := range pairs[start:i] {
+				values = append(values, p.Value)
+			}
+			combine(pairs[start].Key, values, emit)
+			start = i
+		}
+	}
+	sortPairs(out)
+	return out
+}
+
+// costModel batches modeled per-record compute into coarse sleeps so
+// the Go timer resolution does not distort small per-record costs.
+type costModel struct {
+	perRecord time.Duration
+	pending   int
+}
+
+const costBatch = 256
+
+func (c *costModel) tick() {
+	if c.perRecord <= 0 {
+		return
+	}
+	c.pending++
+	if c.pending >= costBatch {
+		time.Sleep(time.Duration(c.pending) * c.perRecord)
+		c.pending = 0
+	}
+}
+
+func (c *costModel) flush() {
+	if c.perRecord > 0 && c.pending > 0 {
+		time.Sleep(time.Duration(c.pending) * c.perRecord)
+		c.pending = 0
+	}
+}

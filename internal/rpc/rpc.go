@@ -1,0 +1,377 @@
+// Package rpc provides the minimal multiplexed request/response layer
+// used by every service in the system (version manager, provider
+// manager, providers, metadata providers, namespace managers, namenode,
+// datanodes, job tracker, task trackers).
+//
+// One Client keeps a single transport connection per (local, remote)
+// pair and multiplexes concurrent calls over it with request IDs, like
+// the persistent peer connections of the original BlobSeer service.
+// A Server dispatches each inbound request to a registered handler in
+// its own goroutine, so slow page transfers never block metadata calls.
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"blobseer/internal/transport"
+	"blobseer/internal/wire"
+)
+
+// Frame kinds.
+const (
+	kindRequest  = 1
+	kindResponse = 2
+)
+
+// Errors.
+var (
+	ErrUnknownMethod = errors.New("rpc: unknown method")
+	ErrServerClosed  = errors.New("rpc: server closed")
+	ErrConnLost      = errors.New("rpc: connection lost")
+)
+
+// HandlerFunc serves one request. The Reader is positioned at the
+// request body; the returned Marshaler is the response body. A non-nil
+// error is transmitted to the caller instead of the body.
+type HandlerFunc func(r *wire.Reader) (wire.Marshaler, error)
+
+// Server serves RPC requests on one endpoint address.
+type Server struct {
+	addr     transport.Addr
+	listener transport.Listener
+
+	mu       sync.Mutex
+	handlers map[uint32]HandlerFunc
+	conns    map[transport.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer binds addr on net and starts accepting. Handlers may be
+// registered before or after; requests for unregistered methods fail
+// with ErrUnknownMethod.
+func NewServer(net transport.Network, addr transport.Addr) (*Server, error) {
+	l, err := net.Listen(addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc server %s: %w", addr, err)
+	}
+	s := &Server{
+		addr:     addr,
+		listener: l,
+		handlers: make(map[uint32]HandlerFunc),
+		conns:    make(map[transport.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's endpoint address.
+func (s *Server) Addr() transport.Addr { return s.addr }
+
+// Handle registers h for the given method id.
+func (s *Server) Handle(method uint32, h HandlerFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[method] = h
+}
+
+// Close stops the server and tears down live connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]transport.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	s.listener.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.listener.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(c)
+	}
+}
+
+func (s *Server) serveConn(c transport.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		c.Close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+	}()
+	for {
+		frame, err := c.Recv()
+		if err != nil {
+			return
+		}
+		r := wire.NewReader(frame)
+		kind := r.Uvarint()
+		id := r.Uvarint()
+		method := r.Uvarint()
+		if r.Err() != nil || kind != kindRequest {
+			return // corrupt stream; drop the connection
+		}
+		go s.dispatch(c, id, uint32(method), r)
+	}
+}
+
+func (s *Server) dispatch(c transport.Conn, id uint64, method uint32, r *wire.Reader) {
+	s.mu.Lock()
+	h := s.handlers[method]
+	s.mu.Unlock()
+
+	var body wire.Marshaler
+	var err error
+	if h == nil {
+		err = fmt.Errorf("%w: %d at %s", ErrUnknownMethod, method, s.addr)
+	} else {
+		body, err = h(r)
+	}
+
+	resp := wire.AppendUvarint(nil, kindResponse)
+	resp = wire.AppendUvarint(resp, id)
+	resp = wire.AppendError(resp, err)
+	if err == nil && body != nil {
+		resp = body.AppendTo(resp)
+	}
+	// A failed send means the peer went away; nothing to do.
+	_ = c.Send(resp)
+}
+
+// Client issues calls to one remote endpoint. It is safe for concurrent
+// use; concurrent calls are multiplexed over a single connection.
+type Client struct {
+	net    transport.Network
+	local  transport.Addr
+	remote transport.Addr
+
+	mu      sync.Mutex
+	conn    transport.Conn
+	nextID  uint64
+	pending map[uint64]chan callResult
+	closed  bool
+}
+
+type callResult struct {
+	frame []byte // positioned response body (after header decode)
+	body  *wire.Reader
+	err   error
+}
+
+// NewClient returns a client for remote; the connection is established
+// lazily on first call and re-established after failures.
+func NewClient(net transport.Network, local, remote transport.Addr) *Client {
+	return &Client{
+		net:     net,
+		local:   local,
+		remote:  remote,
+		pending: make(map[uint64]chan callResult),
+	}
+}
+
+// Remote returns the remote endpoint address.
+func (c *Client) Remote() transport.Addr { return c.remote }
+
+// Close tears down the connection; in-flight calls fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	conn := c.conn
+	c.conn = nil
+	c.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+	return nil
+}
+
+// ensureConn returns a live connection, dialing if necessary.
+func (c *Client) ensureConn() (transport.Conn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrConnLost
+	}
+	if c.conn != nil {
+		return c.conn, nil
+	}
+	conn, err := c.net.Dial(c.local, c.remote)
+	if err != nil {
+		return nil, fmt.Errorf("rpc dial %s: %w", c.remote, err)
+	}
+	c.conn = conn
+	go c.recvLoop(conn)
+	return conn, nil
+}
+
+func (c *Client) recvLoop(conn transport.Conn) {
+	for {
+		frame, err := conn.Recv()
+		if err != nil {
+			c.failConn(conn, ErrConnLost)
+			return
+		}
+		r := wire.NewReader(frame)
+		kind := r.Uvarint()
+		id := r.Uvarint()
+		rerr := r.Error()
+		if r.Err() != nil || kind != kindResponse {
+			c.failConn(conn, fmt.Errorf("rpc: corrupt response from %s", c.remote))
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- callResult{frame: frame, body: r, err: rerr}
+		}
+	}
+}
+
+// failConn fails every pending call and drops the connection so the
+// next call redials.
+func (c *Client) failConn(conn transport.Conn, err error) {
+	conn.Close()
+	c.mu.Lock()
+	if c.conn == conn {
+		c.conn = nil
+	}
+	pend := c.pending
+	c.pending = make(map[uint64]chan callResult)
+	c.mu.Unlock()
+	for _, ch := range pend {
+		ch <- callResult{err: err}
+	}
+}
+
+// Call invokes method with request body req and decodes the response
+// into resp (which may be nil when no body is expected). It respects
+// ctx cancellation and deadlines.
+func (c *Client) Call(ctx context.Context, method uint32, req wire.Marshaler, resp wire.Unmarshaler) error {
+	conn, err := c.ensureConn()
+	if err != nil {
+		return err
+	}
+
+	c.mu.Lock()
+	c.nextID++
+	id := c.nextID
+	ch := make(chan callResult, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	frame := wire.AppendUvarint(nil, kindRequest)
+	frame = wire.AppendUvarint(frame, id)
+	frame = wire.AppendUvarint(frame, uint64(method))
+	if req != nil {
+		frame = req.AppendTo(frame)
+	}
+
+	if err := conn.Send(frame); err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		c.failConn(conn, ErrConnLost)
+		return fmt.Errorf("rpc call %s/%d: %w", c.remote, method, ErrConnLost)
+	}
+
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			return res.err
+		}
+		if resp == nil {
+			return nil
+		}
+		if err := resp.DecodeFrom(res.body); err != nil {
+			return fmt.Errorf("rpc call %s/%d: decode response: %w", c.remote, method, err)
+		}
+		return nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// Pool caches one Client per remote address for a fixed local address.
+// Services use it to talk to many peers (providers, metadata providers)
+// without connection churn.
+type Pool struct {
+	net   transport.Network
+	local transport.Addr
+
+	mu      sync.Mutex
+	clients map[transport.Addr]*Client
+	closed  bool
+}
+
+// NewPool returns a client pool dialing from local.
+func NewPool(net transport.Network, local transport.Addr) *Pool {
+	return &Pool{net: net, local: local, clients: make(map[transport.Addr]*Client)}
+}
+
+// Get returns the cached client for remote, creating it if needed.
+func (p *Pool) Get(remote transport.Addr) *Client {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cl, ok := p.clients[remote]
+	if !ok {
+		cl = NewClient(p.net, p.local, remote)
+		p.clients[remote] = cl
+	}
+	return cl
+}
+
+// Call is shorthand for Get(remote).Call(...).
+func (p *Pool) Call(ctx context.Context, remote transport.Addr, method uint32, req wire.Marshaler, resp wire.Unmarshaler) error {
+	return p.Get(remote).Call(ctx, method, req, resp)
+}
+
+// Close closes every cached client.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	cls := make([]*Client, 0, len(p.clients))
+	for _, cl := range p.clients {
+		cls = append(cls, cl)
+	}
+	p.clients = make(map[transport.Addr]*Client)
+	p.closed = true
+	p.mu.Unlock()
+	for _, cl := range cls {
+		cl.Close()
+	}
+	return nil
+}

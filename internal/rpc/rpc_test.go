@@ -1,0 +1,284 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"blobseer/internal/transport"
+	"blobseer/internal/wire"
+)
+
+// echoMsg is a trivial wire message for tests.
+type echoMsg struct {
+	Text string
+	N    uint64
+}
+
+func (m *echoMsg) AppendTo(b []byte) []byte {
+	b = wire.AppendString(b, m.Text)
+	b = wire.AppendUvarint(b, m.N)
+	return b
+}
+
+func (m *echoMsg) DecodeFrom(r *wire.Reader) error {
+	m.Text = r.String()
+	m.N = r.Uvarint()
+	return r.Err()
+}
+
+const (
+	methodEcho   = 1
+	methodFail   = 2
+	methodSlow   = 3
+	methodNobody = 4
+)
+
+func newEchoServer(t *testing.T, net transport.Network, addr transport.Addr) *Server {
+	t.Helper()
+	s, err := NewServer(net, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	s.Handle(methodEcho, func(r *wire.Reader) (wire.Marshaler, error) {
+		var req echoMsg
+		if err := req.DecodeFrom(r); err != nil {
+			return nil, err
+		}
+		return &echoMsg{Text: req.Text, N: req.N + 1}, nil
+	})
+	s.Handle(methodFail, func(r *wire.Reader) (wire.Marshaler, error) {
+		return nil, errors.New("provider: page not found")
+	})
+	s.Handle(methodSlow, func(r *wire.Reader) (wire.Marshaler, error) {
+		time.Sleep(200 * time.Millisecond)
+		return &echoMsg{Text: "late"}, nil
+	})
+	s.Handle(methodNobody, func(r *wire.Reader) (wire.Marshaler, error) {
+		return nil, nil
+	})
+	return s
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	for name, net := range map[string]transport.Network{
+		"memnet": transport.NewMemNet(),
+		"tcpnet": transport.NewTCPNet(),
+	} {
+		t.Run(name, func(t *testing.T) {
+			newEchoServer(t, net, "srv/echo")
+			c := NewClient(net, "cli/x", "srv/echo")
+			defer c.Close()
+			var resp echoMsg
+			err := c.Call(context.Background(), methodEcho, &echoMsg{Text: "hi", N: 41}, &resp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.Text != "hi" || resp.N != 42 {
+				t.Fatalf("resp = %+v", resp)
+			}
+		})
+	}
+}
+
+func TestCallError(t *testing.T) {
+	net := transport.NewMemNet()
+	newEchoServer(t, net, "srv/echo")
+	c := NewClient(net, "cli/x", "srv/echo")
+	defer c.Close()
+	err := c.Call(context.Background(), methodFail, &echoMsg{}, nil)
+	if err == nil || !strings.Contains(err.Error(), "page not found") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnknownMethod(t *testing.T) {
+	net := transport.NewMemNet()
+	newEchoServer(t, net, "srv/echo")
+	c := NewClient(net, "cli/x", "srv/echo")
+	defer c.Close()
+	err := c.Call(context.Background(), 999, &echoMsg{}, nil)
+	if err == nil || !strings.Contains(err.Error(), "unknown method") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNilBodyResponse(t *testing.T) {
+	net := transport.NewMemNet()
+	newEchoServer(t, net, "srv/echo")
+	c := NewClient(net, "cli/x", "srv/echo")
+	defer c.Close()
+	if err := c.Call(context.Background(), methodNobody, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContextCancel(t *testing.T) {
+	net := transport.NewMemNet()
+	newEchoServer(t, net, "srv/echo")
+	c := NewClient(net, "cli/x", "srv/echo")
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := c.Call(ctx, methodSlow, &echoMsg{}, &echoMsg{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 150*time.Millisecond {
+		t.Errorf("cancel did not return promptly")
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	net := transport.NewMemNet()
+	newEchoServer(t, net, "srv/echo")
+	c := NewClient(net, "cli/x", "srv/echo")
+	defer c.Close()
+
+	const callers = 16
+	const perCaller = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perCaller; i++ {
+				var resp echoMsg
+				req := &echoMsg{Text: fmt.Sprintf("g%d-i%d", g, i), N: uint64(i)}
+				if err := c.Call(context.Background(), methodEcho, req, &resp); err != nil {
+					errs <- err
+					return
+				}
+				if resp.Text != req.Text || resp.N != req.N+1 {
+					errs <- fmt.Errorf("mismatched response %+v for %+v", resp, req)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestServerCloseFailsCalls(t *testing.T) {
+	net := transport.NewMemNet()
+	s := newEchoServer(t, net, "srv/echo")
+	c := NewClient(net, "cli/x", "srv/echo")
+	defer c.Close()
+
+	// Prime the connection.
+	if err := c.Call(context.Background(), methodEcho, &echoMsg{}, &echoMsg{}); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		done <- c.Call(context.Background(), methodSlow, &echoMsg{}, &echoMsg{})
+	}()
+	time.Sleep(30 * time.Millisecond)
+	s.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("call survived server close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("call hung after server close")
+	}
+}
+
+func TestClientRedialsAfterServerRestart(t *testing.T) {
+	net := transport.NewMemNet()
+	s := newEchoServer(t, net, "srv/echo")
+	c := NewClient(net, "cli/x", "srv/echo")
+	defer c.Close()
+
+	if err := c.Call(context.Background(), methodEcho, &echoMsg{N: 1}, &echoMsg{}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Calls fail while the server is down...
+	failCtx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	err := c.Call(failCtx, methodEcho, &echoMsg{}, &echoMsg{})
+	cancel()
+	if err == nil {
+		t.Fatal("call succeeded against closed server")
+	}
+
+	// ...and succeed again once it is back.
+	newEchoServer(t, net, "srv/echo")
+	var resp echoMsg
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		err = c.Call(context.Background(), methodEcho, &echoMsg{N: 7}, &resp)
+		if err == nil || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("call after restart: %v", err)
+	}
+	if resp.N != 8 {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestPool(t *testing.T) {
+	net := transport.NewMemNet()
+	newEchoServer(t, net, "srv-a/echo")
+	newEchoServer(t, net, "srv-b/echo")
+	p := NewPool(net, "cli/x")
+	defer p.Close()
+
+	if p.Get("srv-a/echo") != p.Get("srv-a/echo") {
+		t.Error("pool did not cache client")
+	}
+	var resp echoMsg
+	if err := p.Call(context.Background(), "srv-a/echo", methodEcho, &echoMsg{N: 1}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Call(context.Background(), "srv-b/echo", methodEcho, &echoMsg{N: 2}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.N != 3 {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func BenchmarkCall(b *testing.B) {
+	net := transport.NewMemNet()
+	s, err := NewServer(net, "srv/echo")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	s.Handle(methodEcho, func(r *wire.Reader) (wire.Marshaler, error) {
+		var req echoMsg
+		if err := req.DecodeFrom(r); err != nil {
+			return nil, err
+		}
+		return &req, nil
+	})
+	c := NewClient(net, "cli/x", "srv/echo")
+	defer c.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var resp echoMsg
+		if err := c.Call(context.Background(), methodEcho, &echoMsg{Text: "x", N: 1}, &resp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

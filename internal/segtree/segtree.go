@@ -1,0 +1,404 @@
+// Package segtree implements BlobSeer's versioned metadata structure: a
+// copy-on-write segment tree per BLOB that maps page ranges to page
+// descriptors, with full structural sharing between versions (§3.1.1 of
+// the paper; the algorithm follows Nicolae et al. [10]).
+//
+// A version v's tree is a binary tree over the page index space
+// [0, rootSpan(v)) where rootSpan(v) is the smallest power of two
+// covering the BLOB's page count at v. Leaves map single pages to
+// replica locations; inner nodes reference children by *version number*
+// only (the child's range is implied by the parent's), so a subtree
+// untouched by a write is shared by pointing at the version that last
+// wrote into it.
+//
+// Key property used for concurrency (and the reason appends scale in
+// Figures 3-5): committing version v's metadata requires NO reads of
+// other versions' metadata. The version manager hands the writer the
+// write-interval history of all assigned versions below v, and every
+// child pointer is computable from that history alone:
+//
+//	node (range R, version w) exists  ⇔  R ∩ write(w) ≠ ∅
+//	                                     and span(R) ≤ rootSpan(w)
+//
+// (plus wrapper nodes a version creates when the grid grows past an old
+// root, handled below). Metadata commits by concurrent appenders
+// therefore proceed fully in parallel — one batched DHT write each —
+// and only version *publication* is ordered.
+package segtree
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/bits"
+	"strconv"
+	"sync"
+
+	"blobseer/internal/pagestore"
+	"blobseer/internal/wire"
+)
+
+// PageRef describes one stored page: where its replicas live, or that
+// the page is a hole (never written; reads as zeros).
+type PageRef struct {
+	Page      pagestore.Key
+	Providers []string // provider endpoint addresses, primary first
+	Hole      bool
+}
+
+// WriteRecord is one version's write interval, in page units.
+// PagesAfter is the BLOB's total page count once this version is
+// applied; it determines the version's root span.
+type WriteRecord struct {
+	Ver        uint64
+	Off        uint64 // first page written
+	N          uint64 // number of pages written (>= 1)
+	PagesAfter uint64
+}
+
+// Slot is one resolved page of a read: the page index within the BLOB
+// and its descriptor.
+type Slot struct {
+	Index uint64
+	Ref   PageRef
+}
+
+// NodeStore persists encoded tree nodes. The blob package adapts the
+// metadata DHT to this interface; tests use an in-memory map.
+type NodeStore interface {
+	// PutNodes stores keys[i] -> values[i]. Entries are immutable.
+	PutNodes(ctx context.Context, keys []string, values [][]byte) error
+	// GetNodes fetches many nodes; missing entries are nil.
+	GetNodes(ctx context.Context, keys []string) ([][]byte, error)
+}
+
+// ErrNodeMissing reports metadata lost by the node store.
+var ErrNodeMissing = errors.New("segtree: tree node missing")
+
+// RootSpan returns the page span of the root for a BLOB of n pages.
+func RootSpan(n uint64) uint64 {
+	if n <= 1 {
+		return n
+	}
+	return 1 << uint(bits.Len64(n-1))
+}
+
+// nodeKey renders the DHT key of the node covering [off, off+span) in
+// the tree of version ver.
+func nodeKey(blob, ver, off, span uint64) string {
+	return "st/" + strconv.FormatUint(blob, 10) +
+		"/" + strconv.FormatUint(ver, 10) +
+		"/" + strconv.FormatUint(off, 10) +
+		"/" + strconv.FormatUint(span, 10)
+}
+
+// Node encodings.
+const (
+	nodeInner = 0
+	nodeLeaf  = 1
+)
+
+func encodeInner(leftPresent bool, leftVer uint64, rightPresent bool, rightVer uint64) []byte {
+	b := []byte{nodeInner}
+	b = wire.AppendBool(b, leftPresent)
+	b = wire.AppendUvarint(b, leftVer)
+	b = wire.AppendBool(b, rightPresent)
+	b = wire.AppendUvarint(b, rightVer)
+	return b
+}
+
+func encodeLeaf(ref PageRef) []byte {
+	b := []byte{nodeLeaf}
+	b = wire.AppendBool(b, ref.Hole)
+	b = wire.AppendUvarint(b, ref.Page.Blob)
+	b = wire.AppendUvarint(b, ref.Page.Version)
+	b = wire.AppendUvarint(b, ref.Page.Index)
+	b = wire.AppendStringSlice(b, ref.Providers)
+	return b
+}
+
+type innerNode struct {
+	leftPresent  bool
+	leftVer      uint64
+	rightPresent bool
+	rightVer     uint64
+}
+
+// decodeNode returns either *innerNode or *PageRef.
+func decodeNode(raw []byte) (interface{}, error) {
+	if len(raw) == 0 {
+		return nil, errors.New("segtree: empty node encoding")
+	}
+	r := wire.NewReader(raw[1:])
+	switch raw[0] {
+	case nodeInner:
+		var n innerNode
+		n.leftPresent = r.Bool()
+		n.leftVer = r.Uvarint()
+		n.rightPresent = r.Bool()
+		n.rightVer = r.Uvarint()
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("segtree: decode inner: %w", err)
+		}
+		return &n, nil
+	case nodeLeaf:
+		var ref PageRef
+		ref.Hole = r.Bool()
+		ref.Page.Blob = r.Uvarint()
+		ref.Page.Version = r.Uvarint()
+		ref.Page.Index = r.Uvarint()
+		ref.Providers = r.StringSlice()
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("segtree: decode leaf: %w", err)
+		}
+		return &ref, nil
+	default:
+		return nil, fmt.Errorf("segtree: unknown node tag %d", raw[0])
+	}
+}
+
+// builder accumulates the nodes of one version's tree.
+type builder struct {
+	blob    uint64
+	w       WriteRecord
+	history []WriteRecord // ascending by Ver, all Ver < w.Ver
+	refs    []PageRef
+
+	keys   []string
+	values [][]byte
+}
+
+// intersects reports whether [aOff, aOff+aN) and [bOff, bOff+bN) overlap.
+func intersects(aOff, aN, bOff, bN uint64) bool {
+	return aOff < bOff+bN && bOff < aOff+aN
+}
+
+// latest returns the most recent history record whose write interval
+// intersects [off, off+span), or nil.
+func (b *builder) latest(off, span uint64) *WriteRecord {
+	for i := len(b.history) - 1; i >= 0; i-- {
+		rec := &b.history[i]
+		if intersects(rec.Off, rec.N, off, span) {
+			return rec
+		}
+	}
+	return nil
+}
+
+// childPointer decides how the node being built refers to the child
+// range [off, off+span): create it in this version (build recurses),
+// reuse an older version's node, or mark it absent (hole).
+func (b *builder) childPointer(off, span uint64) (present bool, ver uint64, create bool) {
+	if intersects(b.w.Off, b.w.N, off, span) {
+		return true, b.w.Ver, true
+	}
+	rec := b.latest(off, span)
+	if rec == nil {
+		return false, 0, false
+	}
+	if RootSpan(rec.PagesAfter) >= span {
+		return true, rec.Ver, false
+	}
+	// The last version writing here had a smaller tree than this range;
+	// the grid has since grown, so this version must materialize a
+	// wrapper node covering the range.
+	return true, b.w.Ver, true
+}
+
+// build creates the node covering [off, off+span) and recursively all
+// descendants this version must own.
+func (b *builder) build(off, span uint64) {
+	if span == 1 {
+		var ref PageRef
+		if intersects(b.w.Off, b.w.N, off, 1) {
+			ref = b.refs[off-b.w.Off]
+		} else {
+			// Wrapper leaf outside the write with no prior writer.
+			ref = PageRef{Hole: true}
+		}
+		b.keys = append(b.keys, nodeKey(b.blob, b.w.Ver, off, 1))
+		b.values = append(b.values, encodeLeaf(ref))
+		return
+	}
+	half := span / 2
+	lp, lv, lc := b.childPointer(off, half)
+	rp, rv, rc := b.childPointer(off+half, half)
+	if lc {
+		b.build(off, half)
+	}
+	if rc {
+		b.build(off+half, half)
+	}
+	b.keys = append(b.keys, nodeKey(b.blob, b.w.Ver, off, span))
+	b.values = append(b.values, encodeInner(lp, lv, rp, rv))
+}
+
+// Commit computes and stores all tree nodes for version w of blob.
+// refs[i] describes page w.Off+i; history lists the write intervals of
+// every assigned version below w.Ver (ascending). The commit is one
+// batched write to the node store and reads nothing.
+func Commit(ctx context.Context, store NodeStore, blob uint64, w WriteRecord, history []WriteRecord, refs []PageRef) error {
+	if w.N == 0 {
+		return errors.New("segtree: zero-length write")
+	}
+	if uint64(len(refs)) != w.N {
+		return fmt.Errorf("segtree: %d refs for %d pages", len(refs), w.N)
+	}
+	if w.Off+w.N > w.PagesAfter {
+		return fmt.Errorf("segtree: write [%d,%d) exceeds PagesAfter %d", w.Off, w.Off+w.N, w.PagesAfter)
+	}
+	for _, h := range history {
+		if h.Ver >= w.Ver {
+			return fmt.Errorf("segtree: history version %d >= committing version %d", h.Ver, w.Ver)
+		}
+	}
+	b := &builder{blob: blob, w: w, history: history, refs: refs}
+	b.build(0, RootSpan(w.PagesAfter))
+	return store.PutNodes(ctx, b.keys, b.values)
+}
+
+// resolveItem is one frontier entry of the level-ordered descent.
+type resolveItem struct {
+	ver  uint64
+	off  uint64
+	span uint64
+}
+
+// Resolve walks version ver's tree (for a BLOB that has `pages` pages at
+// that version) and returns the descriptors of all pages overlapping
+// [off, off+n), in index order. Holes come back with Ref.Hole == true.
+// The descent is breadth-first with one batched node fetch per level,
+// so a read of p pages costs O(log pages) round trips, not O(p).
+func Resolve(ctx context.Context, store NodeStore, blob, ver, pages, off, n uint64) ([]Slot, error) {
+	if n == 0 || pages == 0 {
+		return nil, nil
+	}
+	if off+n > pages {
+		return nil, fmt.Errorf("segtree: resolve [%d,%d) beyond %d pages", off, off+n, pages)
+	}
+	frontier := []resolveItem{{ver: ver, off: 0, span: RootSpan(pages)}}
+	slots := make([]Slot, 0, n)
+
+	for len(frontier) > 0 {
+		keys := make([]string, len(frontier))
+		for i, it := range frontier {
+			keys[i] = nodeKey(blob, it.ver, it.off, it.span)
+		}
+		raws, err := store.GetNodes(ctx, keys)
+		if err != nil {
+			return nil, err
+		}
+		var next []resolveItem
+		for i, it := range frontier {
+			if raws[i] == nil {
+				return nil, fmt.Errorf("%w: %s", ErrNodeMissing, keys[i])
+			}
+			node, err := decodeNode(raws[i])
+			if err != nil {
+				return nil, err
+			}
+			switch v := node.(type) {
+			case *PageRef:
+				if it.span != 1 {
+					return nil, fmt.Errorf("segtree: leaf with span %d", it.span)
+				}
+				slots = append(slots, Slot{Index: it.off, Ref: *v})
+			case *innerNode:
+				half := it.span / 2
+				if intersects(off, n, it.off, half) {
+					if v.leftPresent {
+						next = append(next, resolveItem{ver: v.leftVer, off: it.off, span: half})
+					} else {
+						slots = appendHoles(slots, it.off, half, off, n)
+					}
+				}
+				if intersects(off, n, it.off+half, half) {
+					if v.rightPresent {
+						next = append(next, resolveItem{ver: v.rightVer, off: it.off + half, span: half})
+					} else {
+						slots = appendHoles(slots, it.off+half, half, off, n)
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+
+	// Keep only slots inside the query and order them by index.
+	out := slots[:0]
+	for _, s := range slots {
+		if s.Index >= off && s.Index < off+n {
+			out = append(out, s)
+		}
+	}
+	sortSlots(out)
+	if uint64(len(out)) != n {
+		return nil, fmt.Errorf("segtree: resolved %d of %d pages", len(out), n)
+	}
+	return out, nil
+}
+
+// appendHoles emits hole slots for the pages of [rOff, rOff+rSpan) that
+// fall inside the query [qOff, qOff+qN).
+func appendHoles(slots []Slot, rOff, rSpan, qOff, qN uint64) []Slot {
+	lo, hi := rOff, rOff+rSpan
+	if qOff > lo {
+		lo = qOff
+	}
+	if qOff+qN < hi {
+		hi = qOff + qN
+	}
+	for p := lo; p < hi; p++ {
+		slots = append(slots, Slot{Index: p, Ref: PageRef{Hole: true}})
+	}
+	return slots
+}
+
+// sortSlots orders by page index (insertion sort: slices are small and
+// nearly sorted because the descent is left-to-right per level).
+func sortSlots(s []Slot) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].Index < s[j-1].Index; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// MemStore is an in-memory NodeStore for tests and single-process use.
+type MemStore struct {
+	mu sync.RWMutex
+	m  map[string][]byte
+}
+
+// NewMemStore returns an empty MemStore.
+func NewMemStore() *MemStore {
+	return &MemStore{m: make(map[string][]byte)}
+}
+
+// PutNodes implements NodeStore.
+func (s *MemStore) PutNodes(_ context.Context, keys []string, values [][]byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, k := range keys {
+		s.m[k] = values[i]
+	}
+	return nil
+}
+
+// GetNodes implements NodeStore.
+func (s *MemStore) GetNodes(_ context.Context, keys []string) ([][]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([][]byte, len(keys))
+	for i, k := range keys {
+		out[i] = s.m[k]
+	}
+	return out, nil
+}
+
+// Len returns the number of stored nodes.
+func (s *MemStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}

@@ -1,0 +1,394 @@
+package segtree
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"blobseer/internal/pagestore"
+)
+
+var ctx = context.Background()
+
+// mkRefs builds page refs for a write of n pages at page off by ver.
+func mkRefs(blob, ver, off, n uint64) []PageRef {
+	refs := make([]PageRef, n)
+	for i := range refs {
+		refs[i] = PageRef{
+			Page:      pagestore.Key{Blob: blob, Version: ver, Index: off + uint64(i)},
+			Providers: []string{fmt.Sprintf("prov-%d/provider", (off+uint64(i))%7)},
+		}
+	}
+	return refs
+}
+
+// model tracks expected page ownership per version.
+type model struct {
+	blob    uint64
+	history []WriteRecord
+	// owners[v] maps page index -> writing version (0 = hole), for the
+	// state as of history entry v.
+	owners [][]uint64
+}
+
+func newModel(blob uint64) *model { return &model{blob: blob} }
+
+// apply records a write and returns the WriteRecord to commit.
+func (m *model) apply(ver, off, n uint64) WriteRecord {
+	var prev []uint64
+	if len(m.owners) > 0 {
+		prev = m.owners[len(m.owners)-1]
+	}
+	pages := off + n
+	if uint64(len(prev)) > pages {
+		pages = uint64(len(prev))
+	}
+	cur := make([]uint64, pages)
+	copy(cur, prev)
+	for p := off; p < off+n; p++ {
+		cur[p] = ver
+	}
+	w := WriteRecord{Ver: ver, Off: off, N: n, PagesAfter: pages}
+	m.owners = append(m.owners, cur)
+	m.history = append(m.history, w)
+	return w
+}
+
+// verify resolves the full range of every version and compares with the
+// expected ownership.
+func (m *model) verify(t *testing.T, store NodeStore) {
+	t.Helper()
+	for vi, w := range m.history {
+		owners := m.owners[vi]
+		slots, err := Resolve(ctx, store, m.blob, w.Ver, uint64(len(owners)), 0, uint64(len(owners)))
+		if err != nil {
+			t.Fatalf("resolve ver %d: %v", w.Ver, err)
+		}
+		if len(slots) != len(owners) {
+			t.Fatalf("ver %d: %d slots, want %d", w.Ver, len(slots), len(owners))
+		}
+		for p, slot := range slots {
+			if slot.Index != uint64(p) {
+				t.Fatalf("ver %d: slot %d has index %d", w.Ver, p, slot.Index)
+			}
+			wantVer := owners[p]
+			if wantVer == 0 {
+				if !slot.Ref.Hole {
+					t.Fatalf("ver %d page %d: want hole, got %+v", w.Ver, p, slot.Ref)
+				}
+				continue
+			}
+			if slot.Ref.Hole {
+				t.Fatalf("ver %d page %d: unexpected hole, want writer %d", w.Ver, p, wantVer)
+			}
+			if slot.Ref.Page.Version != wantVer || slot.Ref.Page.Index != uint64(p) {
+				t.Fatalf("ver %d page %d: ref %+v, want writer %d", w.Ver, p, slot.Ref.Page, wantVer)
+			}
+		}
+	}
+}
+
+// commitModelWrite commits one write through the model.
+func commitModelWrite(t *testing.T, store NodeStore, m *model, ver, off, n uint64) {
+	t.Helper()
+	w := m.apply(ver, off, n)
+	if err := Commit(ctx, store, m.blob, w, m.history[:len(m.history)-1], mkRefs(m.blob, ver, off, n)); err != nil {
+		t.Fatalf("commit ver %d: %v", ver, err)
+	}
+}
+
+func TestRootSpan(t *testing.T) {
+	cases := map[uint64]uint64{0: 0, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1023: 1024, 1024: 1024, 1025: 2048}
+	for n, want := range cases {
+		if got := RootSpan(n); got != want {
+			t.Errorf("RootSpan(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestSingleAppend(t *testing.T) {
+	store := NewMemStore()
+	m := newModel(1)
+	commitModelWrite(t, store, m, 1, 0, 4)
+	m.verify(t, store)
+}
+
+func TestSequentialAppends(t *testing.T) {
+	store := NewMemStore()
+	m := newModel(2)
+	off := uint64(0)
+	for v := uint64(1); v <= 20; v++ {
+		n := uint64(1 + (v*3)%5)
+		commitModelWrite(t, store, m, v, off, n)
+		off += n
+	}
+	m.verify(t, store) // every version, including old ones, stays intact
+}
+
+func TestOverwrites(t *testing.T) {
+	store := NewMemStore()
+	m := newModel(3)
+	commitModelWrite(t, store, m, 1, 0, 16)
+	commitModelWrite(t, store, m, 2, 4, 4)  // overwrite middle
+	commitModelWrite(t, store, m, 3, 0, 1)  // overwrite first page
+	commitModelWrite(t, store, m, 4, 15, 3) // extend past the end
+	m.verify(t, store)
+}
+
+func TestWriteBeyondEndCreatesHoles(t *testing.T) {
+	store := NewMemStore()
+	m := newModel(4)
+	commitModelWrite(t, store, m, 1, 0, 1) // 1 page, root span 1
+	commitModelWrite(t, store, m, 2, 8, 2) // pages 1..7 are holes; grid grows
+	m.verify(t, store)
+}
+
+func TestFirstWriteWithLeadingHole(t *testing.T) {
+	store := NewMemStore()
+	m := newModel(5)
+	commitModelWrite(t, store, m, 1, 5, 3) // pages 0..4 never written
+	m.verify(t, store)
+}
+
+func TestGridGrowthWrapper(t *testing.T) {
+	// v1: tiny tree (span 1); v2 grows grid by 8x and does not touch
+	// v1's range beyond wrapping it; v3 appends after both.
+	store := NewMemStore()
+	m := newModel(6)
+	commitModelWrite(t, store, m, 1, 0, 1)
+	commitModelWrite(t, store, m, 2, 6, 2)
+	commitModelWrite(t, store, m, 3, 8, 4)
+	m.verify(t, store)
+}
+
+func TestPartialResolve(t *testing.T) {
+	store := NewMemStore()
+	m := newModel(7)
+	commitModelWrite(t, store, m, 1, 0, 32)
+	commitModelWrite(t, store, m, 2, 10, 5)
+
+	slots, err := Resolve(ctx, store, 7, 2, 32, 8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slots) != 10 {
+		t.Fatalf("got %d slots", len(slots))
+	}
+	for i, s := range slots {
+		p := uint64(8 + i)
+		if s.Index != p {
+			t.Fatalf("slot %d: index %d", i, s.Index)
+		}
+		want := uint64(1)
+		if p >= 10 && p < 15 {
+			want = 2
+		}
+		if s.Ref.Page.Version != want {
+			t.Errorf("page %d: writer %d, want %d", p, s.Ref.Page.Version, want)
+		}
+	}
+}
+
+func TestResolveBounds(t *testing.T) {
+	store := NewMemStore()
+	m := newModel(8)
+	commitModelWrite(t, store, m, 1, 0, 4)
+	if _, err := Resolve(ctx, store, 8, 1, 4, 2, 10); err == nil {
+		t.Error("resolve past end succeeded")
+	}
+	slots, err := Resolve(ctx, store, 8, 1, 4, 0, 0)
+	if err != nil || slots != nil {
+		t.Errorf("empty resolve = %v, %v", slots, err)
+	}
+}
+
+func TestCommitValidation(t *testing.T) {
+	store := NewMemStore()
+	w := WriteRecord{Ver: 1, Off: 0, N: 0, PagesAfter: 0}
+	if err := Commit(ctx, store, 1, w, nil, nil); err == nil {
+		t.Error("zero-length commit succeeded")
+	}
+	w = WriteRecord{Ver: 1, Off: 0, N: 2, PagesAfter: 2}
+	if err := Commit(ctx, store, 1, w, nil, mkRefs(1, 1, 0, 1)); err == nil {
+		t.Error("refs/N mismatch accepted")
+	}
+	if err := Commit(ctx, store, 1, w, nil, mkRefs(1, 1, 0, 3)); err == nil {
+		t.Error("refs/N mismatch accepted")
+	}
+	w = WriteRecord{Ver: 1, Off: 4, N: 2, PagesAfter: 4}
+	if err := Commit(ctx, store, 1, w, nil, mkRefs(1, 1, 4, 2)); err == nil {
+		t.Error("write beyond PagesAfter accepted")
+	}
+	w = WriteRecord{Ver: 2, Off: 0, N: 1, PagesAfter: 1}
+	hist := []WriteRecord{{Ver: 3, Off: 0, N: 1, PagesAfter: 1}}
+	if err := Commit(ctx, store, 1, w, hist, mkRefs(1, 2, 0, 1)); err == nil {
+		t.Error("future version in history accepted")
+	}
+}
+
+func TestStructuralSharing(t *testing.T) {
+	// Appending one page to a large BLOB must create O(log n) nodes,
+	// not O(n): that is what makes concurrent appends cheap.
+	store := NewMemStore()
+	m := newModel(9)
+	commitModelWrite(t, store, m, 1, 0, 1024)
+	before := store.Len()
+	commitModelWrite(t, store, m, 2, 1024, 1)
+	created := store.Len() - before
+	// New leaf + path to root of span 2048: ~ log2(2048)+1 nodes.
+	maxNodes := bits.Len64(2048) + 2
+	if created > maxNodes {
+		t.Errorf("1-page append created %d nodes, want <= %d", created, maxNodes)
+	}
+	m.verify(t, store)
+}
+
+func TestCommitOrderIndependence(t *testing.T) {
+	// Metadata commits read nothing, so they can land out of order:
+	// commit v3 before v2 and everything must still resolve.
+	store := NewMemStore()
+	m := newModel(10)
+	w1 := m.apply(1, 0, 4)
+	w2 := m.apply(2, 4, 4)
+	w3 := m.apply(3, 8, 4)
+	if err := Commit(ctx, store, 10, w3, []WriteRecord{w1, w2}, mkRefs(10, 3, 8, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := Commit(ctx, store, 10, w1, nil, mkRefs(10, 1, 0, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := Commit(ctx, store, 10, w2, []WriteRecord{w1}, mkRefs(10, 2, 4, 4)); err != nil {
+		t.Fatal(err)
+	}
+	m.verify(t, store)
+}
+
+func TestHoleSeal(t *testing.T) {
+	// A sealed (failed) version commits hole refs for its interval;
+	// successors built on it must read holes there, not data.
+	store := NewMemStore()
+	m := newModel(11)
+	commitModelWrite(t, store, m, 1, 0, 4)
+
+	// Version 2 "failed": sealed with holes.
+	w2 := m.apply(2, 4, 4)
+	holes := make([]PageRef, 4)
+	for i := range holes {
+		holes[i] = PageRef{Hole: true}
+	}
+	if err := Commit(ctx, store, 11, w2, m.history[:1], holes); err != nil {
+		t.Fatal(err)
+	}
+	// Fix the model: sealed pages read as holes.
+	for p := 4; p < 8; p++ {
+		m.owners[1][p] = 0
+	}
+
+	commitModelWrite(t, store, m, 3, 8, 2)
+	// v3 sees v1's data, v2's holes, own data.
+	for p := 4; p < 8; p++ {
+		m.owners[2][p] = 0
+	}
+	m.verify(t, store)
+}
+
+func TestMissingNodeError(t *testing.T) {
+	store := NewMemStore()
+	m := newModel(12)
+	commitModelWrite(t, store, m, 1, 0, 8)
+	// Wipe one node.
+	for k := range store.m {
+		if strings.HasSuffix(k, "/0/1") { // a leaf
+			delete(store.m, k)
+			break
+		}
+	}
+	if _, err := Resolve(ctx, store, 12, 1, 8, 0, 8); !errors.Is(err, ErrNodeMissing) {
+		t.Errorf("err = %v, want ErrNodeMissing", err)
+	}
+}
+
+func TestRandomWritesAgainstModel(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			store := NewMemStore()
+			m := newModel(uint64(100 + seed))
+			pages := uint64(0)
+			for v := uint64(1); v <= 40; v++ {
+				var off uint64
+				switch rng.Intn(4) {
+				case 0: // append
+					off = pages
+				case 1: // write beyond end (holes)
+					off = pages + uint64(rng.Intn(10))
+				default: // overwrite inside
+					if pages > 0 {
+						off = uint64(rng.Intn(int(pages)))
+					}
+				}
+				n := uint64(1 + rng.Intn(12))
+				commitModelWrite(t, store, m, v, off, n)
+				if off+n > pages {
+					pages = off + n
+				}
+			}
+			m.verify(t, store)
+		})
+	}
+}
+
+func TestRandomAppendsManyVersions(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	store := NewMemStore()
+	m := newModel(200)
+	off := uint64(0)
+	for v := uint64(1); v <= 150; v++ {
+		n := uint64(1 + rng.Intn(4))
+		commitModelWrite(t, store, m, v, off, n)
+		off += n
+	}
+	// Spot check: latest version full read plus a few old versions.
+	m.verify(t, store)
+}
+
+func BenchmarkCommitAppend16(b *testing.B) {
+	store := NewMemStore()
+	m := newModel(300)
+	off := uint64(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v := uint64(i + 1)
+		w := m.apply(v, off, 16)
+		if err := Commit(ctx, store, 300, w, m.history[:len(m.history)-1], mkRefs(300, v, off, 16)); err != nil {
+			b.Fatal(err)
+		}
+		off += 16
+	}
+}
+
+func BenchmarkResolve16(b *testing.B) {
+	store := NewMemStore()
+	m := newModel(301)
+	off := uint64(0)
+	for v := uint64(1); v <= 64; v++ {
+		w := m.apply(v, off, 16)
+		if err := Commit(ctx, store, 301, w, m.history[:len(m.history)-1], mkRefs(301, v, off, 16)); err != nil {
+			b.Fatal(err)
+		}
+		off += 16
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := uint64(i%63) * 16
+		if _, err := Resolve(ctx, store, 301, 64, off, start, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"blobseer/internal/transport"
+)
+
+// TestSleepFloorSkipsTinyWaits: sub-floor transfers must not pay the
+// ~1ms timer tax per frame.
+func TestSleepFloorSkipsTinyWaits(t *testing.T) {
+	// 100 MB/s, 1 KiB frames => 10us nominal per frame, far below the
+	// default 1ms floor.
+	n := New(transport.NewMemNet(), Config{Bandwidth: 100 << 20})
+	startSink(t, n, "srv/sink")
+	c, err := n.Dial("cli/x", "srv/sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	for i := 0; i < 200; i++ {
+		if err := c.Send(make([]byte, 1024)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Unfloored, 200 sleeps would cost >= ~200ms on a coarse-timer
+	// box; with the floor they cost ~nothing (reservations accumulate
+	// to only ~2ms total).
+	if elapsed := time.Since(start); elapsed > 150*time.Millisecond {
+		t.Errorf("200 tiny frames took %v; sleep floor not applied", elapsed)
+	}
+}
+
+// TestSleepFloorStillLimitsSaturation: skipping tiny sleeps must not
+// break aggregate bandwidth limits — a sustained burst accumulates
+// reservations past the floor and throttles.
+func TestSleepFloorStillLimitsSaturation(t *testing.T) {
+	// 1 MB/s, 8 KiB frames => 8ms nominal per frame; a burst of 64
+	// frames is 512 KiB => nominally ~500ms.
+	n := New(transport.NewMemNet(), Config{Bandwidth: 1 << 20})
+	startSink(t, n, "srv/sink")
+	c, err := n.Dial("cli/x", "srv/sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	for i := 0; i < 64; i++ {
+		if err := c.Send(make([]byte, 8<<10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 350*time.Millisecond {
+		t.Errorf("512 KiB at 1 MB/s took only %v; shaping lost", elapsed)
+	}
+}

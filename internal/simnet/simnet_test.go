@@ -1,0 +1,231 @@
+package simnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"blobseer/internal/transport"
+)
+
+// startEcho runs a sink server that drains frames on addr.
+func startSink(t *testing.T, n transport.Network, addr transport.Addr) {
+	t.Helper()
+	l, err := n.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				for {
+					if _, err := c.Recv(); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+}
+
+func TestBandwidthShaping(t *testing.T) {
+	// 1 MB/s NIC, send 200 KB => >= ~200 ms.
+	n := New(transport.NewMemNet(), Config{Bandwidth: 1 << 20})
+	startSink(t, n, "srv/sink")
+	c, err := n.Dial("cli/x", "srv/sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	start := time.Now()
+	const frames = 20
+	for i := 0; i < frames; i++ {
+		if err := c.Send(make([]byte, 10<<10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	want := 200 * time.Millisecond // 200 KB at 1 MB/s
+	if elapsed < want*8/10 {
+		t.Errorf("200 KB at 1 MB/s took %v, want >= ~%v", elapsed, want)
+	}
+	if elapsed > want*3 {
+		t.Errorf("200 KB at 1 MB/s took %v, way over %v", elapsed, want)
+	}
+}
+
+func TestIngressContention(t *testing.T) {
+	// Two senders into one receiver NIC: aggregate is capped by the
+	// receiver's ingress, so it must take about twice as long as one
+	// sender alone would.
+	n := New(transport.NewMemNet(), Config{Bandwidth: 2 << 20})
+	startSink(t, n, "srv/sink")
+
+	send := func(host string, bytes int, wg *sync.WaitGroup) {
+		defer wg.Done()
+		c, err := n.Dial(transport.MakeAddr(host, "x"), "srv/sink")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer c.Close()
+		const frame = 16 << 10
+		for sent := 0; sent < bytes; sent += frame {
+			if err := c.Send(make([]byte, frame)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	wg.Add(2)
+	go send("cli-a", 256<<10, &wg)
+	go send("cli-b", 256<<10, &wg)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// 512 KB total through a 2 MB/s ingress => >= ~250 ms.
+	if elapsed < 200*time.Millisecond {
+		t.Errorf("incast of 512 KB at 2 MB/s took %v, want >= ~250ms", elapsed)
+	}
+}
+
+func TestSeparateHostsDontContend(t *testing.T) {
+	// Each sender/receiver pair has its own NICs; parallel transfers
+	// should take about as long as one transfer, not the sum.
+	n := New(transport.NewMemNet(), Config{Bandwidth: 1 << 20})
+	startSink(t, n, "srv-a/sink")
+	startSink(t, n, "srv-b/sink")
+
+	one := func(cli, srv string, wg *sync.WaitGroup) {
+		defer wg.Done()
+		c, err := n.Dial(transport.MakeAddr(cli, "x"), transport.MakeAddr(srv, "sink"))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer c.Close()
+		for i := 0; i < 10; i++ {
+			if err := c.Send(make([]byte, 10<<10)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	wg.Add(2)
+	go one("cli-a", "srv-a", &wg)
+	go one("cli-b", "srv-b", &wg)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Each pair moves 100 KB at 1 MB/s => ~100 ms if parallel,
+	// ~200 ms if (wrongly) serialized.
+	if elapsed > 180*time.Millisecond {
+		t.Errorf("independent transfers took %v, want ~100ms (parallel)", elapsed)
+	}
+}
+
+func TestLatency(t *testing.T) {
+	n := New(transport.NewMemNet(), Config{Latency: 20 * time.Millisecond})
+	startSink(t, n, "srv/sink")
+	c, err := n.Dial("cli/x", "srv/sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	if err := c.Send([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 18*time.Millisecond {
+		t.Errorf("send with 20ms latency returned in %v", elapsed)
+	}
+}
+
+func TestPerHostOverride(t *testing.T) {
+	// Both the sender and its sink need the override: a transfer is
+	// limited by the slower of the two NICs.
+	n := New(transport.NewMemNet(), Config{
+		Bandwidth: 1 << 20,
+		PerHost:   map[string]float64{"fast": 100 << 20, "srv-fast": 100 << 20},
+	})
+	startSink(t, n, "srv-slow/sink")
+	startSink(t, n, "srv-fast/sink")
+
+	timeSend := func(host, sink string) time.Duration {
+		c, err := n.Dial(transport.MakeAddr(host, "x"), transport.MakeAddr(sink, "sink"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		start := time.Now()
+		for i := 0; i < 5; i++ {
+			if err := c.Send(make([]byte, 10<<10)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+
+	slow := timeSend("slow", "srv-slow")
+	fast := timeSend("fast", "srv-fast")
+	if fast*2 >= slow {
+		t.Errorf("fast host (%v) not clearly faster than slow host (%v)", fast, slow)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	n := New(transport.NewMemNet(), Config{FrameOverhead: 10})
+	startSink(t, n, "srv/sink")
+	c, err := n.Dial("cli/x", "srv/sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		if err := c.Send(make([]byte, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := n.Stats("cli")
+	in := n.Stats("srv")
+	if out.BytesOut != 330 || out.FramesOut != 3 {
+		t.Errorf("cli stats = %+v, want 330 bytes / 3 frames out", out)
+	}
+	if in.BytesIn != 330 || in.FramesIn != 3 {
+		t.Errorf("srv stats = %+v, want 330 bytes / 3 frames in", in)
+	}
+	if zero := n.Stats("unknown-host"); zero != (HostStats{}) {
+		t.Errorf("unknown host stats = %+v", zero)
+	}
+}
+
+func TestUnshapedIsFast(t *testing.T) {
+	n := New(transport.NewMemNet(), Config{})
+	startSink(t, n, "srv/sink")
+	c, err := n.Dial("cli/x", "srv/sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	for i := 0; i < 1000; i++ {
+		if err := c.Send(make([]byte, 1024)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("unshaped sends took %v", elapsed)
+	}
+}
