@@ -404,6 +404,46 @@ func BenchmarkAblationLockedAppend(b *testing.B) {
 	}
 }
 
+// BenchmarkWriteDepthSweep measures multi-block file-write throughput
+// as a function of the writer pipeline depth: depth=1 is the
+// synchronous pre-pipelining writer (each block's data path completes
+// before the next begins), larger depths keep that many blocks in
+// flight behind one serialized version-assignment stream.
+func BenchmarkWriteDepthSweep(b *testing.B) {
+	const blocks = 16
+	for _, depth := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			c, err := NewCluster(Options{
+				Providers: 8, MetaProviders: 3, BlockSize: benchBlock, WriteDepth: depth,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			fs := c.Mount("node-000")
+			defer fs.Close()
+			data := benchChunk(5)
+			b.SetBytes(blocks * benchBlock)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w, err := fs.Create(benchCtx, fmt.Sprintf("/bench/depth%d/%d", depth, i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				for k := 0; k < blocks; k++ {
+					if _, err := w.Write(data); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := w.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkMetadataCommit isolates the metadata path: appends of one
 // tiny page each, so version assignment + segment-tree commit dominate.
 func BenchmarkMetadataCommit(b *testing.B) {

@@ -18,6 +18,9 @@ type Options struct {
 	// BlockSize is the page/block size in bytes (default 64 MiB; tests
 	// and examples usually pass something much smaller).
 	BlockSize uint64
+	// WriteDepth is how many blocks one writer keeps in flight
+	// (default bsfs.DefaultWriteDepth; 1 = synchronous writer).
+	WriteDepth int
 	// PageReplicas is the page replication factor (default 1).
 	PageReplicas int
 	// Net lets callers supply a shaped or TCP transport; nil uses an
@@ -57,6 +60,7 @@ func NewCluster(opts Options) (*Cluster, error) {
 		bc.Close()
 		return nil, err
 	}
+	d.WriteDepth = opts.WriteDepth
 	return &Cluster{Blob: bc, FS: d}, nil
 }
 

@@ -46,6 +46,7 @@ func main() {
 		providers = flag.Int("providers", 8, "data providers")
 		meta      = flag.Int("meta", 3, "metadata providers")
 		block     = flag.Int("block", 64, "block size in KiB")
+		depth     = flag.Int("depth", 0, "writer pipeline depth (0 = default, 1 = synchronous)")
 		demo      = flag.Bool("demo", false, "run a canned demo script")
 	)
 	flag.Parse()
@@ -54,6 +55,7 @@ func main() {
 		Providers:     *providers,
 		MetaProviders: *meta,
 		BlockSize:     uint64(*block) << 10,
+		WriteDepth:    *depth,
 	})
 	if err != nil {
 		fatal(err)

@@ -29,6 +29,7 @@ func main() {
 		page  = flag.Int("page", 256, "page/chunk size in KiB (paper: 64 MiB, scaled)")
 		bwMB  = flag.Float64("bw", 12.5, "modeled NIC bandwidth in MB/s (paper: 1 GbE, scaled)")
 		reps  = flag.Int("reps", 5, "repetitions per point (paper: 5)")
+		depth = flag.Int("depth", 0, "BSFS writer pipeline depth (blocks in flight; 0 = default, 1 = synchronous)")
 		seed  = flag.Int64("seed", 1, "random seed")
 		quick = flag.Bool("quick", false, "reduced sweeps for a fast run")
 		csv   = flag.Bool("csv", false, "also print CSV data")
@@ -41,6 +42,7 @@ func main() {
 		PageSize:      uint64(*page) << 10,
 		Bandwidth:     *bwMB * (1 << 20),
 		Reps:          *reps,
+		WriteDepth:    *depth,
 		Seed:          *seed,
 	}
 

@@ -35,6 +35,7 @@ func main() {
 		sizeKB   = flag.Int("size", 256, "input size in KiB")
 		pattern  = flag.String("pattern", "data", "grep pattern")
 		block    = flag.Int("block", 32, "block size in KiB")
+		depth    = flag.Int("depth", 0, "BSFS writer pipeline depth (0 = default, 1 = synchronous)")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -44,7 +45,7 @@ func main() {
 		outputMode = mapreduce.SeparateFiles
 	}
 
-	fw, cleanup, err := buildFramework(*fsName, *nodes, uint64(*block)<<10)
+	fw, cleanup, err := buildFramework(*fsName, *nodes, uint64(*block)<<10, *depth)
 	if err != nil {
 		fatal(err)
 	}
@@ -97,11 +98,11 @@ func main() {
 	}
 }
 
-func buildFramework(fsName string, nodes int, block uint64) (*mapreduce.Framework, func(), error) {
+func buildFramework(fsName string, nodes int, block uint64, depth int) (*mapreduce.Framework, func(), error) {
 	switch fsName {
 	case "bsfs":
 		cluster, err := blobseer.NewCluster(blobseer.Options{
-			Providers: nodes, MetaProviders: 3, BlockSize: block,
+			Providers: nodes, MetaProviders: 3, BlockSize: block, WriteDepth: depth,
 		})
 		if err != nil {
 			return nil, nil, err

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"blobseer/internal/dht"
 	"blobseer/internal/pagestore"
@@ -167,6 +168,20 @@ func (b *Blob) Abort(ctx context.Context, ver uint64) error {
 	return b.c.pool.Call(ctx, b.c.cfg.VersionManager, VMSeal, &VersionRef{Blob: b.id, Ver: ver}, nil)
 }
 
+// abortDetached seals ver in the background, on a context independent
+// of the write's (possibly already cancelled) context: a failed write
+// must still reach the version manager, or its pending version wedges
+// the publication chain until SealTimeout — forever when sealing is
+// disabled. Fire-and-forget so a caller whose context just died is
+// not held up by the seal round trip.
+func (b *Blob) abortDetached(ver uint64) {
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = b.Abort(ctx, ver)
+	}()
+}
+
 // WriteResult reports where an update landed.
 type WriteResult struct {
 	// Ver is the version this update generates (§3.1.2: "the user
@@ -183,9 +198,72 @@ type WriteResult struct {
 	SizeAfter uint64
 }
 
+// PendingWrite is an in-flight write whose version has already been
+// assigned: the serialized step is done, and the data path (boundary
+// merges, provider allocation, page writes, metadata commit,
+// completion) runs in the background.
+type PendingWrite struct {
+	res  WriteResult
+	err  error
+	done chan struct{}
+}
+
+// Result returns the placement the version manager assigned. It is
+// valid immediately, before the data path finishes; the version is not
+// readable until it publishes.
+func (p *PendingWrite) Result() WriteResult { return p.res }
+
+// Done returns a channel closed when the data path finishes.
+func (p *PendingWrite) Done() <-chan struct{} { return p.done }
+
+// Wait blocks until the data path finishes and returns the outcome.
+func (p *PendingWrite) Wait(ctx context.Context) (WriteResult, error) {
+	select {
+	case <-p.done:
+		if p.err != nil {
+			return WriteResult{}, p.err
+		}
+		return p.res, nil
+	case <-ctx.Done():
+		return WriteResult{}, ctx.Err()
+	}
+}
+
 // Append appends data to the BLOB.
 func (b *Blob) Append(ctx context.Context, data []byte) (WriteResult, error) {
 	return b.write(ctx, KindAppend, 0, data)
+}
+
+// AppendAsync starts an append and returns as soon as its version is
+// assigned, leaving the data path running in the background. This is
+// the write pipelining that §3.1.2's decoupling makes safe: only
+// version assignment is ordered, so one writer can keep several
+// appends in flight while publication still follows assignment order.
+// The caller must not modify data until the pending write finishes.
+func (b *Blob) AppendAsync(ctx context.Context, data []byte) (*PendingWrite, error) {
+	a, history, err := b.assign(ctx, KindAppend, 0, data)
+	if err != nil {
+		return nil, err
+	}
+	// Provider allocation stays in the serialized prologue so a
+	// writer's consecutive blocks keep their allocation order (and so
+	// placement strategies like round-robin keep their stride); the
+	// expensive page transfers, metadata commit, and completion run in
+	// the background.
+	alloc, err := b.allocPages(ctx, a, data)
+	if err != nil {
+		b.abortDetached(a.Ver)
+		return nil, err
+	}
+	p := &PendingWrite{
+		res:  WriteResult{Ver: a.Ver, Start: a.Start, SizeAfter: a.SizeAfter},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(p.done)
+		p.err = b.finishWrite(ctx, a, history, data, &alloc)
+	}()
+	return p, nil
 }
 
 // WriteAt writes data at a byte offset (beyond-EOF offsets create
@@ -194,24 +272,93 @@ func (b *Blob) WriteAt(ctx context.Context, data []byte, off uint64) (WriteResul
 	return b.write(ctx, KindWrite, off, data)
 }
 
-// write runs the decoupled write pipeline of §3.1.2.
+// write runs the decoupled write pipeline of §3.1.2 synchronously.
 func (b *Blob) write(ctx context.Context, kind uint64, off uint64, data []byte) (WriteResult, error) {
-	var res WriteResult
+	a, history, err := b.assign(ctx, kind, off, data)
+	if err != nil {
+		return WriteResult{}, err
+	}
+	if err := b.finishWrite(ctx, a, history, data, nil); err != nil {
+		return WriteResult{}, err
+	}
+	return WriteResult{Ver: a.Ver, Start: a.Start, SizeAfter: a.SizeAfter}, nil
+}
+
+// assign runs step 1 of the write pipeline — version assignment, the
+// only serialized step — and folds the history delta into the cache.
+func (b *Blob) assign(ctx context.Context, kind, off uint64, data []byte) (AssignResp, []segtree.WriteRecord, error) {
+	var a AssignResp
 	if len(data) == 0 {
-		return res, ErrEmptyWrite
+		return a, nil, ErrEmptyWrite
 	}
 	c := b.c
-	ps := b.pageSize
-
-	// 1. Version assignment: the only serialized step.
 	req := &AssignReq{Blob: b.id, Kind: kind, Off: off, Len: uint64(len(data)), SinceVer: c.knownPrefix(b.id)}
-	var a AssignResp
 	if err := c.pool.Call(ctx, c.cfg.VersionManager, VMAssign, req, &a); err != nil {
-		return res, fmt.Errorf("blob: assign: %w", err)
+		return a, nil, fmt.Errorf("blob: assign: %w", err)
 	}
 	history, err := c.mergeHistory(b.id, a.History, a.Record)
 	if err != nil {
-		return res, err
+		// The version is already assigned; seal it so the publication
+		// chain is not wedged behind a write that will never complete.
+		b.abortDetached(a.Ver)
+		return a, nil, err
+	}
+	return a, history, nil
+}
+
+// allocPages runs step 3 of the write pipeline: provider allocation
+// for the assigned page interval. It depends only on the assignment,
+// never on the content.
+func (b *Blob) allocPages(ctx context.Context, a AssignResp, data []byte) (AllocResp, error) {
+	c := b.c
+	ps := b.pageSize
+	rec := a.Record
+	pageBase := rec.Off * ps
+	writeEnd := a.Start + uint64(len(data))
+	recEnd := (rec.Off + rec.N) * ps
+	contentEnd := maxU64(writeEnd, minU64(recEnd, a.PrevSize))
+
+	var alloc AllocResp
+	err := c.pool.Call(ctx, c.cfg.ProviderManager, PMAlloc, &AllocReq{
+		Blob:     b.id,
+		NPages:   rec.N,
+		Replicas: uint64(c.cfg.PageReplicas),
+		Bytes:    contentEnd - pageBase,
+	}, &alloc)
+	if err != nil {
+		return alloc, fmt.Errorf("blob: alloc: %w", err)
+	}
+	return alloc, nil
+}
+
+// finishWrite runs the data path of the write pipeline (steps 2-6).
+// When the caller already allocated providers (the pipelined path),
+// preAlloc carries the result; otherwise the allocation round trip is
+// overlapped with the boundary-merge reads.
+func (b *Blob) finishWrite(ctx context.Context, a AssignResp, history []segtree.WriteRecord, data []byte, preAlloc *AllocResp) error {
+	c := b.c
+	ps := b.pageSize
+	rec := a.Record
+	pageBase := rec.Off * ps
+	writeEnd := a.Start + uint64(len(data))
+	recEnd := (rec.Off + rec.N) * ps
+	headHi := minU64(a.Start, a.PrevSize)
+	tailHi := minU64(recEnd, a.PrevSize)
+	contentEnd := maxU64(writeEnd, tailHi)
+
+	// 3 (overlapped). Provider allocation runs while the boundary
+	// merges of step 2 read the neighbouring bytes.
+	var alloc AllocResp
+	allocDone := make(chan error, 1)
+	if preAlloc != nil {
+		alloc = *preAlloc
+		allocDone <- nil
+	} else {
+		go func() {
+			var err error
+			alloc, err = b.allocPages(ctx, a, data)
+			allocDone <- err
+		}()
 	}
 
 	// 2. Boundary merges. A write that starts or ends mid-page must
@@ -219,110 +366,115 @@ func (b *Blob) write(ctx context.Context, kind uint64, off uint64, data []byte) 
 	// stored page is a contiguous prefix of its slot. Whole-page
 	// appends (the common case and all benchmark workloads) skip this
 	// entirely and stay fully parallel.
-	rec := a.Record
-	pageBase := rec.Off * ps
-	writeEnd := a.Start + uint64(len(data))
-	recEnd := (rec.Off + rec.N) * ps
-
-	headHi := minU64(a.Start, a.PrevSize)
-	tailHi := minU64(recEnd, a.PrevSize)
 	var head, tail []byte
+	var err error
 	if (headHi > pageBase || tailHi > writeEnd) && a.Ver >= 2 {
-		if _, err := b.WaitPublished(ctx, a.Ver-1); err != nil {
-			return res, fmt.Errorf("blob: boundary merge wait: %w", err)
+		if _, werr := b.WaitPublished(ctx, a.Ver-1); werr != nil {
+			err = fmt.Errorf("blob: boundary merge wait: %w", werr)
 		}
-		if headHi > pageBase {
-			head, err = b.ReadAt(ctx, a.Ver-1, pageBase, headHi-pageBase)
-			if err != nil {
-				return res, fmt.Errorf("blob: head merge: %w", err)
+		if err == nil && headHi > pageBase {
+			if head, err = b.ReadAt(ctx, a.Ver-1, pageBase, headHi-pageBase); err != nil {
+				err = fmt.Errorf("blob: head merge: %w", err)
 			}
 		}
-		if tailHi > writeEnd {
-			tail, err = b.ReadAt(ctx, a.Ver-1, writeEnd, tailHi-writeEnd)
-			if err != nil {
-				return res, fmt.Errorf("blob: tail merge: %w", err)
+		if err == nil && tailHi > writeEnd {
+			if tail, err = b.ReadAt(ctx, a.Ver-1, writeEnd, tailHi-writeEnd); err != nil {
+				err = fmt.Errorf("blob: tail merge: %w", err)
 			}
 		}
 	}
+	allocErr := <-allocDone
+	if err != nil {
+		b.abortDetached(a.Ver)
+		return err
+	}
+	if allocErr != nil {
+		b.abortDetached(a.Ver)
+		return allocErr
+	}
+	r := int(alloc.Replicas)
+	if uint64(len(alloc.Providers)) != rec.N*uint64(r) {
+		b.abortDetached(a.Ver)
+		return fmt.Errorf("blob: alloc returned %d providers for %d pages", len(alloc.Providers), rec.N)
+	}
 
-	contentEnd := maxU64(writeEnd, tailHi)
 	content := make([]byte, contentEnd-pageBase)
 	copy(content[a.Start-pageBase:], data)
 	copy(content, head) // head covers [pageBase, headHi)
 	copy(content[writeEnd-pageBase:], tail)
 
-	// 3. Provider allocation.
-	var alloc AllocResp
-	err = c.pool.Call(ctx, c.cfg.ProviderManager, PMAlloc, &AllocReq{
-		Blob:     b.id,
-		NPages:   rec.N,
-		Replicas: uint64(c.cfg.PageReplicas),
-		Bytes:    uint64(len(content)),
-	}, &alloc)
-	if err != nil {
-		return res, fmt.Errorf("blob: alloc: %w", err)
-	}
-	r := int(alloc.Replicas)
-	if uint64(len(alloc.Providers)) != rec.N*uint64(r) {
-		return res, fmt.Errorf("blob: alloc returned %d providers for %d pages", len(alloc.Providers), rec.N)
-	}
-
 	// 4. Parallel page writes.
 	refs := make([]segtree.PageRef, rec.N)
-	sem := make(chan struct{}, c.cfg.MaxParallelPages)
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	for i := uint64(0); i < rec.N; i++ {
+	err = c.forEachPage(rec.N, func(i uint64) error {
 		lo := i * ps
 		hi := minU64(lo+ps, uint64(len(content)))
 		key := pagestore.Key{Blob: b.id, Version: a.Ver, Index: rec.Off + i}
 		replicas := alloc.Providers[i*uint64(r) : (i+1)*uint64(r)]
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i uint64, key pagestore.Key, page []byte, replicas []string) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			var ok []string
-			var lastErr error
-			for _, addr := range replicas {
-				err := c.pool.Call(ctx, transport.Addr(addr), ProvPutPage, &PutPageReq{Key: key, Data: page}, nil)
-				if err != nil {
-					lastErr = err
-					continue
-				}
-				ok = append(ok, addr)
+		var ok []string
+		var lastErr error
+		for _, addr := range replicas {
+			err := c.pool.Call(ctx, transport.Addr(addr), ProvPutPage, &PutPageReq{Key: key, Data: content[lo:hi]}, nil)
+			if err != nil {
+				lastErr = err
+				continue
 			}
-			mu.Lock()
-			defer mu.Unlock()
-			if len(ok) == 0 {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("%w: page %d: %v", ErrPageWrite, key.Index, lastErr)
-				}
-				return
-			}
-			refs[i] = segtree.PageRef{Page: key, Providers: ok}
-		}(i, key, content[lo:hi], replicas)
-	}
-	wg.Wait()
-	if firstErr != nil {
+			ok = append(ok, addr)
+		}
+		if len(ok) == 0 {
+			return fmt.Errorf("%w: page %d: %v", ErrPageWrite, key.Index, lastErr)
+		}
+		refs[i] = segtree.PageRef{Page: key, Providers: ok}
+		return nil
+	})
+	if err != nil {
 		// Give up on this version so the publication chain moves on.
-		_ = b.Abort(ctx, a.Ver)
-		return res, firstErr
+		b.abortDetached(a.Ver)
+		return err
 	}
 
 	// 5. Metadata commit: one batched DHT write, no reads.
 	if err := segtree.Commit(ctx, c.nodes, b.id, rec, history, refs); err != nil {
-		_ = b.Abort(ctx, a.Ver)
-		return res, fmt.Errorf("blob: metadata commit: %w", err)
+		b.abortDetached(a.Ver)
+		return fmt.Errorf("blob: metadata commit: %w", err)
 	}
 
 	// 6. Notify the version manager; publication follows version order.
 	if err := c.pool.Call(ctx, c.cfg.VersionManager, VMComplete, &VersionRef{Blob: b.id, Ver: a.Ver}, nil); err != nil {
-		return res, fmt.Errorf("blob: complete: %w", err)
+		// An unacknowledged completion leaves the version pending with
+		// its pages and metadata already committed; seal it so the
+		// chain moves on, mirroring the page-write and metadata-commit
+		// failure paths.
+		b.abortDetached(a.Ver)
+		return fmt.Errorf("blob: complete: %w", err)
 	}
-	res = WriteResult{Ver: a.Ver, Start: a.Start, SizeAfter: a.SizeAfter}
-	return res, nil
+	return nil
+}
+
+// forEachPage runs fn for page indices [0, n) on up to
+// MaxParallelPages goroutines — the transfer scaffolding shared by the
+// write and read paths — and returns the first error.
+func (c *Client) forEachPage(n uint64, fn func(i uint64) error) error {
+	sem := make(chan struct{}, c.cfg.MaxParallelPages)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for i := uint64(0); i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i uint64) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := fn(i); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	return firstErr
 }
 
 // ReadAt reads n bytes at byte offset off from version ver (0 means
@@ -348,43 +500,27 @@ func (b *Blob) ReadAt(ctx context.Context, ver uint64, off, n uint64) ([]byte, e
 	}
 
 	out := make([]byte, n)
-	sem := make(chan struct{}, b.c.cfg.MaxParallelPages)
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	for _, slot := range slots {
+	err = b.c.forEachPage(uint64(len(slots)), func(i uint64) error {
+		slot := slots[i]
+		if slot.Ref.Hole {
+			return nil // zeros already
+		}
 		lo := maxU64(off, slot.Index*ps)
 		hi := minU64(off+n, (slot.Index+1)*ps)
-		if slot.Ref.Hole {
-			continue // zeros already
+		page, err := b.c.fetchPage(ctx, slot.Ref)
+		if err != nil {
+			return err
 		}
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(slot segtree.Slot, lo, hi uint64) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			page, err := b.c.fetchPage(ctx, slot.Ref)
-			if err == nil {
-				pLo := lo - slot.Index*ps
-				pHi := hi - slot.Index*ps
-				if uint64(len(page)) < pHi {
-					err = fmt.Errorf("%w: page %d has %d bytes, need %d", ErrShortPage, slot.Index, len(page), pHi)
-				} else {
-					copy(out[lo-off:hi-off], page[pLo:pHi])
-				}
-			}
-			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-			}
-		}(slot, lo, hi)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+		pLo := lo - slot.Index*ps
+		pHi := hi - slot.Index*ps
+		if uint64(len(page)) < pHi {
+			return fmt.Errorf("%w: page %d has %d bytes, need %d", ErrShortPage, slot.Index, len(page), pHi)
+		}
+		copy(out[lo-off:hi-off], page[pLo:pHi])
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

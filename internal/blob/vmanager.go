@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"blobseer/internal/rpc"
@@ -34,8 +35,12 @@ const (
 	vsSealed
 )
 
-// blobState is the version manager's bookkeeping for one BLOB.
+// blobState is the version manager's bookkeeping for one BLOB. Each
+// blobState carries its own lock, so writers of different BLOBs never
+// contend on the version manager: assignment is serialized per BLOB
+// (the paper's consistency requirement), not globally.
 type blobState struct {
+	mu       sync.Mutex
 	pageSize uint64
 	// Per assigned version v (index v-1):
 	records    []segtree.WriteRecord
@@ -63,6 +68,26 @@ func (bs *blobState) info(ver uint64) VersionInfo {
 	}
 }
 
+// removeWaiterLocked deregisters one waiter channel for ver. Callers
+// whose wait ends without publication (timeout, server shutdown) must
+// deregister, or the waiter list grows without bound while the version
+// stays pending.
+func (bs *blobState) removeWaiterLocked(ver uint64, ch chan struct{}) {
+	chans := bs.waiters[ver]
+	for i, c := range chans {
+		if c == ch {
+			chans[i] = chans[len(chans)-1]
+			chans = chans[:len(chans)-1]
+			break
+		}
+	}
+	if len(chans) == 0 {
+		delete(bs.waiters, ver)
+	} else {
+		bs.waiters[ver] = chans
+	}
+}
+
 // VersionManagerConfig configures a version manager.
 type VersionManagerConfig struct {
 	// SealTimeout is how long an assigned version may stay pending
@@ -75,22 +100,40 @@ type VersionManagerConfig struct {
 	Nodes segtree.NodeStore
 }
 
+// vmShardCount is the number of shards of the blob map. Power of two so
+// the shard index is a mask; sized well above typical core counts to
+// keep the probability of two hot BLOBs colliding low.
+const vmShardCount = 32
+
+// vmShard holds one slice of the blob map. The shard lock guards only
+// map membership; per-BLOB state is guarded by blobState.mu.
+type vmShard struct {
+	mu    sync.Mutex
+	blobs map[uint64]*blobState
+}
+
 // VersionManager is BlobSeer's centralized version manager (§3.1.1):
 // it assigns version numbers and append offsets, and is "responsible
 // for ensuring consistency when concurrent writes to the same BLOB are
 // issued". Assignment is the only serialized step of a write and
 // exchanges O(1) data plus the write-record history delta.
+//
+// Locking is three-level so BLOBs never contend with each other:
+// vm.mu guards only blob-id allocation, each shard's lock guards one
+// slice of the id→state map, and every blobState has its own lock for
+// assign/complete/seal/wait traffic.
 type VersionManager struct {
 	srv *rpc.Server
 	cfg VersionManagerConfig
 
-	mu       sync.Mutex
-	blobs    map[uint64]*blobState
+	mu       sync.Mutex // guards nextBlob
 	nextBlob uint64
 
-	assigned       uint64
-	publishedCount uint64
-	sealed         uint64
+	shards [vmShardCount]vmShard
+
+	assigned       atomic.Uint64
+	publishedCount atomic.Uint64
+	sealed         atomic.Uint64
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -103,10 +146,12 @@ func NewVersionManager(net transport.Network, addr transport.Addr, cfg VersionMa
 		return nil, err
 	}
 	vm := &VersionManager{
-		srv:   srv,
-		cfg:   cfg,
-		blobs: make(map[uint64]*blobState),
-		done:  make(chan struct{}),
+		srv:  srv,
+		cfg:  cfg,
+		done: make(chan struct{}),
+	}
+	for i := range vm.shards {
+		vm.shards[i].blobs = make(map[uint64]*blobState)
 	}
 	srv.Handle(VMCreateBlob, vm.handleCreateBlob)
 	srv.Handle(VMOpenBlob, vm.handleOpenBlob)
@@ -140,6 +185,19 @@ func (vm *VersionManager) Close() error {
 	return err
 }
 
+func (vm *VersionManager) shard(blob uint64) *vmShard {
+	return &vm.shards[blob&(vmShardCount-1)]
+}
+
+// lookup resolves a blob id to its state without touching other shards.
+func (vm *VersionManager) lookup(blob uint64) (*blobState, bool) {
+	s := vm.shard(blob)
+	s.mu.Lock()
+	bs, ok := s.blobs[blob]
+	s.mu.Unlock()
+	return bs, ok
+}
+
 func (vm *VersionManager) handleCreateBlob(r *wire.Reader) (wire.Marshaler, error) {
 	var req CreateBlobReq
 	if err := req.DecodeFrom(r); err != nil {
@@ -149,13 +207,17 @@ func (vm *VersionManager) handleCreateBlob(r *wire.Reader) (wire.Marshaler, erro
 		return nil, errors.New("blob: zero page size")
 	}
 	vm.mu.Lock()
-	defer vm.mu.Unlock()
 	vm.nextBlob++
 	id := vm.nextBlob
-	vm.blobs[id] = &blobState{
+	vm.mu.Unlock()
+
+	s := vm.shard(id)
+	s.mu.Lock()
+	s.blobs[id] = &blobState{
 		pageSize: req.PageSize,
 		waiters:  make(map[uint64][]chan struct{}),
 	}
+	s.mu.Unlock()
 	return &CreateBlobResp{Blob: id}, nil
 }
 
@@ -164,12 +226,12 @@ func (vm *VersionManager) handleOpenBlob(r *wire.Reader) (wire.Marshaler, error)
 	if err := req.DecodeFrom(r); err != nil {
 		return nil, err
 	}
-	vm.mu.Lock()
-	defer vm.mu.Unlock()
-	bs, ok := vm.blobs[req.Blob]
+	bs, ok := vm.lookup(req.Blob)
 	if !ok {
 		return nil, ErrBlobNotFound
 	}
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
 	return &OpenBlobResp{PageSize: bs.pageSize, Latest: bs.info(bs.published)}, nil
 }
 
@@ -181,12 +243,12 @@ func (vm *VersionManager) handleAssign(r *wire.Reader) (wire.Marshaler, error) {
 	if req.Len == 0 {
 		return nil, errors.New("blob: zero-length write")
 	}
-	vm.mu.Lock()
-	defer vm.mu.Unlock()
-	bs, ok := vm.blobs[req.Blob]
+	bs, ok := vm.lookup(req.Blob)
 	if !ok {
 		return nil, ErrBlobNotFound
 	}
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
 	ps := bs.pageSize
 	var prevSize uint64
 	if n := len(bs.sizes); n > 0 {
@@ -223,7 +285,7 @@ func (vm *VersionManager) handleAssign(r *wire.Reader) (wire.Marshaler, error) {
 	bs.sizes = append(bs.sizes, sizeAfter)
 	bs.status = append(bs.status, vsPending)
 	bs.assignedAt = append(bs.assignedAt, time.Now())
-	vm.assigned++
+	vm.assigned.Add(1)
 
 	// History delta: records in (SinceVer, ver).
 	var hist []segtree.WriteRecord
@@ -245,12 +307,12 @@ func (vm *VersionManager) handleComplete(r *wire.Reader) (wire.Marshaler, error)
 	if err := req.DecodeFrom(r); err != nil {
 		return nil, err
 	}
-	vm.mu.Lock()
-	defer vm.mu.Unlock()
-	bs, ok := vm.blobs[req.Blob]
+	bs, ok := vm.lookup(req.Blob)
 	if !ok {
 		return nil, ErrBlobNotFound
 	}
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
 	if req.Ver == 0 || req.Ver > uint64(len(bs.status)) {
 		return nil, ErrNoSuchVersion
 	}
@@ -267,7 +329,7 @@ func (vm *VersionManager) handleComplete(r *wire.Reader) (wire.Marshaler, error)
 }
 
 // advanceLocked publishes the longest contiguous prefix of finished
-// versions and wakes the corresponding waiters.
+// versions and wakes the corresponding waiters. Caller holds bs.mu.
 func (vm *VersionManager) advanceLocked(bs *blobState) {
 	for bs.published < uint64(len(bs.status)) {
 		st := bs.status[bs.published]
@@ -275,7 +337,7 @@ func (vm *VersionManager) advanceLocked(bs *blobState) {
 			break
 		}
 		bs.published++
-		vm.publishedCount++
+		vm.publishedCount.Add(1)
 		if chans, ok := bs.waiters[bs.published]; ok {
 			for _, ch := range chans {
 				close(ch)
@@ -300,24 +362,23 @@ func (vm *VersionManager) handleSeal(r *wire.Reader) (wire.Marshaler, error) {
 // its write interval so readers of later versions see zeros there and
 // the publication chain advances past the failed writer.
 func (vm *VersionManager) seal(blob, ver uint64) error {
-	vm.mu.Lock()
-	bs, ok := vm.blobs[blob]
+	bs, ok := vm.lookup(blob)
 	if !ok {
-		vm.mu.Unlock()
 		return ErrBlobNotFound
 	}
+	bs.mu.Lock()
 	if ver == 0 || ver > uint64(len(bs.status)) {
-		vm.mu.Unlock()
+		bs.mu.Unlock()
 		return ErrNoSuchVersion
 	}
 	if bs.status[ver-1] != vsPending {
-		vm.mu.Unlock()
+		bs.mu.Unlock()
 		return nil // already finished; nothing to do
 	}
 	bs.status[ver-1] = vsSealing
 	rec := bs.records[ver-1]
 	history := append([]segtree.WriteRecord(nil), bs.records[:ver-1]...)
-	vm.mu.Unlock()
+	bs.mu.Unlock()
 
 	// Commit hole metadata outside the lock (network I/O).
 	holes := make([]segtree.PageRef, rec.N)
@@ -333,15 +394,15 @@ func (vm *VersionManager) seal(blob, ver uint64) error {
 		commitErr = errors.New("blob: version manager has no metadata store for sealing")
 	}
 
-	vm.mu.Lock()
-	defer vm.mu.Unlock()
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
 	if commitErr != nil {
 		// Roll back to pending; the seal loop will retry.
 		bs.status[ver-1] = vsPending
 		return fmt.Errorf("blob: seal %d/%d: %w", blob, ver, commitErr)
 	}
 	bs.status[ver-1] = vsSealed
-	vm.sealed++
+	vm.sealed.Add(1)
 	vm.advanceLocked(bs)
 	return nil
 }
@@ -360,17 +421,26 @@ func (vm *VersionManager) sealLoop() {
 		type target struct{ blob, ver uint64 }
 		var targets []target
 		now := time.Now()
-		vm.mu.Lock()
-		for id, bs := range vm.blobs {
-			// Only the version blocking publication can stall others;
-			// seal any expired pending version though, oldest first.
-			for v := bs.published + 1; v <= uint64(len(bs.status)); v++ {
-				if bs.status[v-1] == vsPending && now.Sub(bs.assignedAt[v-1]) > vm.cfg.SealTimeout {
-					targets = append(targets, target{id, v})
+		for i := range vm.shards {
+			s := &vm.shards[i]
+			s.mu.Lock()
+			states := make(map[uint64]*blobState, len(s.blobs))
+			for id, bs := range s.blobs {
+				states[id] = bs
+			}
+			s.mu.Unlock()
+			for id, bs := range states {
+				bs.mu.Lock()
+				// Only the version blocking publication can stall others;
+				// seal any expired pending version though, oldest first.
+				for v := bs.published + 1; v <= uint64(len(bs.status)); v++ {
+					if bs.status[v-1] == vsPending && now.Sub(bs.assignedAt[v-1]) > vm.cfg.SealTimeout {
+						targets = append(targets, target{id, v})
+					}
 				}
+				bs.mu.Unlock()
 			}
 		}
-		vm.mu.Unlock()
 		for _, t := range targets {
 			// Errors are retried on the next tick.
 			_ = vm.seal(t.blob, t.ver)
@@ -383,12 +453,12 @@ func (vm *VersionManager) handleGetVersion(r *wire.Reader) (wire.Marshaler, erro
 	if err := req.DecodeFrom(r); err != nil {
 		return nil, err
 	}
-	vm.mu.Lock()
-	defer vm.mu.Unlock()
-	bs, ok := vm.blobs[req.Blob]
+	bs, ok := vm.lookup(req.Blob)
 	if !ok {
 		return nil, ErrBlobNotFound
 	}
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
 	if req.Ver > uint64(len(bs.records)) {
 		return nil, ErrNoSuchVersion
 	}
@@ -401,12 +471,12 @@ func (vm *VersionManager) handleLatest(r *wire.Reader) (wire.Marshaler, error) {
 	if err := req.DecodeFrom(r); err != nil {
 		return nil, err
 	}
-	vm.mu.Lock()
-	defer vm.mu.Unlock()
-	bs, ok := vm.blobs[req.Blob]
+	bs, ok := vm.lookup(req.Blob)
 	if !ok {
 		return nil, ErrBlobNotFound
 	}
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
 	info := bs.info(bs.published)
 	return &info, nil
 }
@@ -416,48 +486,75 @@ func (vm *VersionManager) handleWaitPublished(r *wire.Reader) (wire.Marshaler, e
 	if err := req.DecodeFrom(r); err != nil {
 		return nil, err
 	}
-	vm.mu.Lock()
-	bs, ok := vm.blobs[req.Blob]
+	bs, ok := vm.lookup(req.Blob)
 	if !ok {
-		vm.mu.Unlock()
 		return nil, ErrBlobNotFound
 	}
+	bs.mu.Lock()
 	if req.Ver > uint64(len(bs.records)) {
-		vm.mu.Unlock()
+		bs.mu.Unlock()
 		return nil, ErrNoSuchVersion
 	}
 	if req.Ver <= bs.published {
 		info := bs.info(req.Ver)
-		vm.mu.Unlock()
+		bs.mu.Unlock()
 		return &info, nil
 	}
 	ch := make(chan struct{})
 	bs.waiters[req.Ver] = append(bs.waiters[req.Ver], ch)
-	vm.mu.Unlock()
+	bs.mu.Unlock()
 
 	timeout := time.Duration(req.TimeoutMillis) * time.Millisecond
 	if timeout == 0 {
 		timeout = 30 * time.Second
 	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
 	select {
 	case <-ch:
-		vm.mu.Lock()
+		bs.mu.Lock()
 		info := bs.info(req.Ver)
-		vm.mu.Unlock()
+		bs.mu.Unlock()
 		return &info, nil
-	case <-time.After(timeout):
+	case <-timer.C:
+		bs.mu.Lock()
+		if req.Ver <= bs.published {
+			// Published in the race window; the channel was (or is
+			// being) closed by advanceLocked, not left behind.
+			info := bs.info(req.Ver)
+			bs.mu.Unlock()
+			return &info, nil
+		}
+		bs.removeWaiterLocked(req.Ver, ch)
+		bs.mu.Unlock()
 		return nil, ErrWaitTimeout
 	case <-vm.done:
+		bs.mu.Lock()
+		bs.removeWaiterLocked(req.Ver, ch)
+		bs.mu.Unlock()
 		return nil, rpc.ErrServerClosed
 	}
 }
 
+// waiterCount reports the registered waiter channels for one version of
+// one blob (test hook for the waiter-leak regression test).
+func (vm *VersionManager) waiterCount(blob, ver uint64) int {
+	bs, ok := vm.lookup(blob)
+	if !ok {
+		return 0
+	}
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	return len(bs.waiters[ver])
+}
+
 func (vm *VersionManager) handleListBlobs(r *wire.Reader) (wire.Marshaler, error) {
 	vm.mu.Lock()
-	defer vm.mu.Unlock()
-	resp := &ListBlobsResp{Blobs: make([]uint64, 0, len(vm.blobs))}
-	for id := uint64(1); id <= vm.nextBlob; id++ {
-		if _, ok := vm.blobs[id]; ok {
+	next := vm.nextBlob
+	vm.mu.Unlock()
+	resp := &ListBlobsResp{Blobs: make([]uint64, 0, next)}
+	for id := uint64(1); id <= next; id++ {
+		if _, ok := vm.lookup(id); ok {
 			resp.Blobs = append(resp.Blobs, id)
 		}
 	}
@@ -465,12 +562,17 @@ func (vm *VersionManager) handleListBlobs(r *wire.Reader) (wire.Marshaler, error
 }
 
 func (vm *VersionManager) handleStats(r *wire.Reader) (wire.Marshaler, error) {
-	vm.mu.Lock()
-	defer vm.mu.Unlock()
+	var blobs uint64
+	for i := range vm.shards {
+		s := &vm.shards[i]
+		s.mu.Lock()
+		blobs += uint64(len(s.blobs))
+		s.mu.Unlock()
+	}
 	return &VMStatsResp{
-		Blobs:     uint64(len(vm.blobs)),
-		Assigned:  vm.assigned,
-		Published: vm.publishedCount,
-		Sealed:    vm.sealed,
+		Blobs:     blobs,
+		Assigned:  vm.assigned.Load(),
+		Published: vm.publishedCount.Load(),
+		Sealed:    vm.sealed.Load(),
 	}, nil
 }

@@ -2,6 +2,7 @@ package blob
 
 import (
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
@@ -180,6 +181,99 @@ func TestWaitPublishedTimeout(t *testing.T) {
 		&WaitPublishedReq{Blob: h.blob, Ver: 1, TimeoutMillis: 50}, &info)
 	if !errors.Is(err, ErrWaitTimeout) {
 		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWaitPublishedTimeoutDeregistersWaiter(t *testing.T) {
+	h := newVMHarness(t, 100)
+	h.assign(t, KindAppend, 0, 100, 0) // v1 stays pending throughout
+	// Each timed-out wait — the shape of Client.WaitPublished's retry
+	// loop, which registers a fresh server-side channel per attempt —
+	// must deregister its waiter, or the map grows without bound while
+	// a version stays pending.
+	for i := 0; i < 8; i++ {
+		var info VersionInfo
+		err := h.pool.Call(ctx, h.vm.Addr(), VMWaitPublished,
+			&WaitPublishedReq{Blob: h.blob, Ver: 1, TimeoutMillis: 20}, &info)
+		if !errors.Is(err, ErrWaitTimeout) {
+			t.Fatalf("wait %d: err = %v", i, err)
+		}
+		if n := h.vm.waiterCount(h.blob, 1); n != 0 {
+			t.Fatalf("after %d timed-out waits: %d waiters registered, want 0", i+1, n)
+		}
+	}
+	// The version still publishes normally afterwards.
+	if err := h.complete(t, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.latest(t); got.Ver != 1 {
+		t.Fatalf("latest = %+v", got)
+	}
+}
+
+func TestShardedBlobsPublishIndependently(t *testing.T) {
+	// Many BLOBs driven concurrently: assignment, completion, and
+	// publication of one BLOB must never depend on another (the
+	// sharded-lock refactor's contract).
+	net := transport.NewMemNet()
+	vm, err := NewVersionManager(net, "vm-host/vmanager", VersionManagerConfig{Nodes: segtree.NewMemStore()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vm.Close()
+	pool := rpc.NewPool(net, "cli/x")
+	defer pool.Close()
+
+	const blobs, versions = 64, 4
+	ids := make([]uint64, blobs)
+	for i := range ids {
+		var resp CreateBlobResp
+		if err := pool.Call(ctx, vm.Addr(), VMCreateBlob, &CreateBlobReq{PageSize: 100}, &resp); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = resp.Blob
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, blobs)
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			for v := 0; v < versions; v++ {
+				var a AssignResp
+				if err := pool.Call(ctx, vm.Addr(), VMAssign,
+					&AssignReq{Blob: id, Kind: KindAppend, Len: 100}, &a); err != nil {
+					errs <- err
+					return
+				}
+				if err := pool.Call(ctx, vm.Addr(), VMComplete,
+					&VersionRef{Blob: id, Ver: a.Ver}, nil); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		var info VersionInfo
+		if err := pool.Call(ctx, vm.Addr(), VMLatest, &BlobRef{Blob: id}, &info); err != nil {
+			t.Fatal(err)
+		}
+		if info.Ver != versions || info.Size != versions*100 {
+			t.Fatalf("blob %d: latest = %+v", id, info)
+		}
+	}
+	var stats VMStatsResp
+	if err := pool.Call(ctx, vm.Addr(), VMStats, nil, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Blobs != blobs || stats.Assigned != blobs*versions || stats.Published != blobs*versions {
+		t.Fatalf("stats = %+v", stats)
 	}
 }
 

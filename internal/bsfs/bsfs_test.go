@@ -8,6 +8,7 @@ import (
 	"io"
 	"sync"
 	"testing"
+	"time"
 
 	"blobseer/internal/blob"
 	"blobseer/internal/dfs"
@@ -474,5 +475,183 @@ func TestLargeStreamingCopy(t *testing.T) {
 	}
 	if !bytes.Equal(out.Bytes(), data) {
 		t.Fatal("streamed copy mismatch")
+	}
+}
+
+//
+// Pipelined-writer tests: up to Config.WriteDepth blocks in flight.
+//
+
+// TestPipelinedWriterKeepsBlockOrder writes a many-block file through a
+// deep pipeline; the file must read back exactly in write order, since
+// version assignment stays serialized in the writer's goroutine.
+func TestPipelinedWriterKeepsBlockOrder(t *testing.T) {
+	d := newDeployment(t, 512)
+	d.WriteDepth = 8
+	fs := mount(t, d, "cli")
+	data := pattern(3, 20*512+100) // 20 full blocks plus a partial tail
+	if err := dfs.WriteFile(ctx, fs, "/pipelined", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dfs.ReadAll(ctx, fs, "/pipelined")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("pipelined write content mismatch")
+	}
+}
+
+// TestPipelinedConcurrentAppendersRecordsIntact runs several pipelined
+// writers appending block-sized records to one shared file: every
+// record must appear exactly once, intact, and each writer's records
+// must keep their relative order.
+func TestPipelinedConcurrentAppendersRecordsIntact(t *testing.T) {
+	const writers, records, block = 8, 12, 256
+	d := newDeployment(t, block)
+	d.WriteDepth = 4
+	setup := mount(t, d, "cli")
+	if err := dfs.WriteFile(ctx, setup, "/shared", nil); err != nil {
+		t.Fatal(err)
+	}
+	mounts := make([]*FS, writers)
+	for i := range mounts {
+		mounts[i] = mount(t, d, fmt.Sprintf("w%d", i))
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for wi := 0; wi < writers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			w, err := mounts[wi].Append(ctx, "/shared")
+			if err != nil {
+				errs <- err
+				return
+			}
+			for ri := 0; ri < records; ri++ {
+				rec := make([]byte, block)
+				for k := range rec {
+					rec[k] = byte(wi*records + ri)
+				}
+				if _, err := w.Write(rec); err != nil {
+					errs <- err
+					w.Close()
+					return
+				}
+			}
+			if err := w.Close(); err != nil {
+				errs <- err
+			}
+		}(wi)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	got, err := dfs.ReadAll(ctx, setup, "/shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != writers*records*block {
+		t.Fatalf("file size = %d, want %d", len(got), writers*records*block)
+	}
+	seen := make(map[byte]int)   // record tag -> occurrences
+	lastRec := make(map[int]int) // writer -> last record index seen
+	for off := 0; off < len(got); off += block {
+		tag := got[off]
+		for k := 1; k < block; k++ {
+			if got[off+k] != tag {
+				t.Fatalf("record at %d torn: byte %d is %d, want %d", off, k, got[off+k], tag)
+			}
+		}
+		seen[tag]++
+		wi, ri := int(tag)/records, int(tag)%records
+		if last, ok := lastRec[wi]; ok && ri < last {
+			t.Fatalf("writer %d record %d appeared after record %d", wi, ri, last)
+		}
+		lastRec[wi] = ri
+	}
+	if len(seen) != writers*records {
+		t.Fatalf("distinct records = %d, want %d", len(seen), writers*records)
+	}
+	for tag, n := range seen {
+		if n != 1 {
+			t.Fatalf("record %d appeared %d times", tag, n)
+		}
+	}
+}
+
+// TestPipelinedFlushDrains verifies Flush blocks until every in-flight
+// block is complete and the namespace size reflects all of them.
+func TestPipelinedFlushDrains(t *testing.T) {
+	const block = 256
+	d := newDeployment(t, block)
+	d.WriteDepth = 8
+	fs := mount(t, d, "cli")
+	w, err := fs.Create(ctx, "/drain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	data := pattern(5, 6*block)
+	if _, err := w.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.(dfs.Flusher).Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// All six blocks completed, so they also all published (versions
+	// publish in order) and the size is authoritative immediately.
+	fi, err := fs.Stat(ctx, "/drain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size != 6*block {
+		t.Fatalf("size after Flush = %d, want %d", fi.Size, 6*block)
+	}
+	// The namespace's cached size was updated too (coalesced path).
+	infos, err := fs.List(ctx, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fi := range infos {
+		if fi.Path == "/drain" && fi.Size != 6*block {
+			t.Fatalf("namespace size after Flush = %d, want %d", fi.Size, 6*block)
+		}
+	}
+}
+
+// TestPipelinedWriterErrorPropagation cancels the writer's context so
+// in-flight data paths fail, and verifies the failure surfaces through
+// Write and Close rather than being swallowed by the pipeline.
+func TestPipelinedWriterErrorPropagation(t *testing.T) {
+	const block = 256
+	d := newDeployment(t, block)
+	d.WriteDepth = 4
+	fs := mount(t, d, "cli")
+	cctx, cancel := context.WithCancel(ctx)
+	w, err := fs.Create(cctx, "/doomed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(pattern(1, block)); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	// The next full block cannot start (assignment fails on the dead
+	// context) or a prior block's failure has already been recorded.
+	deadline := time.Now().Add(5 * time.Second)
+	var werr error
+	for werr == nil && time.Now().Before(deadline) {
+		_, werr = w.Write(pattern(2, block))
+	}
+	if werr == nil {
+		t.Fatal("no error surfaced after context cancellation")
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("Close reported success after a failed pipeline")
 	}
 }

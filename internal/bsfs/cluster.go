@@ -11,6 +11,11 @@ type Deployment struct {
 	Blob *blob.Cluster
 	NS   *NamespaceManager
 
+	// WriteDepth is the writer pipeline depth handed to mounts (how
+	// many blocks one writer keeps in flight); 0 means
+	// DefaultWriteDepth, 1 reverts to the synchronous writer.
+	WriteDepth int
+
 	nsClient  *blob.Client // owned by the namespace manager
 	blockSize uint64
 }
@@ -38,6 +43,7 @@ func (d *Deployment) Mount(host string) *FS {
 		ProviderManager: d.Blob.PM.Addr(),
 		Metadata:        d.Blob.MetaAddrs(),
 		BlockSize:       d.blockSize,
+		WriteDepth:      d.WriteDepth,
 		MetaReplicas:    d.Blob.Cfg.MetaReplicas,
 		PageReplicas:    d.Blob.Cfg.PageReplicas,
 	})

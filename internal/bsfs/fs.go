@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync"
 
 	"blobseer/internal/blob"
 	"blobseer/internal/dfs"
@@ -26,9 +27,20 @@ type Config struct {
 	// match HDFS chunks; tests and experiments scale it down).
 	BlockSize uint64
 
+	// WriteDepth is how many blocks one writer keeps in flight: each
+	// full block starts its append without waiting for the previous
+	// one's data path, so only BlobSeer's serialized version
+	// assignment is ordered. 1 reverts to the fully synchronous
+	// writer; 0 means DefaultWriteDepth.
+	WriteDepth int
+
 	MetaReplicas int
 	PageReplicas int
 }
+
+// DefaultWriteDepth is the writer pipeline depth used when Config
+// leaves WriteDepth unset.
+const DefaultWriteDepth = 4
 
 // FS is a BSFS mount implementing dfs.FileSystem.
 type FS struct {
@@ -43,6 +55,9 @@ var _ dfs.FileSystem = (*FS)(nil)
 func New(cfg Config) *FS {
 	if cfg.BlockSize == 0 {
 		cfg.BlockSize = 64 << 20
+	}
+	if cfg.WriteDepth <= 0 {
+		cfg.WriteDepth = DefaultWriteDepth
 	}
 	return &FS{
 		cfg:  cfg,
@@ -98,6 +113,7 @@ func (fs *FS) openWriter(ctx context.Context, path string, exclusive bool) (dfs.
 		path: path,
 		b:    fs.bc.Handle(ent.Blob, ent.PageSize),
 		buf:  make([]byte, 0, ent.PageSize),
+		sem:  make(chan struct{}, fs.cfg.WriteDepth),
 	}, nil
 }
 
@@ -221,7 +237,10 @@ func (fs *FS) MetadataEntries(ctx context.Context) (uint64, error) {
 
 //
 // Writer: client-side caching of §3.2 ("delays committing writes until
-// a whole block has been filled in the cache").
+// a whole block has been filled in the cache"), pipelined so up to
+// Config.WriteDepth blocks are in flight at once. Version assignment
+// stays in the caller's goroutine, so one writer's blocks land in
+// write order; everything after assignment overlaps across blocks.
 //
 
 type fileWriter struct {
@@ -230,19 +249,41 @@ type fileWriter struct {
 	path string
 	b    *blob.Blob
 
-	buf     []byte
-	lastVer uint64
-	err     error
-	closed  bool
+	buf    []byte
+	closed bool
+
+	sem chan struct{}  // one slot per in-flight block
+	wg  sync.WaitGroup // watchers of in-flight blocks
+
+	mu           sync.Mutex
+	werr         error  // first error from any block's data path
+	lastVer      uint64 // highest version this writer produced
+	sizeSeen     uint64 // max SizeAfter among finished appends
+	sizeSent     uint64 // last size pushed to the namespace
+	sizeUpdating bool   // an NSUpdateSize coalescing loop is running
+}
+
+func (w *fileWriter) firstErr() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.werr
+}
+
+func (w *fileWriter) setErr(err error) {
+	w.mu.Lock()
+	if w.werr == nil {
+		w.werr = err
+	}
+	w.mu.Unlock()
 }
 
 // Write implements io.Writer.
 func (w *fileWriter) Write(p []byte) (int, error) {
-	if w.err != nil {
-		return 0, w.err
-	}
 	if w.closed {
 		return 0, fmt.Errorf("bsfs: write to closed file %s", w.path)
+	}
+	if err := w.firstErr(); err != nil {
+		return 0, err
 	}
 	total := 0
 	bs := int(w.b.PageSize())
@@ -256,7 +297,7 @@ func (w *fileWriter) Write(p []byte) (int, error) {
 		p = p[n:]
 		total += n
 		if len(w.buf) == bs {
-			if err := w.flush(); err != nil {
+			if err := w.launch(); err != nil {
 				return total, err
 			}
 		}
@@ -264,52 +305,120 @@ func (w *fileWriter) Write(p []byte) (int, error) {
 	return total, nil
 }
 
-// flush appends the buffered block to the BLOB and updates the
-// namespace's file size — the two-step append translation of §3.2.
-func (w *fileWriter) flush() error {
+// launch starts the buffered block's append and returns without
+// waiting for its data path, blocking only when WriteDepth blocks are
+// already in flight. The assignment happens here, in the caller's
+// goroutine, which keeps this writer's blocks in write order.
+func (w *fileWriter) launch() error {
 	if len(w.buf) == 0 {
 		return nil
 	}
-	res, err := w.b.Append(w.ctx, w.buf)
+	if err := w.firstErr(); err != nil {
+		return err
+	}
+	block := w.buf
+	w.buf = make([]byte, 0, w.b.PageSize())
+	w.sem <- struct{}{} // wait for a pipeline slot
+	p, err := w.b.AppendAsync(w.ctx, block)
 	if err != nil {
-		w.err = err
+		<-w.sem
+		w.setErr(err)
 		return err
 	}
-	w.lastVer = res.Ver
-	w.buf = w.buf[:0]
-	if err := w.fs.pool.Call(w.ctx, w.fs.cfg.Namespace, NSUpdateSize,
-		&UpdateSizeReq{Path: w.path, Size: res.SizeAfter}, nil); err != nil {
-		w.err = err
-		return err
-	}
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		res, err := p.Wait(w.ctx)
+		<-w.sem
+		if err != nil {
+			w.setErr(err)
+			return
+		}
+		w.noteAppended(res)
+	}()
 	return nil
 }
 
-// Flush appends the buffered bytes immediately (as one atomic BlobSeer
-// append) instead of waiting for a full block. Writers that need
-// record atomicity across concurrent appenders — the reducers of a
-// shared-append job — flush at record boundaries.
-func (w *fileWriter) Flush() error {
-	if w.err != nil {
-		return w.err
+// noteAppended records one finished block and pushes the file size to
+// the namespace — the second half of §3.2's two-step append
+// translation, coalesced so concurrent completions fold into one
+// in-flight NSUpdateSize carrying the maximum SizeAfter seen.
+func (w *fileWriter) noteAppended(res blob.WriteResult) {
+	w.mu.Lock()
+	if res.Ver > w.lastVer {
+		w.lastVer = res.Ver
 	}
+	if res.SizeAfter > w.sizeSeen {
+		w.sizeSeen = res.SizeAfter
+	}
+	if w.sizeUpdating {
+		w.mu.Unlock()
+		return // the running updater picks up the new maximum
+	}
+	w.sizeUpdating = true
+	w.mu.Unlock()
+
+	for {
+		w.mu.Lock()
+		target := w.sizeSeen
+		if target <= w.sizeSent {
+			w.sizeUpdating = false
+			w.mu.Unlock()
+			return
+		}
+		w.mu.Unlock()
+		err := w.fs.pool.Call(w.ctx, w.fs.cfg.Namespace, NSUpdateSize,
+			&UpdateSizeReq{Path: w.path, Size: target}, nil)
+		w.mu.Lock()
+		if err != nil {
+			if w.werr == nil {
+				w.werr = err
+			}
+			w.sizeUpdating = false
+			w.mu.Unlock()
+			return
+		}
+		w.sizeSent = target
+		w.mu.Unlock()
+	}
+}
+
+// drain waits for every in-flight block (and its namespace size
+// update) and reports the first error the pipeline hit.
+func (w *fileWriter) drain() error {
+	w.wg.Wait()
+	return w.firstErr()
+}
+
+// Flush appends the buffered bytes immediately (as one atomic BlobSeer
+// append) instead of waiting for a full block, then drains the
+// pipeline. Writers that need record atomicity across concurrent
+// appenders — the reducers of a shared-append job — flush at record
+// boundaries.
+func (w *fileWriter) Flush() error {
 	if w.closed {
 		return fmt.Errorf("bsfs: flush of closed file %s", w.path)
 	}
-	return w.flush()
+	if err := w.launch(); err != nil {
+		return err
+	}
+	return w.drain()
 }
 
-// Close flushes the tail block and waits until this writer's last
-// version is published, so data is readable when Close returns.
+// Close flushes the tail block, drains the pipeline, and waits until
+// this writer's last version is published — versions publish in
+// assignment order, so that covers every block — making data readable
+// when Close returns.
 func (w *fileWriter) Close() error {
 	if w.closed {
 		return nil
 	}
 	w.closed = true
-	if w.err != nil {
-		return w.err
+	if err := w.launch(); err != nil {
+		w.wg.Wait()
+		return err
 	}
-	if err := w.flush(); err != nil {
+	if err := w.drain(); err != nil {
 		return err
 	}
 	if w.lastVer > 0 {

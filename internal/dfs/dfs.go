@@ -53,6 +53,10 @@ type BlockLoc struct {
 
 // FileWriter is a streaming writer. Data becomes durable (and, for
 // appends, visible) in backend-sized blocks; Close flushes the tail.
+// Backends may pipeline block commits — keep several blocks in flight
+// and surface a block's error on a later Write, Flush, or Close — but
+// must preserve the writer's block order in the file and must not
+// report success from Close unless every block is durable.
 type FileWriter interface {
 	io.Writer
 	io.Closer

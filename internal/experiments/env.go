@@ -47,6 +47,10 @@ type Config struct {
 	// Placement selects the provider-allocation strategy (default
 	// random, which models balls-into-bins hotspots; see Abl 2).
 	Placement blob.Strategy
+	// WriteDepth is the BSFS writer pipeline depth (blocks in flight
+	// per writer); 0 means bsfs.DefaultWriteDepth, 1 is the
+	// synchronous writer.
+	WriteDepth int
 	// Seed drives all randomness.
 	Seed int64
 }
@@ -134,6 +138,7 @@ func newBSFSEnvStore(cfg Config, store blob.StoreKind) (*bsfsEnv, error) {
 		cluster.Close()
 		return nil, err
 	}
+	deploy.WriteDepth = cfg.WriteDepth
 	return &bsfsEnv{cfg: cfg, net: net, cluster: cluster, deploy: deploy}, nil
 }
 

@@ -68,9 +68,10 @@ type appendClient struct {
 }
 
 // runAppenders starts every client simultaneously; each appends its
-// chunk once (timed: the append call itself, i.e. until the version
-// manager acknowledges completion) and then closes (untimed publish
-// wait). A non-nil gate serializes appends — the global-lock ablation.
+// chunk once (timed: Write plus a pipeline drain, i.e. until the
+// version manager acknowledges completion) and then closes (untimed
+// publish wait). A non-nil gate serializes appends — the global-lock
+// ablation.
 func runAppenders(clients []*appendClient, meter *metrics.Meter, gate *sync.Mutex) error {
 	var wg sync.WaitGroup
 	errs := make(chan error, len(clients))
@@ -92,6 +93,13 @@ func runAppenders(clients []*appendClient, meter *metrics.Meter, gate *sync.Mute
 				gate.Lock()
 			}
 			_, werr := w.Write(c.data) // exactly one block: one append
+			if werr == nil {
+				if f, ok := w.(dfs.Flusher); ok {
+					// Drain the writer pipeline so the timed section
+					// still ends at completion acknowledgement.
+					werr = f.Flush()
+				}
+			}
 			if gate != nil {
 				gate.Unlock()
 			}

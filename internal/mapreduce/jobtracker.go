@@ -327,13 +327,24 @@ func (j *jobState) tryAssignLocked(ctx context.Context) bool {
 				}
 			}
 		}
-		// Pass 2: any free slot.
-		for _, tt := range j.jt.trackers {
-			if tt.Dead() || j.mapSlotsUsed[tt] >= j.jt.mapSlots {
+		// Pass 2: non-local, but only for splits no live tracker can
+		// serve locally. A split whose replica holder is alive merely
+		// has to wait for one of that tracker's slots — they always
+		// free — so running it elsewhere would trade permanent remote
+		// reads for a momentary scheduling convenience (the fast
+		// tracker of the moment would otherwise swallow the whole
+		// queue non-locally).
+		for qi, id := range j.pendingMaps {
+			if j.localTrackerAliveLocked(id) {
 				continue
 			}
-			j.startMapLocked(ctx, 0, j.pendingMaps[0], tt, false)
-			return true
+			for _, tt := range j.jt.trackers {
+				if tt.Dead() || j.mapSlotsUsed[tt] >= j.jt.mapSlots {
+					continue
+				}
+				j.startMapLocked(ctx, qi, id, tt, false)
+				return true
+			}
 		}
 	}
 	if j.reducesStarted && len(j.pendingReduces) > 0 {
@@ -346,6 +357,17 @@ func (j *jobState) tryAssignLocked(ctx context.Context) bool {
 			j.reduceStatus[r] = tsRunning
 			j.reduceSlotsUsed[tt]++
 			go j.execReduce(ctx, r, tt)
+			return true
+		}
+	}
+	return false
+}
+
+// localTrackerAliveLocked reports whether any live tracker holds a
+// replica of the split's first block.
+func (j *jobState) localTrackerAliveLocked(id int) bool {
+	for _, tt := range j.jt.trackers {
+		if !tt.Dead() && hostIn(tt.Host(), j.splits[id].Hosts) {
 			return true
 		}
 	}
