@@ -21,11 +21,28 @@ type Options struct {
 	// WriteDepth is how many blocks one writer keeps in flight
 	// (default bsfs.DefaultWriteDepth; 1 = synchronous writer).
 	WriteDepth int
+	// ReadDepth is how many blocks the readahead engine keeps in
+	// flight ahead of each sequential reader (default
+	// bsfs.DefaultReadDepth; negative disables readahead).
+	ReadDepth int
+	// CacheBytes budgets each mount's shared page cache (default
+	// cache.DefaultBudget; negative disables caching).
+	CacheBytes int64
 	// PageReplicas is the page replication factor (default 1).
 	PageReplicas int
 	// Net lets callers supply a shaped or TCP transport; nil uses an
 	// in-process transport at memory speed.
 	Net transport.Network
+}
+
+// CacheMiB converts a cache-budget flag value in MiB to the CacheBytes
+// convention shared by Options, bsfs.Config, and experiments.Config:
+// 0 means the default budget, negative disables caching.
+func CacheMiB(mb int) int64 {
+	if mb < 0 {
+		return -1
+	}
+	return int64(mb) << 20
 }
 
 // Cluster is an embedded BlobSeer + BSFS deployment: the quickest way
@@ -51,6 +68,7 @@ func NewCluster(opts Options) (*Cluster, error) {
 		Providers:     opts.Providers,
 		MetaProviders: opts.MetaProviders,
 		PageReplicas:  opts.PageReplicas,
+		CacheBytes:    opts.CacheBytes,
 	})
 	if err != nil {
 		return nil, err
@@ -61,6 +79,8 @@ func NewCluster(opts Options) (*Cluster, error) {
 		return nil, err
 	}
 	d.WriteDepth = opts.WriteDepth
+	d.ReadDepth = opts.ReadDepth
+	d.CacheBytes = opts.CacheBytes
 	return &Cluster{Blob: bc, FS: d}, nil
 }
 

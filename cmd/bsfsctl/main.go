@@ -47,6 +47,8 @@ func main() {
 		meta      = flag.Int("meta", 3, "metadata providers")
 		block     = flag.Int("block", 64, "block size in KiB")
 		depth     = flag.Int("depth", 0, "writer pipeline depth (0 = default, 1 = synchronous)")
+		rdepth    = flag.Int("readdepth", 0, "reader readahead depth (0 = default, negative = off)")
+		cachemb   = flag.Int("cachemb", 0, "page cache budget in MiB (0 = default, negative = off)")
 		demo      = flag.Bool("demo", false, "run a canned demo script")
 	)
 	flag.Parse()
@@ -56,6 +58,8 @@ func main() {
 		MetaProviders: *meta,
 		BlockSize:     uint64(*block) << 10,
 		WriteDepth:    *depth,
+		ReadDepth:     *rdepth,
+		CacheBytes:    blobseer.CacheMiB(*cachemb),
 	})
 	if err != nil {
 		fatal(err)

@@ -17,22 +17,25 @@ import (
 	"os"
 	"time"
 
+	"blobseer"
 	"blobseer/internal/experiments"
 	"blobseer/internal/metrics"
 )
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "figure to run: all,3,4,5,6,filecount,pipeline,abl-placement,abl-pagesize,abl-lock")
-		nodes = flag.Int("nodes", 270, "total simulated machines (paper: 270)")
-		meta  = flag.Int("meta", 20, "metadata providers (paper: 20)")
-		page  = flag.Int("page", 256, "page/chunk size in KiB (paper: 64 MiB, scaled)")
-		bwMB  = flag.Float64("bw", 12.5, "modeled NIC bandwidth in MB/s (paper: 1 GbE, scaled)")
-		reps  = flag.Int("reps", 5, "repetitions per point (paper: 5)")
-		depth = flag.Int("depth", 0, "BSFS writer pipeline depth (blocks in flight; 0 = default, 1 = synchronous)")
-		seed  = flag.Int64("seed", 1, "random seed")
-		quick = flag.Bool("quick", false, "reduced sweeps for a fast run")
-		csv   = flag.Bool("csv", false, "also print CSV data")
+		fig     = flag.String("fig", "all", "figure to run: all,3,4,5,6,filecount,pipeline,abl-placement,abl-pagesize,abl-lock")
+		nodes   = flag.Int("nodes", 270, "total simulated machines (paper: 270)")
+		meta    = flag.Int("meta", 20, "metadata providers (paper: 20)")
+		page    = flag.Int("page", 256, "page/chunk size in KiB (paper: 64 MiB, scaled)")
+		bwMB    = flag.Float64("bw", 12.5, "modeled NIC bandwidth in MB/s (paper: 1 GbE, scaled)")
+		reps    = flag.Int("reps", 5, "repetitions per point (paper: 5)")
+		depth   = flag.Int("depth", 0, "BSFS writer pipeline depth (blocks in flight; 0 = default, 1 = synchronous)")
+		rdepth  = flag.Int("readdepth", 0, "BSFS reader readahead depth (blocks in flight; 0 = default, negative = off)")
+		cachemb = flag.Int("cachemb", 0, "BSFS page cache budget in MiB per mount (0 = off so figures measure the network; >0 enables as an ablation)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		quick   = flag.Bool("quick", false, "reduced sweeps for a fast run")
+		csv     = flag.Bool("csv", false, "also print CSV data")
 	)
 	flag.Parse()
 
@@ -43,6 +46,8 @@ func main() {
 		Bandwidth:     *bwMB * (1 << 20),
 		Reps:          *reps,
 		WriteDepth:    *depth,
+		ReadDepth:     *rdepth,
+		CacheBytes:    blobseer.CacheMiB(*cachemb),
 		Seed:          *seed,
 	}
 

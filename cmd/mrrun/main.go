@@ -36,6 +36,8 @@ func main() {
 		pattern  = flag.String("pattern", "data", "grep pattern")
 		block    = flag.Int("block", 32, "block size in KiB")
 		depth    = flag.Int("depth", 0, "BSFS writer pipeline depth (0 = default, 1 = synchronous)")
+		rdepth   = flag.Int("readdepth", 0, "BSFS reader readahead depth (0 = default, negative = off)")
+		cachemb  = flag.Int("cachemb", 0, "BSFS page cache budget in MiB per mount (0 = default, negative = off)")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -45,7 +47,7 @@ func main() {
 		outputMode = mapreduce.SeparateFiles
 	}
 
-	fw, cleanup, err := buildFramework(*fsName, *nodes, uint64(*block)<<10, *depth)
+	fw, cleanup, err := buildFramework(*fsName, *nodes, uint64(*block)<<10, *depth, *rdepth, blobseer.CacheMiB(*cachemb))
 	if err != nil {
 		fatal(err)
 	}
@@ -98,11 +100,12 @@ func main() {
 	}
 }
 
-func buildFramework(fsName string, nodes int, block uint64, depth int) (*mapreduce.Framework, func(), error) {
+func buildFramework(fsName string, nodes int, block uint64, depth, rdepth int, cacheBytes int64) (*mapreduce.Framework, func(), error) {
 	switch fsName {
 	case "bsfs":
 		cluster, err := blobseer.NewCluster(blobseer.Options{
-			Providers: nodes, MetaProviders: 3, BlockSize: block, WriteDepth: depth,
+			Providers: nodes, MetaProviders: 3, BlockSize: block,
+			WriteDepth: depth, ReadDepth: rdepth, CacheBytes: cacheBytes,
 		})
 		if err != nil {
 			return nil, nil, err

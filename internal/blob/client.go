@@ -5,9 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"blobseer/internal/cache"
 	"blobseer/internal/dht"
+	"blobseer/internal/metrics"
 	"blobseer/internal/pagestore"
 	"blobseer/internal/rpc"
 	"blobseer/internal/segtree"
@@ -41,6 +44,12 @@ type ClientConfig struct {
 	// MaxParallelPages bounds concurrent page transfers per operation
 	// (default 32).
 	MaxParallelPages int
+	// CacheBytes is the byte budget of the client's shared page cache
+	// (0 means cache.DefaultBudget; negative disables caching). One
+	// cache serves every Blob handle and reader of this client, so all
+	// map tasks on a tracker share it. Versioned pages are immutable,
+	// so cached pages never go stale.
+	CacheBytes int64
 }
 
 // Client talks to a BlobSeer deployment. It is safe for concurrent use.
@@ -49,9 +58,29 @@ type Client struct {
 	pool  *rpc.Pool
 	nodes segtree.NodeStore
 
-	mu   sync.Mutex
-	hist map[uint64]*blobHistory
+	// pages is the process-shared read cache (nil when disabled);
+	// rstats aggregates the read-path counters whether or not the
+	// cache is on. replicaRR rotates the starting replica of page
+	// fetches so the primary does not absorb all read traffic.
+	pages     *cache.Cache
+	rstats    *metrics.ReadStats
+	replicaRR atomic.Uint32
+
+	mu      sync.Mutex
+	hist    map[uint64]*blobHistory
+	verinfo map[VersionRef]VersionInfo // published (immutable) versions
+	slots   map[slotKey]segtree.Slot   // resolved pages of published versions
 }
+
+// slotKey addresses one resolved page of one published version. Like
+// page content, the (read version, page index) -> PageRef mapping is
+// immutable once the version publishes, so it caches forever.
+type slotKey struct{ blob, ver, page uint64 }
+
+// cacheCap bounds the client's metadata side-caches (version infos and
+// resolved slots): when a map reaches this many entries it is dropped
+// and rebuilt, a crude but allocation-free bound.
+const cacheCap = 1 << 16
 
 // blobHistory caches write records so repeat writers receive only the
 // history delta from the version manager.
@@ -74,13 +103,30 @@ func NewClient(cfg ClientConfig) *Client {
 	pool := rpc.NewPool(cfg.Net, transport.MakeAddr(cfg.Host, "client"))
 	ring := dht.NewRing(cfg.Metadata, 64)
 	meta := dht.NewClient(ring, pool, cfg.MetaReplicas)
+	rstats := &metrics.ReadStats{}
+	var pages *cache.Cache
+	if cfg.CacheBytes >= 0 {
+		pages = cache.New(cfg.CacheBytes, rstats)
+	}
 	return &Client{
-		cfg:   cfg,
-		pool:  pool,
-		nodes: NewNodeStore(meta),
-		hist:  make(map[uint64]*blobHistory),
+		cfg:     cfg,
+		pool:    pool,
+		nodes:   NewNodeStore(meta),
+		pages:   pages,
+		rstats:  rstats,
+		hist:    make(map[uint64]*blobHistory),
+		verinfo: make(map[VersionRef]VersionInfo),
+		slots:   make(map[slotKey]segtree.Slot),
 	}
 }
+
+// ReadStats exposes the client's read-path counters (cache hits and
+// misses, readahead, provider fetches and failures).
+func (c *Client) ReadStats() *metrics.ReadStats { return c.rstats }
+
+// PageCache exposes the shared page cache (nil when disabled), for
+// tests and tools.
+func (c *Client) PageCache() *cache.Cache { return c.pages }
 
 // Close releases the client's connections.
 func (c *Client) Close() error { return c.pool.Close() }
@@ -481,54 +527,189 @@ func (c *Client) forEachPage(n uint64, fn func(i uint64) error) error {
 // the latest published version). Only published versions are readable;
 // holes read as zeros.
 func (b *Blob) ReadAt(ctx context.Context, ver uint64, off, n uint64) ([]byte, error) {
-	info, err := b.resolveVersion(ctx, ver)
-	if err != nil {
-		return nil, err
-	}
 	if n == 0 {
+		// Keep the historical contract: a zero-length read still
+		// resolves the version (surfacing not-found / not-published).
+		if _, err := b.resolveVersion(ctx, ver); err != nil {
+			return nil, err
+		}
 		return nil, nil
 	}
-	if off+n > info.Size {
-		return nil, fmt.Errorf("%w: [%d,%d) of %d", ErrOutOfRange, off, off+n, info.Size)
-	}
-	ps := b.pageSize
-	firstPage := off / ps
-	lastPage := (off + n - 1) / ps
-	slots, err := segtree.Resolve(ctx, b.c.nodes, b.id, info.Ver, info.Pages, firstPage, lastPage-firstPage+1)
-	if err != nil {
-		return nil, err
-	}
-
 	out := make([]byte, n)
-	err = b.c.forEachPage(uint64(len(slots)), func(i uint64) error {
-		slot := slots[i]
-		if slot.Ref.Hole {
-			return nil // zeros already
-		}
-		lo := maxU64(off, slot.Index*ps)
-		hi := minU64(off+n, (slot.Index+1)*ps)
-		page, err := b.c.fetchPage(ctx, slot.Ref)
-		if err != nil {
-			return err
-		}
-		pLo := lo - slot.Index*ps
-		pHi := hi - slot.Index*ps
-		if uint64(len(page)) < pHi {
-			return fmt.Errorf("%w: page %d has %d bytes, need %d", ErrShortPage, slot.Index, len(page), pHi)
-		}
-		copy(out[lo-off:hi-off], page[pLo:pHi])
-		return nil
-	})
-	if err != nil {
+	if _, err := b.ReadAtInto(ctx, ver, off, out); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
+// ReadAtInto reads len(p) bytes at byte offset off from version ver
+// (0 = latest published) into p, returning the bytes copied. It is the
+// allocation-free variant of ReadAt: cached pages are copied straight
+// into p with no intermediate buffer, so a reader streaming through a
+// warm cache moves each byte exactly once.
+func (b *Blob) ReadAtInto(ctx context.Context, ver uint64, off uint64, p []byte) (int, error) {
+	info, err := b.resolveVersion(ctx, ver)
+	if err != nil {
+		return 0, err
+	}
+	n := uint64(len(p))
+	if n == 0 {
+		return 0, nil
+	}
+	if off+n > info.Size {
+		return 0, fmt.Errorf("%w: [%d,%d) of %d", ErrOutOfRange, off, off+n, info.Size)
+	}
+	ps := b.pageSize
+	firstPage := off / ps
+	lastPage := (off + n - 1) / ps
+	slots, err := b.resolveSlots(ctx, info, firstPage, lastPage-firstPage+1)
+	if err != nil {
+		return 0, err
+	}
+
+	err = b.c.forEachPage(uint64(len(slots)), func(i uint64) error {
+		slot := slots[i]
+		lo := maxU64(off, slot.Index*ps)
+		hi := minU64(off+n, (slot.Index+1)*ps)
+		if slot.Ref.Hole {
+			clear(p[lo-off : hi-off]) // holes read as zeros
+			return nil
+		}
+		pLo := lo - slot.Index*ps
+		pHi := hi - slot.Index*ps
+		// fetchPage validates length: success means >= pHi bytes.
+		page, err := b.c.fetchPage(ctx, slot.Ref, pHi)
+		if err != nil {
+			return err
+		}
+		copy(p[lo-off:hi-off], page[pLo:pHi])
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return int(n), nil
+}
+
+// PageView returns a read-only view of one whole page of version ver
+// (0 = latest published), trimmed to the version's size: the last page
+// may be short, and pages past the end return ErrOutOfRange. When the
+// page sits in the shared cache the returned slice aliases the cached
+// copy, so streaming readers move each byte exactly once (cache →
+// caller); holes come back as freshly zeroed slices. Callers MUST NOT
+// modify the returned bytes.
+func (b *Blob) PageView(ctx context.Context, ver, page uint64) ([]byte, error) {
+	info, err := b.resolveVersion(ctx, ver)
+	if err != nil {
+		return nil, err
+	}
+	ps := b.pageSize
+	if page*ps >= info.Size {
+		return nil, fmt.Errorf("%w: page %d of %d", ErrOutOfRange, page, info.Pages)
+	}
+	want := minU64(ps, info.Size-page*ps)
+	slots, err := b.resolveSlots(ctx, info, page, 1)
+	if err != nil {
+		return nil, err
+	}
+	slot := slots[0]
+	if slot.Ref.Hole {
+		return make([]byte, want), nil
+	}
+	// fetchPage validates length: success means >= want bytes.
+	data, err := b.c.fetchPage(ctx, slot.Ref, want)
+	if err != nil {
+		return nil, err
+	}
+	return data[:want], nil
+}
+
+// Prefetch warms the shared page cache with the pages covering
+// [off, off+n) of version ver, without copying anything out. The BSFS
+// readahead engine uses it to keep pages in flight ahead of sequential
+// readers; with caching disabled it is a no-op. Ranges beyond the
+// version size are clamped, not an error.
+func (b *Blob) Prefetch(ctx context.Context, ver, off, n uint64) error {
+	if b.c.pages == nil {
+		return nil
+	}
+	info, err := b.resolveVersion(ctx, ver)
+	if err != nil {
+		return err
+	}
+	if off >= info.Size || n == 0 {
+		return nil
+	}
+	if off+n > info.Size {
+		n = info.Size - off
+	}
+	ps := b.pageSize
+	firstPage := off / ps
+	lastPage := (off + n - 1) / ps
+	slots, err := b.resolveSlots(ctx, info, firstPage, lastPage-firstPage+1)
+	if err != nil {
+		return err
+	}
+	return b.c.forEachPage(uint64(len(slots)), func(i uint64) error {
+		slot := slots[i]
+		if slot.Ref.Hole {
+			return nil
+		}
+		want := minU64(off+n, (slot.Index+1)*ps) - slot.Index*ps
+		_, err := b.c.fetchPage(ctx, slot.Ref, want)
+		return err
+	})
+}
+
+// resolveSlots maps pages [first, first+n) of the published version
+// info to their page refs, through the client's slot cache: a range
+// fully resolved before costs no metadata RPC at all. On a miss the
+// whole range is resolved in one segment-tree walk and cached.
+func (b *Blob) resolveSlots(ctx context.Context, info VersionInfo, first, n uint64) ([]segtree.Slot, error) {
+	c := b.c
+	out := make([]segtree.Slot, 0, n)
+	c.mu.Lock()
+	for i := uint64(0); i < n; i++ {
+		s, ok := c.slots[slotKey{b.id, info.Ver, first + i}]
+		if !ok {
+			out = out[:0]
+			break
+		}
+		out = append(out, s)
+	}
+	c.mu.Unlock()
+	if uint64(len(out)) == n {
+		return out, nil
+	}
+	slots, err := segtree.Resolve(ctx, c.nodes, b.id, info.Ver, info.Pages, first, n)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if len(c.slots) >= cacheCap {
+		c.slots = make(map[slotKey]segtree.Slot)
+	}
+	for _, s := range slots {
+		c.slots[slotKey{b.id, info.Ver, s.Index}] = s
+	}
+	c.mu.Unlock()
+	return slots, nil
+}
+
 // resolveVersion maps ver (0 = latest) to a published VersionInfo.
+// Published versions are immutable, so they are answered from a local
+// cache after the first lookup; only "latest" always costs an RPC.
 func (b *Blob) resolveVersion(ctx context.Context, ver uint64) (VersionInfo, error) {
 	if ver == 0 {
 		return b.Latest(ctx)
+	}
+	key := VersionRef{Blob: b.id, Ver: ver}
+	c := b.c
+	c.mu.Lock()
+	info, ok := c.verinfo[key]
+	c.mu.Unlock()
+	if ok {
+		return info, nil
 	}
 	info, err := b.GetVersion(ctx, ver)
 	if err != nil {
@@ -537,21 +718,113 @@ func (b *Blob) resolveVersion(ctx context.Context, ver uint64) (VersionInfo, err
 	if !info.Published {
 		return VersionInfo{}, ErrNotPublished
 	}
+	c.mu.Lock()
+	if len(c.verinfo) >= cacheCap {
+		c.verinfo = make(map[VersionRef]VersionInfo)
+	}
+	c.verinfo[key] = info
+	c.mu.Unlock()
 	return info, nil
 }
 
-// fetchPage retrieves one page from its replicas, primary first.
-func (c *Client) fetchPage(ctx context.Context, ref segtree.PageRef) ([]byte, error) {
-	var lastErr error
-	for _, addr := range ref.Providers {
-		var resp GetPageResp
-		err := c.pool.Call(ctx, transport.Addr(addr), ProvGetPage, &GetPageReq{Key: ref.Page}, &resp)
-		if err == nil {
-			return resp.Data, nil
-		}
-		lastErr = err
+// fetchPage retrieves one page holding at least want bytes, serving it
+// from the shared cache when possible. Concurrent readers of the same
+// missing page fold into one provider fetch. The returned slice is
+// shared and read-only.
+func (c *Client) fetchPage(ctx context.Context, ref segtree.PageRef, want uint64) ([]byte, error) {
+	if c.pages == nil {
+		return c.fetchPageDirect(ctx, ref, want)
 	}
-	return nil, fmt.Errorf("%w: %s: %v", ErrPageRead, ref.Page, lastErr)
+	data, err := c.pages.Get(ctx, ref.Page, func(fctx context.Context) ([]byte, error) {
+		return c.fetchPageDirect(fctx, ref, want)
+	})
+	if err == nil && uint64(len(data)) < want {
+		// Cached by an earlier read that needed a narrower prefix of
+		// this page; fetch wide and upgrade the entry so later wide
+		// reads hit. Get already counted the short-entry hit, so this
+		// access records one hit AND one miss — keeping "zero misses"
+		// a truthful proxy for "zero provider RPCs".
+		c.rstats.AddMiss()
+		data, err = c.fetchPageDirect(ctx, ref, want)
+		if err == nil {
+			c.pages.Put(ref.Page, data)
+		}
+	}
+	return data, err
+}
+
+// fetchPageDirect retrieves one page from its replicas, accepting only
+// replies of at least want bytes — a truncated/corrupt replica counts
+// as a failed provider and the fetch fails over to the next one, so a
+// sick replica can degrade latency but never poisons the shared cache.
+// A replica co-located with this client is tried first (the map
+// scheduler places tasks next to their data, and a local fetch spares
+// both NICs); otherwise the starting replica rotates per fetch so
+// remote read traffic spreads across replicas instead of hammering the
+// primary. Failed providers are recorded in the read stats.
+func (c *Client) fetchPageDirect(ctx context.Context, ref segtree.PageRef, want uint64) ([]byte, error) {
+	nrep := len(ref.Providers)
+	local := -1
+	for i, addr := range ref.Providers {
+		if transport.Addr(addr).Host() == c.cfg.Host {
+			local = i
+			break
+		}
+	}
+	start := 0
+	if nrep > 1 {
+		start = int(c.replicaRR.Add(1) % uint32(nrep))
+	}
+	var lastErr error
+	try := func(addr string) ([]byte, bool) {
+		var resp GetPageResp
+		c.rstats.AddProviderFetch()
+		err := c.pool.Call(ctx, transport.Addr(addr), ProvGetPage, &GetPageReq{Key: ref.Page}, &resp)
+		if err != nil {
+			// A cancelled caller is not a sick replica: don't brand
+			// the provider (reader Close cancels in-flight prefetches
+			// all the time) — the ctx check below stops the sweep.
+			if ctx.Err() == nil {
+				c.rstats.NoteProviderFailure(addr)
+			}
+			lastErr = err
+			return nil, false
+		}
+		if uint64(len(resp.Data)) < want {
+			// Either a truncated replica or a legitimately short page
+			// (a never-rewritten tail the read version overshoots).
+			// Try the remaining replicas, but don't brand the provider
+			// as failed: a legitimately short page answers this way
+			// from every healthy replica.
+			lastErr = fmt.Errorf("%w: page %s has %d bytes, need %d", ErrShortPage, ref.Page, len(resp.Data), want)
+			return nil, false
+		}
+		return resp.Data, true
+	}
+	if local >= 0 {
+		if data, ok := try(ref.Providers[local]); ok {
+			return data, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < nrep; i++ {
+		k := (start + i) % nrep
+		if k == local {
+			continue
+		}
+		if data, ok := try(ref.Providers[k]); ok {
+			return data, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	if errors.Is(lastErr, ErrShortPage) {
+		return nil, lastErr
+	}
+	return nil, fmt.Errorf("%w: %s: %w", ErrPageRead, ref.Page, lastErr)
 }
 
 // PageLoc describes where one page of a version lives; the Map/Reduce
@@ -581,7 +854,7 @@ func (b *Blob) PageLocations(ctx context.Context, ver, off, n uint64) ([]PageLoc
 	ps := b.pageSize
 	firstPage := off / ps
 	lastPage := (off + n - 1) / ps
-	slots, err := segtree.Resolve(ctx, b.c.nodes, b.id, info.Ver, info.Pages, firstPage, lastPage-firstPage+1)
+	slots, err := b.resolveSlots(ctx, info, firstPage, lastPage-firstPage+1)
 	if err != nil {
 		return nil, err
 	}

@@ -32,6 +32,10 @@ type ClusterConfig struct {
 	MetaReplicas  int // DHT replication (default 2)
 	PageReplicas  int // page replication (default 1)
 
+	// CacheBytes is the per-client page-cache budget handed to
+	// Client() (0 = cache.DefaultBudget, negative disables caching).
+	CacheBytes int64
+
 	// HostPrefix names provider hosts ("<prefix>-<i>"); defaults to
 	// "node". Clients co-locate with providers by using these hosts.
 	HostPrefix string
@@ -150,6 +154,7 @@ func (c *Cluster) Client(host string) *Client {
 		Metadata:        c.MetaAddrs(),
 		MetaReplicas:    c.Cfg.MetaReplicas,
 		PageReplicas:    c.Cfg.PageReplicas,
+		CacheBytes:      c.Cfg.CacheBytes,
 	})
 }
 

@@ -16,6 +16,15 @@ type Deployment struct {
 	// DefaultWriteDepth, 1 reverts to the synchronous writer.
 	WriteDepth int
 
+	// ReadDepth is the reader readahead depth handed to mounts (how
+	// many blocks stay in flight ahead of a sequential reader); 0
+	// means DefaultReadDepth, negative disables readahead.
+	ReadDepth int
+
+	// CacheBytes budgets each mount's shared page cache; 0 means
+	// cache.DefaultBudget, negative disables caching.
+	CacheBytes int64
+
 	nsClient  *blob.Client // owned by the namespace manager
 	blockSize uint64
 }
@@ -44,6 +53,8 @@ func (d *Deployment) Mount(host string) *FS {
 		Metadata:        d.Blob.MetaAddrs(),
 		BlockSize:       d.blockSize,
 		WriteDepth:      d.WriteDepth,
+		ReadDepth:       d.ReadDepth,
+		CacheBytes:      d.CacheBytes,
 		MetaReplicas:    d.Blob.Cfg.MetaReplicas,
 		PageReplicas:    d.Blob.Cfg.PageReplicas,
 	})

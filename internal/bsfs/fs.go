@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"blobseer/internal/blob"
+	"blobseer/internal/cache"
 	"blobseer/internal/dfs"
 	"blobseer/internal/rpc"
 	"blobseer/internal/transport"
@@ -34,6 +36,19 @@ type Config struct {
 	// writer; 0 means DefaultWriteDepth.
 	WriteDepth int
 
+	// ReadDepth is the read-side twin of WriteDepth: how many blocks
+	// the readahead engine keeps in flight ahead of each sequential
+	// reader. 0 means DefaultReadDepth; negative disables readahead
+	// (the fully synchronous reader).
+	ReadDepth int
+
+	// CacheBytes budgets the mount's shared page cache — every reader
+	// of this mount (all map tasks on a tracker) shares one cache, and
+	// BlobSeer's versioned pages are immutable, so cached pages never
+	// go stale. 0 means cache.DefaultBudget; negative disables caching
+	// (and with it readahead, which stages pages through the cache).
+	CacheBytes int64
+
 	MetaReplicas int
 	PageReplicas int
 }
@@ -41,6 +56,10 @@ type Config struct {
 // DefaultWriteDepth is the writer pipeline depth used when Config
 // leaves WriteDepth unset.
 const DefaultWriteDepth = 4
+
+// DefaultReadDepth is the reader readahead depth used when Config
+// leaves ReadDepth unset.
+const DefaultReadDepth = 4
 
 // FS is a BSFS mount implementing dfs.FileSystem.
 type FS struct {
@@ -59,6 +78,15 @@ func New(cfg Config) *FS {
 	if cfg.WriteDepth <= 0 {
 		cfg.WriteDepth = DefaultWriteDepth
 	}
+	switch {
+	case cfg.ReadDepth == 0:
+		cfg.ReadDepth = DefaultReadDepth
+	case cfg.ReadDepth < 0:
+		cfg.ReadDepth = 0 // normalized: 0 now means "readahead off"
+	}
+	if cfg.CacheBytes < 0 {
+		cfg.ReadDepth = 0 // readahead stages pages through the cache
+	}
 	return &FS{
 		cfg:  cfg,
 		pool: rpc.NewPool(cfg.Net, transport.MakeAddr(cfg.Host, "bsfs-client")),
@@ -70,6 +98,7 @@ func New(cfg Config) *FS {
 			Metadata:        cfg.Metadata,
 			MetaReplicas:    cfg.MetaReplicas,
 			PageReplicas:    cfg.PageReplicas,
+			CacheBytes:      cfg.CacheBytes,
 		}),
 	}
 }
@@ -132,7 +161,19 @@ func (fs *FS) Open(ctx context.Context, path string) (dfs.FileReader, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &fileReader{ctx: ctx, b: b, ver: info.Ver, size: info.Size, blockSize: ent.PageSize}, nil
+	r := &fileReader{ctx: ctx, b: b, blockSize: ent.PageSize}
+	r.ver.Store(info.Ver)
+	r.size.Store(info.Size)
+	if fs.cfg.ReadDepth > 0 {
+		// Each block is one BlobSeer page, fetched into the mount's
+		// shared cache ahead of the reader. Prefetch clamps against the
+		// version's own size, so a stale snapshot is harmless.
+		r.ra = cache.NewReadahead(ctx, fs.cfg.ReadDepth, fs.bc.ReadStats(),
+			func(fctx context.Context, page uint64) {
+				_ = b.Prefetch(fctx, r.ver.Load(), page*ent.PageSize, ent.PageSize)
+			})
+	}
+	return r, nil
 }
 
 func (fs *FS) lookup(ctx context.Context, path string) (EntryResp, error) {
@@ -430,47 +471,58 @@ func (w *fileWriter) Close() error {
 }
 
 //
-// Reader: whole-block prefetching (§3.2: "prefetches a whole block when
-// the requested data is not already cached").
+// Reader: whole-block reads through the mount's shared page cache
+// (§3.2: the client "prefetches a whole block when the requested data
+// is not already cached"), with up to Config.ReadDepth blocks kept in
+// flight ahead of a sequential stream by the readahead engine — the
+// read-side twin of the writer's WriteDepth pipeline.
 //
 
 type fileReader struct {
 	ctx       context.Context
 	b         *blob.Blob
-	ver       uint64
-	size      uint64
 	blockSize uint64
+
+	// ver/size are the pinned snapshot. They are atomics because the
+	// readahead goroutines read ver concurrently with Refresh.
+	ver  atomic.Uint64
+	size atomic.Uint64
 
 	pos    uint64
 	bufOff uint64
-	buf    []byte
+	buf    []byte // read-only view of the current block (may alias the cache)
+
+	ra     *cache.Readahead // nil when readahead is disabled
+	closed bool
 }
 
-// fillBlock loads the whole block containing pos into the cache
-// (§3.2: the cache "prefetches a whole block when the requested data
-// is not already cached").
+// fillBlock points r.buf at the whole block containing pos. Each BSFS
+// block is one BlobSeer page, so a cache-resident block costs no copy
+// at all — the view aliases the cached page — and consuming it nudges
+// the readahead window forward.
 func (r *fileReader) fillBlock(pos uint64) error {
-	lo := pos - pos%r.blockSize
-	hi := lo + r.blockSize
-	if hi > r.size {
-		hi = r.size
-	}
-	buf, err := r.b.ReadAt(r.ctx, r.ver, lo, hi-lo)
+	size := r.size.Load()
+	block := pos / r.blockSize
+	view, err := r.b.PageView(r.ctx, r.ver.Load(), block)
 	if err != nil {
 		return err
 	}
-	r.bufOff, r.buf = lo, buf
+	r.bufOff, r.buf = block*r.blockSize, view
+	r.ra.Observe(block, (size+r.blockSize-1)/r.blockSize)
 	return nil
 }
 
-// cached reports whether pos is inside the cached block.
+// cached reports whether pos is inside the current block view.
 func (r *fileReader) cached(pos uint64) bool {
 	return len(r.buf) > 0 && pos >= r.bufOff && pos < r.bufOff+uint64(len(r.buf))
 }
 
-// Read implements io.Reader with whole-block prefetch.
+// Read implements io.Reader with whole-block reads and readahead.
 func (r *fileReader) Read(p []byte) (int, error) {
-	if r.pos >= r.size {
+	if r.closed {
+		return 0, fmt.Errorf("bsfs: read from closed file")
+	}
+	if r.pos >= r.size.Load() {
 		return 0, io.EOF
 	}
 	if !r.cached(r.pos) {
@@ -483,22 +535,26 @@ func (r *fileReader) Read(p []byte) (int, error) {
 	return n, nil
 }
 
-// ReadAt implements io.ReaderAt through the same one-block cache, so
+// ReadAt implements io.ReaderAt through the same one-block view, so
 // sequential sub-block ReadAt patterns (the Map/Reduce record readers)
 // fetch every block exactly once instead of re-transferring the whole
 // containing block per call.
 func (r *fileReader) ReadAt(p []byte, off int64) (int, error) {
+	if r.closed {
+		return 0, fmt.Errorf("bsfs: read from closed file")
+	}
 	if off < 0 {
 		return 0, fmt.Errorf("bsfs: negative offset")
 	}
 	pos := uint64(off)
-	if pos >= r.size {
+	size := r.size.Load()
+	if pos >= size {
 		return 0, io.EOF
 	}
 	want := uint64(len(p))
 	var eof bool
-	if pos+want > r.size {
-		want = r.size - pos
+	if pos+want > size {
+		want = size - pos
 		eof = true
 	}
 	var done uint64
@@ -516,20 +572,35 @@ func (r *fileReader) ReadAt(p []byte, off int64) (int, error) {
 	return int(done), nil
 }
 
-// Close implements io.Closer.
-func (r *fileReader) Close() error { return nil }
+// Close implements io.Closer: it cancels outstanding readahead and
+// drops the block view so a closed reader pins neither cache budget
+// nor provider bandwidth. Further reads fail.
+func (r *fileReader) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	r.ra.Close()
+	r.buf = nil
+	return nil
+}
 
 // Size implements dfs.FileReader.
-func (r *fileReader) Size() uint64 { return r.size }
+func (r *fileReader) Size() uint64 { return r.size.Load() }
 
 // Refresh re-pins the latest published version so a reader can follow
 // a file that concurrent appenders are growing (the pipeline scenario
-// of §5).
+// of §5). Cached pages of older versions stay valid — versions are
+// immutable — so refreshing never invalidates the cache.
 func (r *fileReader) Refresh(ctx context.Context) (uint64, error) {
 	info, err := r.b.Latest(ctx)
 	if err != nil {
 		return 0, err
 	}
-	r.ver, r.size = info.Ver, info.Size
-	return r.size, nil
+	r.ver.Store(info.Ver)
+	r.size.Store(info.Size)
+	// The current view may end short of the refreshed size mid-block;
+	// drop it so the next read sees the grown block.
+	r.buf = nil
+	return info.Size, nil
 }

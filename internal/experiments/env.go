@@ -51,6 +51,16 @@ type Config struct {
 	// per writer); 0 means bsfs.DefaultWriteDepth, 1 is the
 	// synchronous writer.
 	WriteDepth int
+	// ReadDepth is the BSFS reader readahead depth (blocks in flight
+	// ahead of each sequential reader); 0 means bsfs.DefaultReadDepth,
+	// negative disables readahead.
+	ReadDepth int
+	// CacheBytes budgets each mount's shared page cache. The default
+	// (0) DISABLES caching in experiment environments — the figures
+	// measure the modeled network, and clients re-reading warm pages
+	// from memory would flatten the curves — unlike the library
+	// default, which caches. Set explicitly to enable as an ablation.
+	CacheBytes int64
 	// Seed drives all randomness.
 	Seed int64
 }
@@ -139,6 +149,11 @@ func newBSFSEnvStore(cfg Config, store blob.StoreKind) (*bsfsEnv, error) {
 		return nil, err
 	}
 	deploy.WriteDepth = cfg.WriteDepth
+	deploy.ReadDepth = cfg.ReadDepth
+	deploy.CacheBytes = cfg.CacheBytes
+	if cfg.CacheBytes == 0 {
+		deploy.CacheBytes = -1 // measure the network, not the cache
+	}
 	return &bsfsEnv{cfg: cfg, net: net, cluster: cluster, deploy: deploy}, nil
 }
 

@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// ReadStats aggregates the read-path counters of one client: page-cache
+// hits and misses, readahead activity, eviction pressure, and provider
+// fetch traffic. All methods are safe for concurrent use and cheap
+// enough to call on every page access.
+type ReadStats struct {
+	hits             atomic.Uint64
+	misses           atomic.Uint64
+	readahead        atomic.Uint64
+	evictions        atomic.Uint64
+	providerFetches  atomic.Uint64
+	providerFailures atomic.Uint64
+
+	mu     sync.Mutex
+	failed map[string]uint64 // provider endpoint -> failed fetch count
+}
+
+// AddHit counts one page served from the cache (including requests
+// de-duplicated onto an in-flight fetch).
+func (s *ReadStats) AddHit() { s.hits.Add(1) }
+
+// AddMiss counts one page that had to be fetched from a provider.
+func (s *ReadStats) AddMiss() { s.misses.Add(1) }
+
+// AddReadahead counts n pages scheduled by the readahead engine.
+func (s *ReadStats) AddReadahead(n uint64) { s.readahead.Add(n) }
+
+// AddEviction counts one page evicted to stay within the cache budget.
+func (s *ReadStats) AddEviction() { s.evictions.Add(1) }
+
+// AddProviderFetch counts one GetPage RPC issued to a provider
+// (successful or not).
+func (s *ReadStats) AddProviderFetch() { s.providerFetches.Add(1) }
+
+// NoteProviderFailure records one failed page fetch against the
+// provider endpoint that served it, so operators can spot sick
+// replicas.
+func (s *ReadStats) NoteProviderFailure(addr string) {
+	s.providerFailures.Add(1)
+	s.mu.Lock()
+	if s.failed == nil {
+		s.failed = make(map[string]uint64)
+	}
+	s.failed[addr]++
+	s.mu.Unlock()
+}
+
+// ReadSnapshot is a point-in-time copy of ReadStats.
+type ReadSnapshot struct {
+	Hits             uint64
+	Misses           uint64
+	Readahead        uint64
+	Evictions        uint64
+	ProviderFetches  uint64
+	ProviderFailures uint64
+	// FailedProviders maps provider endpoints to their failed fetch
+	// counts (nil when no fetch ever failed).
+	FailedProviders map[string]uint64
+}
+
+// Snapshot returns a consistent-enough copy of the counters for tests
+// and reporting. Counters are read individually, so a snapshot taken
+// while readers run may be skewed by in-flight operations.
+func (s *ReadStats) Snapshot() ReadSnapshot {
+	snap := ReadSnapshot{
+		Hits:             s.hits.Load(),
+		Misses:           s.misses.Load(),
+		Readahead:        s.readahead.Load(),
+		Evictions:        s.evictions.Load(),
+		ProviderFetches:  s.providerFetches.Load(),
+		ProviderFailures: s.providerFailures.Load(),
+	}
+	s.mu.Lock()
+	if len(s.failed) > 0 {
+		snap.FailedProviders = make(map[string]uint64, len(s.failed))
+		for addr, n := range s.failed {
+			snap.FailedProviders[addr] = n
+		}
+	}
+	s.mu.Unlock()
+	return snap
+}
+
+// FailedProviderAddrs returns the endpoints with at least one recorded
+// fetch failure, sorted for stable output.
+func (s ReadSnapshot) FailedProviderAddrs() []string {
+	out := make([]string, 0, len(s.FailedProviders))
+	for addr := range s.FailedProviders {
+		out = append(out, addr)
+	}
+	sort.Strings(out)
+	return out
+}
