@@ -15,10 +15,12 @@ import (
 	"time"
 
 	"blobseer/internal/apps/datajoin"
+	"blobseer/internal/apps/wordcount"
 	"blobseer/internal/bsfs"
 	"blobseer/internal/dfs"
 	"blobseer/internal/hdfs"
 	"blobseer/internal/mapreduce"
+	"blobseer/internal/shuffle"
 	"blobseer/internal/simnet"
 	"blobseer/internal/transport"
 	"blobseer/internal/workload"
@@ -361,6 +363,60 @@ func BenchmarkExtPipeline(b *testing.B) {
 		if _, err := fw.RunPipeline(benchCtx, []mapreduce.JobConf{s1, s2}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkShuffleBackends runs the same wordcount job under both
+// shuffle backends: memory (in-tracker RPC store, reduces gated on the
+// map barrier) and blob (map outputs as concurrent appends to shared
+// per-partition intermediate BLOBs, reduces fetching as maps publish).
+// Beyond ns/op, each run reports:
+//
+//   - overlap-ms — map-phase end minus first shuffle fetch. Positive
+//     for the blob backend (the first segment is fetched before the
+//     last map finishes: shuffle overlaps the map phase); ~zero for
+//     the memory backend, whose reducers start at the barrier.
+//   - reruns — map outputs lost to tracker death (none injected here,
+//     so 0 for both; the failure comparison lives in the experiments
+//     "shuffle" scenario and the fault-tolerance tests).
+func BenchmarkShuffleBackends(b *testing.B) {
+	for _, backend := range []shuffle.Backend{shuffle.Memory, shuffle.Blob} {
+		b.Run(backend.String(), func(b *testing.B) {
+			c := newBenchCluster(b)
+			fw, err := c.NewFramework()
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer fw.Close()
+			// ~24 block-sized splits over 16 map slots: a multi-wave
+			// map phase, stretched by modeled per-record cost so the
+			// overlap window is visible.
+			text := workload.Text(24*benchBlock, 21)
+			if err := dfs.WriteFile(benchCtx, fw.ClientFS(), "/in/corpus", []byte(text)); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(text)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			var overlap time.Duration
+			var reruns int
+			for i := 0; i < b.N; i++ {
+				job := wordcount.Job([]string{"/in/corpus"}, fmt.Sprintf("/out/%d", i), 4, mapreduce.SeparateFiles)
+				job.Shuffle = backend
+				job.MapCostPerRecord = 5 * time.Microsecond
+				res, err := fw.Run(benchCtx, job)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.FirstShuffleFetch > 0 {
+					overlap += res.MapPhase - res.FirstShuffleFetch
+				}
+				reruns += res.MapOutputsLost
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(overlap.Milliseconds())/float64(b.N), "overlap-ms")
+			b.ReportMetric(float64(reruns)/float64(b.N), "reruns")
+		})
 	}
 }
 

@@ -20,11 +20,12 @@ import (
 	"blobseer"
 	"blobseer/internal/experiments"
 	"blobseer/internal/metrics"
+	"blobseer/internal/shuffle"
 )
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to run: all,3,4,5,6,filecount,pipeline,abl-placement,abl-pagesize,abl-lock")
+		fig     = flag.String("fig", "all", "figure to run: all,3,4,5,6,filecount,pipeline,shuffle,abl-placement,abl-pagesize,abl-lock")
 		nodes   = flag.Int("nodes", 270, "total simulated machines (paper: 270)")
 		meta    = flag.Int("meta", 20, "metadata providers (paper: 20)")
 		page    = flag.Int("page", 256, "page/chunk size in KiB (paper: 64 MiB, scaled)")
@@ -33,12 +34,18 @@ func main() {
 		depth   = flag.Int("depth", 0, "BSFS writer pipeline depth (blocks in flight; 0 = default, 1 = synchronous)")
 		rdepth  = flag.Int("readdepth", 0, "BSFS reader readahead depth (blocks in flight; 0 = default, negative = off)")
 		cachemb = flag.Int("cachemb", 0, "BSFS page cache budget in MiB per mount (0 = off so figures measure the network; >0 enables as an ablation)")
+		shufB   = flag.String("shuffle", "memory", "Map/Reduce shuffle backend for BSFS application figures: memory or blob")
 		seed    = flag.Int64("seed", 1, "random seed")
 		quick   = flag.Bool("quick", false, "reduced sweeps for a fast run")
 		csv     = flag.Bool("csv", false, "also print CSV data")
 	)
 	flag.Parse()
 
+	shuffleBackend, err := shuffle.ParseBackend(*shufB)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
 	cfg := experiments.Config{
 		Nodes:         *nodes,
 		MetaProviders: *meta,
@@ -48,6 +55,7 @@ func main() {
 		WriteDepth:    *depth,
 		ReadDepth:     *rdepth,
 		CacheBytes:    blobseer.CacheMiB(*cachemb),
+		Shuffle:       shuffleBackend,
 		Seed:          *seed,
 	}
 
@@ -144,6 +152,20 @@ func main() {
 		fmt.Printf("%-24s %10.2f s\n", "pipelined stages", res.PipelinedSec)
 		fmt.Printf("%-24s %10.2fx\n", "speedup", res.Speedup)
 		fmt.Println()
+		return nil
+	})
+
+	run("shuffle", func() error {
+		res, err := experiments.Shuffle(cfg)
+		if err != nil {
+			return err
+		}
+		emit("Shuffle backends: completion time with and without tracker failure at the map barrier",
+			res.TimeMemory, res.TimeBlob)
+		emit("Shuffle backends: map re-runs forced by the failure",
+			res.RerunsMemory, res.RerunsBlob)
+		fmt.Printf("# blob backend: first segment fetched %.3f s before the map phase ended\n", res.BlobOverlapSec)
+		fmt.Printf("# blob backend: %d segments served after their producing tracker died\n\n", res.BlobRecovered)
 		return nil
 	})
 

@@ -21,6 +21,7 @@ import (
 	"blobseer/internal/dfs"
 	"blobseer/internal/hdfs"
 	"blobseer/internal/mapreduce"
+	"blobseer/internal/shuffle"
 	"blobseer/internal/transport"
 	"blobseer/internal/workload"
 )
@@ -38,6 +39,7 @@ func main() {
 		depth    = flag.Int("depth", 0, "BSFS writer pipeline depth (0 = default, 1 = synchronous)")
 		rdepth   = flag.Int("readdepth", 0, "BSFS reader readahead depth (0 = default, negative = off)")
 		cachemb  = flag.Int("cachemb", 0, "BSFS page cache budget in MiB per mount (0 = default, negative = off)")
+		shuffleB = flag.String("shuffle", "memory", "shuffle backend: memory (in-tracker RPC store) or blob (durable concurrent appends, bsfs only)")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -45,6 +47,10 @@ func main() {
 	outputMode := mapreduce.SharedAppend
 	if *mode == "separate" {
 		outputMode = mapreduce.SeparateFiles
+	}
+	shuffleBackend, err := shuffle.ParseBackend(*shuffleB)
+	if err != nil {
+		fatal(err)
 	}
 
 	fw, cleanup, err := buildFramework(*fsName, *nodes, uint64(*block)<<10, *depth, *rdepth, blobseer.CacheMiB(*cachemb))
@@ -76,6 +82,7 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown app %q", *app))
 	}
+	job.Shuffle = shuffleBackend
 
 	res, err := fw.Run(ctx, job)
 	if err != nil {
@@ -88,7 +95,18 @@ func main() {
 	fmt.Printf("  reduce tasks        %d\n", res.ReduceTasks)
 	fmt.Printf("  records             in=%d intermediate=%d out=%d\n",
 		res.MapInputRecords, res.MapOutputRecords, res.ReduceOutputRecords)
-	fmt.Printf("  shuffle bytes       %d\n", res.ShuffleBytes)
+	fmt.Printf("  shuffle bytes       %d (backend %s)\n", res.ShuffleBytes, shuffleBackend)
+	if shuffleBackend == shuffle.Blob {
+		fmt.Printf("  shuffle segments    appended=%d fetched=%d recovered=%d\n",
+			res.SegmentsAppended, res.SegmentsFetched, res.SegmentsRecovered)
+		if res.FirstShuffleFetch > 0 {
+			fmt.Printf("  first segment fetch %v into the %v map phase\n",
+				res.FirstShuffleFetch.Round(1e6), res.MapPhase.Round(1e6))
+		}
+	}
+	if res.MapOutputsLost > 0 {
+		fmt.Printf("  map outputs lost    %d (re-executed)\n", res.MapOutputsLost)
+	}
 	fmt.Printf("  output bytes        %d\n", res.OutputBytes)
 	fmt.Printf("  output files        %d\n", len(res.OutputFiles))
 	for _, p := range res.OutputFiles {

@@ -24,6 +24,7 @@ import (
 	"blobseer/internal/blob"
 	"blobseer/internal/bsfs"
 	"blobseer/internal/hdfs"
+	"blobseer/internal/shuffle"
 	"blobseer/internal/simnet"
 	"blobseer/internal/transport"
 )
@@ -61,6 +62,12 @@ type Config struct {
 	// from memory would flatten the curves — unlike the library
 	// default, which caches. Set explicitly to enable as an ablation.
 	CacheBytes int64
+	// Shuffle selects the Map/Reduce intermediate-data backend for the
+	// application experiments that run on BSFS (Figure 6, the
+	// pipeline): memory is the classic in-tracker store, blob stores
+	// map outputs as concurrent appends to shared intermediate BLOBs.
+	// The dedicated Shuffle scenario compares both regardless.
+	Shuffle shuffle.Backend
 	// Seed drives all randomness.
 	Seed int64
 }

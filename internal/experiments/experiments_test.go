@@ -86,6 +86,27 @@ func TestFig6Smoke(t *testing.T) {
 	}
 }
 
+func TestShuffleScenarioSmoke(t *testing.T) {
+	res, err := Shuffle(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TimeMemory.Points) != 2 || len(res.TimeBlob.Points) != 2 {
+		t.Fatalf("time points: memory=%d blob=%d", len(res.TimeMemory.Points), len(res.TimeBlob.Points))
+	}
+	// The headline semantics: the barrier kill forces the memory
+	// backend to re-run maps, while the blob backend re-runs none.
+	if got := res.RerunsMemory.Points[1].Y; got == 0 {
+		t.Error("memory backend lost no outputs to the barrier kill")
+	}
+	if got := res.RerunsBlob.Points[1].Y; got != 0 {
+		t.Errorf("blob backend re-ran %g maps after the barrier kill", got)
+	}
+	if res.BlobRecovered == 0 {
+		t.Error("blob backend recovered no segments from dead trackers")
+	}
+}
+
 func TestPipelineSmoke(t *testing.T) {
 	cfg := smallCfg()
 	res, err := Pipeline(cfg)

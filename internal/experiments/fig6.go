@@ -94,6 +94,11 @@ func fig6System(cfg Config, system, contentA, contentB string, reducers []int, t
 		job := datajoin.Job("/in/lastfm-a", "/in/lastfm-b", fmt.Sprintf("/out/%s-r%03d", system, r), r, mode)
 		job.MapCostPerRecord = fig6MapCost
 		job.ReduceCostPerRecord = fig6ReduceCost
+		if system == "bsfs" {
+			// The blob shuffle backend needs BlobSeer underneath; HDFS
+			// keeps the classic in-tracker shuffle.
+			job.Shuffle = cfg.Shuffle
+		}
 		result, err := fw.Run(ctx, job)
 		if err != nil {
 			return fmt.Errorf("fig6 %s r=%d: %w", system, r, err)

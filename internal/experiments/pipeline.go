@@ -39,10 +39,12 @@ func Pipeline(cfg Config) (*PipelineResult, error) {
 		// A long reduce phase is the overlap window: stage 2's mappers
 		// chew through the join output while it is still growing.
 		job.ReduceCostPerRecord = 20 * time.Microsecond
+		job.Shuffle = cfg.Shuffle
 		return job
 	}
 	stage2 := func(in []string, out string) mapreduce.JobConf {
 		job := grep.Job(in, out, "radiohead", 2, mapreduce.SharedAppend)
+		job.Shuffle = cfg.Shuffle
 		// Stage 2 is map-heavy and split finely: its mappers are the
 		// consumers that pipelined mode lets run while stage 1's
 		// reducers still append. With one map slot per tracker the map

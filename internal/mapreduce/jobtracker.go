@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"blobseer/internal/dfs"
+	"blobseer/internal/shuffle"
 )
 
 // taskStatus is a task's lifecycle state.
@@ -51,6 +52,12 @@ type jobState struct {
 	jt   *JobTracker
 	fs   dfs.FileSystem // the submitting client's mount (setup/cleanup)
 
+	// shuffle is the blob-backed durable map-output store (nil for the
+	// memory backend); cancel tears down the job context so tasks
+	// blocked on intermediate data drain when the job fails.
+	shuffle *shuffle.Store
+	cancel  context.CancelFunc
+
 	mu   sync.Mutex
 	cond *sync.Cond
 
@@ -83,6 +90,9 @@ type jobState struct {
 	shuffleBytes uint64
 	reduceOut    uint64
 	outputBytes  uint64
+
+	lostOutputs  int
+	firstFetchAt time.Time // first successful shuffle fetch by any reducer
 }
 
 // Run executes a job whose splits are computed up front from the
@@ -140,6 +150,14 @@ func (jt *JobTracker) RunStreaming(ctx context.Context, fs dfs.FileSystem, conf 
 	}
 	job.startedAt = start
 
+	// Tasks run on a per-job context cancelled when the job fails, so
+	// reducers blocked on intermediate data that will never arrive
+	// (e.g. segments of a map that exhausted its attempts) drain
+	// instead of wedging the dispatcher.
+	jctx, jcancel := context.WithCancel(ctx)
+	defer jcancel()
+	job.cancel = jcancel
+
 	// Feed splits.
 	go func() {
 		for s := range splitCh {
@@ -154,8 +172,14 @@ func (jt *JobTracker) RunStreaming(ctx context.Context, fs dfs.FileSystem, conf 
 		}
 		job.mu.Lock()
 		job.splitsClosed = true
+		n := len(job.splits)
 		job.cond.Broadcast()
 		job.mu.Unlock()
+		if job.shuffle != nil {
+			// Blob-backend reducers, already running, can now detect
+			// when their partition is complete.
+			job.shuffle.SetMapCount(n)
+		}
 	}()
 
 	// Abort the dispatcher when the caller's context dies.
@@ -168,7 +192,7 @@ func (jt *JobTracker) RunStreaming(ctx context.Context, fs dfs.FileSystem, conf 
 		}
 	}()
 
-	job.dispatch(ctx)
+	job.dispatch(jctx)
 	close(stopWatch)
 
 	job.mu.Lock()
@@ -190,8 +214,18 @@ func (jt *JobTracker) RunStreaming(ctx context.Context, fs dfs.FileSystem, conf 
 		ReduceOutputRecords: job.reduceOut,
 		OutputBytes:         job.outputBytes,
 		TaskFailures:        job.failures,
+		MapOutputsLost:      job.lostOutputs,
+	}
+	if !job.firstFetchAt.IsZero() {
+		res.FirstShuffleFetch = job.firstFetchAt.Sub(start)
 	}
 	job.mu.Unlock()
+	if job.shuffle != nil {
+		snap := job.shuffle.Stats().Snapshot()
+		res.SegmentsAppended = snap.SegmentsAppended
+		res.SegmentsFetched = snap.SegmentsFetched
+		res.SegmentsRecovered = snap.SegmentsRecovered
+	}
 
 	for _, tt := range jt.trackers {
 		tt.dropJobOutputs(job.id)
@@ -211,14 +245,39 @@ func (jt *JobTracker) RunStreaming(ctx context.Context, fs dfs.FileSystem, conf 
 func (j *jobState) fail(err error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	j.failLocked(err)
+}
+
+// failLocked records the first fatal error, wakes the dispatcher and
+// every waiter, poisons the shuffle store so reducers blocked on
+// intermediate data return, and cancels the job context so running
+// tasks drain.
+func (j *jobState) failLocked(err error) {
 	if j.failed == nil {
 		j.failed = err
 	}
 	j.cond.Broadcast()
+	if j.shuffle != nil {
+		j.shuffle.Fail(j.failed)
+	}
+	if j.cancel != nil {
+		j.cancel()
+	}
 }
 
-// setup validates the output directory and prepares the committer.
+// setup validates the output directory, prepares the committer, and
+// creates the blob shuffle store's intermediate BLOBs when the job
+// asked for the durable backend.
 func (j *jobState) setup(ctx context.Context) error {
+	// The cheap capability check runs first; BLOB creation runs last,
+	// after every validation that can reject the job, so a rejected
+	// submission never accretes intermediate BLOBs (which are, by
+	// design, not deleted).
+	if j.conf.Shuffle == shuffle.Blob {
+		if _, ok := j.fs.(shuffle.ClientSource); !ok {
+			return fmt.Errorf("mapreduce: shuffle backend %s requires a BlobSeer-backed mount, got %s", j.conf.Shuffle, j.fs.Name())
+		}
+	}
 	if _, err := j.fs.Stat(ctx, j.conf.OutputDir); err == nil {
 		return fmt.Errorf("mapreduce: output directory %s already exists", j.conf.OutputDir)
 	} else if !errors.Is(err, dfs.ErrNotExist) {
@@ -243,6 +302,17 @@ func (j *jobState) setup(ctx context.Context) error {
 			return fmt.Errorf("mapreduce: shared-append output on %s: %w", j.fs.Name(), err)
 		}
 	}
+	if j.conf.Shuffle == shuffle.Blob {
+		ps := j.conf.ShufflePageSize
+		if ps == 0 {
+			ps = j.fs.BlockSize()
+		}
+		st, err := shuffle.NewBlobStore(ctx, j.fs.(shuffle.ClientSource).BlobClient(), j.id, j.conf.NumReducers, ps)
+		if err != nil {
+			return fmt.Errorf("mapreduce: shuffle store: %w", err)
+		}
+		j.shuffle = st
+	}
 	return nil
 }
 
@@ -251,6 +321,13 @@ func (j *jobState) setup(ctx context.Context) error {
 func (j *jobState) dispatch(ctx context.Context) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.shuffle != nil {
+		// Blob shuffle: segments are fetchable the moment each map
+		// publishes them, so reducers start immediately and the
+		// shuffle overlaps the map phase instead of waiting for the
+		// §2.2 barrier.
+		j.startReducesLocked()
+	}
 	for {
 		if j.failed != nil {
 			// Wait for running tasks to drain so nothing writes after
@@ -262,18 +339,28 @@ func (j *jobState) dispatch(ctx context.Context) {
 			continue
 		}
 		mapsAllDone := j.splitsClosed && j.mapsDone == len(j.splits) && len(j.pendingMaps) == 0
-		if mapsAllDone && !j.reducesStarted {
-			// §2.2: "After all the maps have finished, the
-			// tasktrackers execute the reduce function".
-			j.reducesStarted = true
+		if mapsAllDone && j.reducesAt.IsZero() {
+			// The map/reduce barrier: under the memory backend this is
+			// where reduces start (§2.2: "After all the maps have
+			// finished, the tasktrackers execute the reduce function");
+			// under the blob backend the reduces are already running
+			// and this only marks the end of the map phase.
 			j.reducesAt = time.Now()
-			j.reduceStatus = make([]taskStatus, j.conf.NumReducers)
-			j.reduceAttempts = make([]int, j.conf.NumReducers)
-			for r := 0; r < j.conf.NumReducers; r++ {
-				j.pendingReduces = append(j.pendingReduces, r)
+			if hook := j.conf.MapsDoneHook; hook != nil {
+				// Run the fault-injection hook outside the lock (it may
+				// kill trackers) and before any barrier-gated reduce is
+				// scheduled, so tests get a deterministic kill point.
+				j.mu.Unlock()
+				hook()
+				j.mu.Lock()
 			}
+			if !j.reducesStarted {
+				j.startReducesLocked()
+			}
+			continue
 		}
-		if j.reducesStarted && j.reducesDone == j.conf.NumReducers && j.mapsDone == len(j.splits) {
+		if j.reducesStarted && j.reducesDone == j.conf.NumReducers &&
+			j.splitsClosed && j.mapsDone == len(j.splits) {
 			return
 		}
 		if !j.tryAssignLocked(ctx) {
@@ -281,12 +368,21 @@ func (j *jobState) dispatch(ctx context.Context) {
 			// waiting would hang forever: fail the job instead.
 			if (len(j.pendingMaps) > 0 || len(j.pendingReduces) > 0) &&
 				j.runningTasksLocked() == 0 && j.aliveTrackersLocked() == 0 {
-				j.failed = errors.New("mapreduce: no live tasktrackers")
-				j.cond.Broadcast()
+				j.failLocked(errors.New("mapreduce: no live tasktrackers"))
 				continue
 			}
 			j.cond.Wait()
 		}
+	}
+}
+
+// startReducesLocked schedules every reduce task.
+func (j *jobState) startReducesLocked() {
+	j.reducesStarted = true
+	j.reduceStatus = make([]taskStatus, j.conf.NumReducers)
+	j.reduceAttempts = make([]int, j.conf.NumReducers)
+	for r := 0; r < j.conf.NumReducers; r++ {
+		j.pendingReduces = append(j.pendingReduces, r)
 	}
 }
 
@@ -394,9 +490,7 @@ func (j *jobState) execMap(ctx context.Context, id int, split Split, tt *TaskTra
 		j.failures++
 		j.mapAttempts[id]++
 		if j.mapAttempts[id] >= j.conf.MaxAttempts {
-			if j.failed == nil {
-				j.failed = fmt.Errorf("mapreduce: map %d failed %d times: %w", id, j.mapAttempts[id], err)
-			}
+			j.failLocked(fmt.Errorf("mapreduce: map %d failed %d times: %w", id, j.mapAttempts[id], err))
 		} else {
 			j.mapStatus[id] = tsPending
 			j.pendingMaps = append(j.pendingMaps, id)
@@ -426,9 +520,7 @@ func (j *jobState) execReduce(ctx context.Context, r int, tt *TaskTracker) {
 		j.failures++
 		j.reduceAttempts[r]++
 		if j.reduceAttempts[r] >= j.conf.MaxAttempts {
-			if j.failed == nil {
-				j.failed = fmt.Errorf("mapreduce: reduce %d failed %d times: %w", r, j.reduceAttempts[r], err)
-			}
+			j.failLocked(fmt.Errorf("mapreduce: reduce %d failed %d times: %w", r, j.reduceAttempts[r], err))
 		} else {
 			j.reduceStatus[r] = tsPending
 			j.pendingReduces = append(j.pendingReduces, r)
@@ -475,7 +567,23 @@ func (j *jobState) reportLostOutput(id int, from *TaskTracker) {
 	j.mapStatus[id] = tsPending
 	j.pendingMaps = append(j.pendingMaps, id)
 	j.failures++
+	j.lostOutputs++
 	j.cond.Broadcast()
+}
+
+// noteShuffleFetch records a reducer's successful fetch of map id's
+// output — the first one timestamps the job's reduce-side start (the
+// overlap metric) — and reports whether the producing tracker has
+// died, so the blob path can mark the segment as recovered
+// intermediate data.
+func (j *jobState) noteShuffleFetch(id int) (producerDead bool) {
+	j.mu.Lock()
+	if j.firstFetchAt.IsZero() {
+		j.firstFetchAt = time.Now()
+	}
+	producer := j.mapLoc[id]
+	j.mu.Unlock()
+	return producer != nil && producer.Dead()
 }
 
 // mapCount returns the final number of map tasks (valid once reduces

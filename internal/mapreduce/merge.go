@@ -1,0 +1,75 @@
+package mapreduce
+
+// pairMerger streams the k-way merge of individually sorted runs (the
+// per-map output partitions, each already sorted by sortPairs) in
+// (Key, Value) order. The reduce phase consumes groups straight off
+// the merge instead of buffering the whole concatenation and
+// re-sorting it: O(N log k) comparisons in place of the old
+// O(N log N) full sort, and no second copy of every pair.
+type pairMerger struct {
+	runs  [][]Pair
+	pos   []int // per-run cursor
+	heads []int // binary min-heap of run indices, ordered by head pair
+}
+
+// newPairMerger builds a merger over the runs; empty runs are skipped.
+func newPairMerger(runs [][]Pair) *pairMerger {
+	m := &pairMerger{runs: runs, pos: make([]int, len(runs))}
+	for i, run := range runs {
+		if len(run) > 0 {
+			m.heads = append(m.heads, i)
+		}
+	}
+	for i := len(m.heads)/2 - 1; i >= 0; i-- {
+		m.down(i)
+	}
+	return m
+}
+
+// less orders two runs by their head pairs, matching sortPairs' key-
+// then-value order so the merged stream is exactly what sorting the
+// concatenation would produce.
+func (m *pairMerger) less(a, b int) bool {
+	pa, pb := m.runs[a][m.pos[a]], m.runs[b][m.pos[b]]
+	if pa.Key != pb.Key {
+		return pa.Key < pb.Key
+	}
+	return pa.Value < pb.Value
+}
+
+// down restores the heap property below slot i.
+func (m *pairMerger) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(m.heads) && m.less(m.heads[l], m.heads[small]) {
+			small = l
+		}
+		if r < len(m.heads) && m.less(m.heads[r], m.heads[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		m.heads[i], m.heads[small] = m.heads[small], m.heads[i]
+		i = small
+	}
+}
+
+// next pops the smallest remaining pair; ok is false when all runs are
+// exhausted.
+func (m *pairMerger) next() (p Pair, ok bool) {
+	if len(m.heads) == 0 {
+		return Pair{}, false
+	}
+	run := m.heads[0]
+	p = m.runs[run][m.pos[run]]
+	m.pos[run]++
+	if m.pos[run] == len(m.runs[run]) {
+		last := len(m.heads) - 1
+		m.heads[0] = m.heads[last]
+		m.heads = m.heads[:last]
+	}
+	m.down(0)
+	return p, true
+}

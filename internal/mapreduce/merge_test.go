@@ -1,0 +1,60 @@
+package mapreduce
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestPairMergerMatchesFullSort checks the streaming k-way merge
+// against the reference it replaced: sorting the concatenation.
+func TestPairMergerMatchesFullSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		nRuns := rng.Intn(6)
+		runs := make([][]Pair, nRuns)
+		var all []Pair
+		for i := range runs {
+			n := rng.Intn(20)
+			for k := 0; k < n; k++ {
+				p := Pair{
+					Key:   fmt.Sprintf("k%02d", rng.Intn(8)),
+					Value: fmt.Sprintf("v%02d", rng.Intn(10)),
+				}
+				runs[i] = append(runs[i], p)
+				all = append(all, p)
+			}
+			sortPairs(runs[i])
+		}
+		sortPairs(all)
+
+		m := newPairMerger(runs)
+		var got []Pair
+		for {
+			p, ok := m.next()
+			if !ok {
+				break
+			}
+			got = append(got, p)
+		}
+		if len(got) != len(all) {
+			t.Fatalf("trial %d: merged %d pairs, want %d", trial, len(got), len(all))
+		}
+		for i := range got {
+			if got[i] != all[i] {
+				t.Fatalf("trial %d: pair %d = %+v, want %+v", trial, i, got[i], all[i])
+			}
+		}
+	}
+}
+
+func TestPairMergerEmpty(t *testing.T) {
+	m := newPairMerger(nil)
+	if _, ok := m.next(); ok {
+		t.Fatal("empty merger produced a pair")
+	}
+	m = newPairMerger([][]Pair{nil, {}, nil})
+	if _, ok := m.next(); ok {
+		t.Fatal("all-empty-runs merger produced a pair")
+	}
+}

@@ -6,12 +6,25 @@ import (
 	"time"
 
 	"blobseer/internal/dfs"
+	"blobseer/internal/shuffle"
+)
+
+// Shuffle-fetch retry tuning (memory backend): a reducer that cannot
+// fetch a map output reports it lost — the jobtracker re-executes the
+// map — and retries with capped exponential backoff. The per-map retry
+// budget turns "this output can never be re-produced" into a reduce
+// failure with a diagnostic instead of an unbounded spin.
+const (
+	fetchRetryBudget = 10
+	fetchBackoffBase = 5 * time.Millisecond
+	fetchBackoffCap  = 320 * time.Millisecond
 )
 
 // runReduce executes one reduce task on this tracker: fetch every map
-// output partition over the network (re-requesting lost outputs), merge
-// and group by key, apply the reduce function with modeled cost, and
-// commit the output according to the job's OutputMode.
+// output partition of its reduce partition through the job's shuffle
+// backend, k-way merge the individually sorted partitions, apply the
+// reduce function with modeled cost, and commit the output according
+// to the job's OutputMode.
 func (tt *TaskTracker) runReduce(ctx context.Context, job *jobState, r int) (outRecords, outBytes, shuffled uint64, err error) {
 	if tt.Dead() {
 		return 0, 0, 0, fmt.Errorf("mapreduce: tracker is dead")
@@ -19,43 +32,23 @@ func (tt *TaskTracker) runReduce(ctx context.Context, job *jobState, r int) (out
 	ctx, cancel := mergeCtx(ctx, tt.ctx)
 	defer cancel()
 
-	// Shuffle phase.
-	nMaps := job.mapCount()
-	var pairs []Pair
-	for m := 0; m < nMaps; m++ {
-		for {
-			loc, err := job.waitMapLoc(ctx, m)
-			if err != nil {
-				return 0, 0, 0, err
-			}
-			data, ferr := tt.fetchMapOutput(ctx, loc.ShuffleAddr(), job.id, uint64(m), uint64(r))
-			if ferr != nil {
-				job.reportLostOutput(m, loc)
-				select {
-				case <-ctx.Done():
-					return 0, 0, 0, ctx.Err()
-				case <-time.After(10 * time.Millisecond):
-				}
-				continue
-			}
-			shuffled += uint64(len(data))
-			part, derr := decodePairs(data)
-			if derr != nil {
-				return 0, 0, 0, fmt.Errorf("reduce %d: decode map %d output: %w", r, m, derr)
-			}
-			pairs = append(pairs, part...)
-			break
-		}
+	// Shuffle phase: collect one sorted run per map task.
+	var runs [][]Pair
+	if job.shuffle != nil {
+		runs, shuffled, err = tt.fetchBlobSegments(ctx, job, r)
+	} else {
+		runs, shuffled, err = tt.fetchTrackerOutputs(ctx, job, r)
+	}
+	if err != nil {
+		return 0, 0, shuffled, err
 	}
 
-	// Sort phase (map outputs are individually sorted; a full sort of
-	// the concatenation doubles as the merge).
-	sortPairs(pairs)
-
-	// Reduce + output phase.
+	// Merge + reduce + output phase: groups are consumed straight off
+	// the streaming k-way merge of the sorted runs — no concatenation
+	// buffer, no full re-sort.
 	w, commit, err := tt.openReduceOutput(ctx, job, r)
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, shuffled, err
 	}
 	cw := &countingWriter{w: w}
 	cost := costModel{perRecord: job.conf.ReduceCostPerRecord}
@@ -70,17 +63,26 @@ func (tt *TaskTracker) runReduce(ctx context.Context, job *jobState, r int) (out
 		}
 		outRecords++
 	}
-	start := 0
-	for i := 1; i <= len(pairs) && emitErr == nil; i++ {
-		if i == len(pairs) || pairs[i].Key != pairs[start].Key {
-			values := make([]string, 0, i-start)
-			for _, p := range pairs[start:i] {
-				values = append(values, p.Value)
-				cost.tick()
+	merge := newPairMerger(runs)
+	var groupKey string
+	var values []string
+	for emitErr == nil {
+		p, ok := merge.next()
+		if !ok || (values != nil && p.Key != groupKey) {
+			if values != nil {
+				job.conf.Reduce(groupKey, values, emit)
 			}
-			job.conf.Reduce(pairs[start].Key, values, emit)
-			start = i
+			if !ok {
+				break
+			}
+			values = nil
 		}
+		if values == nil {
+			groupKey = p.Key
+			values = make([]string, 0, 4)
+		}
+		values = append(values, p.Value)
+		cost.tick()
 		if ctx.Err() != nil {
 			emitErr = ctx.Err()
 		}
@@ -94,6 +96,85 @@ func (tt *TaskTracker) runReduce(ctx context.Context, job *jobState, r int) (out
 		return 0, 0, shuffled, err
 	}
 	return outRecords, cw.n, shuffled, nil
+}
+
+// fetchTrackerOutputs is the memory backend's shuffle: pull partition
+// r of every map output from the producing trackers' shuffle services,
+// re-requesting lost outputs (which the jobtracker re-executes) with
+// capped exponential backoff and a bounded per-map retry budget.
+func (tt *TaskTracker) fetchTrackerOutputs(ctx context.Context, job *jobState, r int) (runs [][]Pair, shuffled uint64, err error) {
+	nMaps := job.mapCount()
+	runs = make([][]Pair, 0, nMaps)
+	for m := 0; m < nMaps; m++ {
+		backoff := fetchBackoffBase
+		for attempt := 1; ; attempt++ {
+			loc, err := job.waitMapLoc(ctx, m)
+			if err != nil {
+				return nil, shuffled, err
+			}
+			data, ferr := tt.fetchMapOutput(ctx, loc.ShuffleAddr(), job.id, uint64(m), uint64(r))
+			if ferr == nil {
+				job.noteShuffleFetch(m)
+				shuffled += uint64(len(data))
+				part, derr := decodePairs(data)
+				if derr != nil {
+					return nil, shuffled, fmt.Errorf("reduce %d: decode map %d output: %w", r, m, derr)
+				}
+				runs = append(runs, part)
+				break
+			}
+			job.reportLostOutput(m, loc)
+			if attempt >= fetchRetryBudget {
+				return nil, shuffled, fmt.Errorf("reduce %d: map %d output unfetchable after %d attempts (last error: %v)", r, m, attempt, ferr)
+			}
+			select {
+			case <-ctx.Done():
+				return nil, shuffled, ctx.Err()
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+			if backoff > fetchBackoffCap {
+				backoff = fetchBackoffCap
+			}
+		}
+	}
+	return runs, shuffled, nil
+}
+
+// fetchBlobSegments is the blob backend's shuffle: consume partition
+// r's segments off the job's segment index as maps publish them —
+// overlapping the map phase — and stream each one out of its
+// intermediate BLOB through this tracker's shared page cache. A
+// re-executed reduce attempt restarts from consumed = 0; the index
+// replays the same segments.
+func (tt *TaskTracker) fetchBlobSegments(ctx context.Context, job *jobState, r int) (runs [][]Pair, shuffled uint64, err error) {
+	src, ok := tt.fs.(shuffle.ClientSource)
+	if !ok {
+		return nil, 0, fmt.Errorf("reduce %d: blob shuffle on %s mount", r, tt.fs.Name())
+	}
+	c := src.BlobClient()
+	for consumed := 0; ; consumed++ {
+		seg, ok, err := job.shuffle.Next(ctx, r, consumed)
+		if err != nil {
+			return nil, shuffled, fmt.Errorf("reduce %d: shuffle: %w", r, err)
+		}
+		if !ok {
+			return runs, shuffled, nil
+		}
+		data, err := job.shuffle.Fetch(ctx, c, seg)
+		if err != nil {
+			return nil, shuffled, fmt.Errorf("reduce %d: %w", r, err)
+		}
+		if job.noteShuffleFetch(int(seg.Map)) {
+			job.shuffle.MarkRecovered(seg)
+		}
+		shuffled += seg.Len
+		part, derr := decodePairs(data)
+		if derr != nil {
+			return nil, shuffled, fmt.Errorf("reduce %d: decode map %d segment: %w", r, seg.Map, derr)
+		}
+		runs = append(runs, part)
+	}
 }
 
 // recordWriter batches whole records (each Write call is one record)

@@ -8,6 +8,7 @@ import (
 
 	"blobseer/internal/dfs"
 	"blobseer/internal/rpc"
+	"blobseer/internal/shuffle"
 	"blobseer/internal/transport"
 	"blobseer/internal/wire"
 )
@@ -237,6 +238,19 @@ func (tt *TaskTracker) runMap(ctx context.Context, job *jobState, mapID int, spl
 			parts[p] = combinePairs(parts[p], job.conf.Combine)
 		}
 		encoded[p] = encodePairs(parts[p])
+	}
+	if job.shuffle != nil {
+		// Blob backend: the partitions become concurrent appends to
+		// the shared per-partition intermediate BLOBs, through this
+		// tracker's own client so the transfers bill this host's NIC.
+		src, ok := tt.fs.(shuffle.ClientSource)
+		if !ok {
+			return 0, 0, fmt.Errorf("map %d: blob shuffle on %s mount", mapID, tt.fs.Name())
+		}
+		if err := job.shuffle.AppendMap(ctx, src.BlobClient(), uint64(mapID), encoded); err != nil {
+			return 0, 0, fmt.Errorf("map %d: %w", mapID, err)
+		}
+		return recordsIn, recordsOut, nil
 	}
 	if err := tt.storeOutputs(job.id, uint64(mapID), encoded); err != nil {
 		return 0, 0, err

@@ -26,6 +26,7 @@ import (
 	"sort"
 	"time"
 
+	"blobseer/internal/shuffle"
 	"blobseer/internal/wire"
 )
 
@@ -82,6 +83,29 @@ type JobConf struct {
 	NumReducers int
 	OutputMode  OutputMode
 
+	// Shuffle selects the intermediate-data backend. Memory (the zero
+	// value) is classic Hadoop: trackers keep map outputs in process
+	// memory and a dead tracker's outputs force map re-execution. Blob
+	// stores every map output partition as a concurrent append to a
+	// shared per-partition intermediate BLOB: reducers start fetching
+	// while maps still run (shuffle overlaps the map phase) and
+	// tracker death never loses intermediate data. Blob requires a
+	// BlobSeer-backed mount.
+	Shuffle shuffle.Backend
+
+	// ShufflePageSize is the page size of the Blob backend's
+	// intermediate BLOBs (segment appends are padded to whole pages so
+	// concurrent appenders stay merge-free); zero uses the file
+	// system's block size.
+	ShufflePageSize uint64
+
+	// MapsDoneHook, when set, runs synchronously at the map/reduce
+	// barrier: all maps have finished, and no barrier-gated reduce has
+	// been scheduled yet. Tests and experiments use it to inject
+	// faults at a deterministic point — e.g. killing a tracker the
+	// moment its map outputs become shuffle-only.
+	MapsDoneHook func()
+
 	// SplitSize is the map input split size in bytes; zero uses the
 	// file system's block size (Hadoop's default: one mapper per
 	// chunk).
@@ -127,6 +151,27 @@ type JobResult struct {
 
 	// TaskFailures counts task attempts that failed and were retried.
 	TaskFailures int
+
+	// MapOutputsLost counts map tasks re-queued because a reducer
+	// could not fetch their output (the memory shuffle backend's "map
+	// output lost" path; always zero with the blob backend, whose
+	// published segments survive tracker death).
+	MapOutputsLost int
+
+	// FirstShuffleFetch is when, measured from job start, the first
+	// map output was fetched by any reducer (zero if none was). With
+	// the blob shuffle backend this lands before MapPhase ends:
+	// shuffle overlaps the map phase.
+	FirstShuffleFetch time.Duration
+
+	// SegmentsAppended/Fetched/Recovered are the blob shuffle
+	// backend's counters: segments appended to the intermediate BLOBs,
+	// segments fetched by reducers, and segments fetched after their
+	// producing tracker had died — data the memory backend would have
+	// lost. All zero under the memory backend.
+	SegmentsAppended  uint64
+	SegmentsFetched   uint64
+	SegmentsRecovered uint64
 }
 
 //

@@ -1,0 +1,58 @@
+package metrics
+
+import "sync/atomic"
+
+// ShuffleStats aggregates the intermediate-data counters of one job's
+// shuffle store: segments appended to the per-partition BLOBs, segments
+// fetched by reducers, and segments fetched after their producing
+// tasktracker had already died — data a memory-resident shuffle would
+// have lost to a map re-execution. All methods are safe for concurrent
+// use.
+type ShuffleStats struct {
+	segmentsAppended  atomic.Uint64
+	bytesAppended     atomic.Uint64
+	segmentsFetched   atomic.Uint64
+	bytesFetched      atomic.Uint64
+	segmentsRecovered atomic.Uint64
+}
+
+// AddAppended counts one segment of n payload bytes appended to an
+// intermediate BLOB and published.
+func (s *ShuffleStats) AddAppended(n uint64) {
+	s.segmentsAppended.Add(1)
+	s.bytesAppended.Add(n)
+}
+
+// AddFetched counts one segment of n payload bytes fetched by a
+// reducer.
+func (s *ShuffleStats) AddFetched(n uint64) {
+	s.segmentsFetched.Add(1)
+	s.bytesFetched.Add(n)
+}
+
+// AddRecovered counts one segment fetched after its producing tracker
+// died — intermediate data that survived a failure which would have
+// forced a map re-execution under the memory backend.
+func (s *ShuffleStats) AddRecovered() { s.segmentsRecovered.Add(1) }
+
+// ShuffleSnapshot is a point-in-time copy of ShuffleStats.
+type ShuffleSnapshot struct {
+	SegmentsAppended  uint64
+	BytesAppended     uint64
+	SegmentsFetched   uint64
+	BytesFetched      uint64
+	SegmentsRecovered uint64
+}
+
+// Snapshot returns a copy of the counters. They are read individually,
+// so a snapshot taken while tasks run may be skewed by in-flight
+// operations.
+func (s *ShuffleStats) Snapshot() ShuffleSnapshot {
+	return ShuffleSnapshot{
+		SegmentsAppended:  s.segmentsAppended.Load(),
+		BytesAppended:     s.bytesAppended.Load(),
+		SegmentsFetched:   s.segmentsFetched.Load(),
+		BytesFetched:      s.bytesFetched.Load(),
+		SegmentsRecovered: s.segmentsRecovered.Load(),
+	}
+}

@@ -1,0 +1,297 @@
+package shuffle
+
+import (
+	"context"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"blobseer/internal/blob"
+	"blobseer/internal/metrics"
+)
+
+// Index is the concurrent segment directory of one job: map tasks
+// publish their segments as they complete, and reducers block on Next
+// until the segments of their partition arrive — the mechanism that
+// lets shuffle overlap the map phase. Publication is at-most-once per
+// map task: re-executed attempts are deduplicated, so every reducer
+// consumes exactly one segment per map.
+//
+// Like the jobtracker's control messages, the index is in-process
+// state (Go functions cannot cross a process boundary); all DATA
+// movement — the segment appends and fetches — goes through the
+// transport layer and is shaped and measured like the paper's.
+type Index struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	segs      [][]Segment // per partition, publish order
+	published map[uint64]bool
+	mapCount  int // total map tasks; -1 until the split stream closes
+	err       error
+}
+
+// NewIndex returns an empty index over the given partition count.
+func NewIndex(partitions int) *Index {
+	ix := &Index{
+		segs:      make([][]Segment, partitions),
+		published: make(map[uint64]bool),
+		mapCount:  -1,
+	}
+	ix.cond = sync.NewCond(&ix.mu)
+	return ix
+}
+
+// Publish registers one map task's segments (one per partition) and
+// reports whether the map was new. A duplicate publication — a
+// re-executed map attempt whose first attempt already published — is
+// dropped whole, so reducers never see a map twice and never see a
+// mix of attempts.
+func (ix *Index) Publish(mapID uint64, segs []Segment) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.published[mapID] {
+		return false
+	}
+	ix.published[mapID] = true
+	for _, s := range segs {
+		ix.segs[s.Part] = append(ix.segs[s.Part], s)
+	}
+	ix.cond.Broadcast()
+	return true
+}
+
+// SetMapCount records the job's final map-task count (known once the
+// split stream closes), letting reducers detect partition completion.
+func (ix *Index) SetMapCount(n int) {
+	ix.mu.Lock()
+	ix.mapCount = n
+	ix.cond.Broadcast()
+	ix.mu.Unlock()
+}
+
+// Fail poisons the index: blocked and future Next calls return err.
+func (ix *Index) Fail(err error) {
+	if err == nil {
+		return
+	}
+	ix.mu.Lock()
+	if ix.err == nil {
+		ix.err = err
+	}
+	ix.cond.Broadcast()
+	ix.mu.Unlock()
+}
+
+// Next returns partition part's consumed-th segment in publish order,
+// blocking until it is published. ok == false (with nil error) means
+// the partition is complete: every map task's segment was consumed.
+// Reducers track their own consumed count, so a re-executed reduce
+// attempt re-reads its partition from the start.
+func (ix *Index) Next(ctx context.Context, part, consumed int) (seg Segment, ok bool, err error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	// The common steady state answers without blocking; the context
+	// watcher is only spawned once the call actually has to wait.
+	var stop chan struct{}
+	defer func() {
+		if stop != nil {
+			close(stop)
+		}
+	}()
+	for {
+		if ix.err != nil {
+			return Segment{}, false, ix.err
+		}
+		if err := ctx.Err(); err != nil {
+			return Segment{}, false, err
+		}
+		if consumed < len(ix.segs[part]) {
+			return ix.segs[part][consumed], true, nil
+		}
+		if ix.mapCount >= 0 && consumed >= ix.mapCount {
+			return Segment{}, false, nil
+		}
+		if stop == nil {
+			// Wake the cond wait when the caller's context dies; the
+			// broadcast happens under the lock, so it cannot slot
+			// between the loop's ctx check and the cond.Wait
+			// re-release.
+			stop = make(chan struct{})
+			go func(stop chan struct{}) {
+				select {
+				case <-ctx.Done():
+					ix.mu.Lock()
+					ix.cond.Broadcast()
+					ix.mu.Unlock()
+				case <-stop:
+				}
+			}(stop)
+		}
+		ix.cond.Wait()
+	}
+}
+
+// Store is the blob-backed durable map-output store of one job: one
+// intermediate BLOB per reduce partition, appended to concurrently by
+// every map task and read back by reducers through the client's shared
+// page cache. Published segments live in BlobSeer — replicated,
+// immutable, versioned — so a tracker dying after its maps completed
+// costs nothing: the segments outlive it.
+//
+// Intermediate BLOBs are never deleted (BlobSeer versions are
+// immutable); like the paper's BLOBs they are garbage the deployment
+// reclaims out of band.
+type Store struct {
+	*Index
+	jobID    uint64
+	pageSize uint64
+	blobs    []uint64 // partition -> intermediate BLOB id
+	stats    *metrics.ShuffleStats
+
+	fetchMu   sync.Mutex
+	fetched   map[segKey]bool // segments fetched at least once
+	recovered map[segKey]bool // segments counted as recovered
+}
+
+// segKey identifies one segment for per-segment stats accounting.
+type segKey struct{ m, part uint64 }
+
+// NewBlobStore creates one intermediate BLOB per partition through c
+// (any client will do — creation is a version-manager call; the data
+// flows through each appender's own client).
+func NewBlobStore(ctx context.Context, c *blob.Client, jobID uint64, partitions int, pageSize uint64) (*Store, error) {
+	if partitions <= 0 {
+		return nil, fmt.Errorf("shuffle: partitions must be positive, got %d", partitions)
+	}
+	if pageSize == 0 {
+		return nil, fmt.Errorf("shuffle: page size must be positive")
+	}
+	st := &Store{
+		Index:     NewIndex(partitions),
+		jobID:     jobID,
+		pageSize:  pageSize,
+		blobs:     make([]uint64, 0, partitions),
+		stats:     &metrics.ShuffleStats{},
+		fetched:   make(map[segKey]bool),
+		recovered: make(map[segKey]bool),
+	}
+	for p := 0; p < partitions; p++ {
+		b, err := c.Create(ctx, pageSize)
+		if err != nil {
+			return nil, fmt.Errorf("shuffle: create partition %d BLOB: %w", p, err)
+		}
+		st.blobs = append(st.blobs, b.ID())
+	}
+	return st, nil
+}
+
+// Partitions returns the store's reduce-partition count.
+func (st *Store) Partitions() int { return len(st.blobs) }
+
+// Stats exposes the store's segment counters.
+func (st *Store) Stats() *metrics.ShuffleStats { return st.stats }
+
+// AppendMap stores map mapID's encoded partitions (one per reducer):
+// every partition's append is launched through the pipelined
+// AppendAsync path before any is waited on, so one map keeps R appends
+// in flight while nMaps maps do the same against every BLOB — the
+// paper's concurrent-append workload, now load-bearing. Once all
+// appends land, the map's segments publish to the index atomically: a
+// reducer sees all of a map's segments or none, so a failed map
+// attempt never leaks partial output.
+func (st *Store) AppendMap(ctx context.Context, c *blob.Client, mapID uint64, parts [][]byte) error {
+	if len(parts) != len(st.blobs) {
+		return fmt.Errorf("shuffle: map %d produced %d partitions, store has %d", mapID, len(parts), len(st.blobs))
+	}
+	segs := make([]Segment, len(parts))
+	pending := make([]*blob.PendingWrite, len(parts))
+	for p, data := range parts {
+		b := c.Handle(st.blobs[p], st.pageSize)
+		pw, err := b.AppendAsync(ctx, padToPage(data, st.pageSize))
+		if err != nil {
+			return fmt.Errorf("shuffle: append map %d part %d: %w", mapID, p, err)
+		}
+		pending[p] = pw
+		res := pw.Result()
+		segs[p] = Segment{
+			Job:  st.jobID,
+			Map:  mapID,
+			Part: uint64(p),
+			Off:  res.Start,
+			Len:  uint64(len(data)),
+			Ver:  res.Ver,
+			Sum:  crc32.ChecksumIEEE(data),
+		}
+	}
+	for p, pw := range pending {
+		if _, err := pw.Wait(ctx); err != nil {
+			// Already-landed partitions of this attempt stay unpublished
+			// garbage in their BLOBs; the retried attempt re-appends.
+			return fmt.Errorf("shuffle: append map %d part %d: %w", mapID, p, err)
+		}
+	}
+	if st.Publish(mapID, segs) {
+		for _, s := range segs {
+			st.stats.AddAppended(s.Len)
+		}
+	}
+	return nil
+}
+
+// Fetch reads one published segment through c — WaitPublished pins the
+// segment's version, ReadAt streams its pages through the client's
+// shared cache — and verifies its checksum. Each distinct segment
+// counts toward the fetched statistics once: re-executed reduce
+// attempts re-read their whole partition, and those re-reads must not
+// inflate the counters.
+func (st *Store) Fetch(ctx context.Context, c *blob.Client, seg Segment) ([]byte, error) {
+	b := c.Handle(st.blobs[seg.Part], st.pageSize)
+	if _, err := b.WaitPublished(ctx, seg.Ver); err != nil {
+		return nil, fmt.Errorf("shuffle: segment map %d part %d not published: %w", seg.Map, seg.Part, err)
+	}
+	data, err := b.ReadAt(ctx, seg.Ver, seg.Off, seg.Len)
+	if err != nil {
+		return nil, fmt.Errorf("shuffle: read segment map %d part %d: %w", seg.Map, seg.Part, err)
+	}
+	if sum := crc32.ChecksumIEEE(data); sum != seg.Sum {
+		return nil, fmt.Errorf("shuffle: segment map %d part %d checksum mismatch: %08x != %08x", seg.Map, seg.Part, sum, seg.Sum)
+	}
+	key := segKey{seg.Map, seg.Part}
+	st.fetchMu.Lock()
+	first := !st.fetched[key]
+	st.fetched[key] = true
+	st.fetchMu.Unlock()
+	if first {
+		st.stats.AddFetched(seg.Len)
+	}
+	return data, nil
+}
+
+// MarkRecovered counts seg as recovered intermediate data — served to
+// a reducer after its producing tracker died, the serving a memory
+// shuffle could not have made. Each distinct segment counts at most
+// once, no matter how many reduce attempts re-read it.
+func (st *Store) MarkRecovered(seg Segment) {
+	key := segKey{seg.Map, seg.Part}
+	st.fetchMu.Lock()
+	first := !st.recovered[key]
+	st.recovered[key] = true
+	st.fetchMu.Unlock()
+	if first {
+		st.stats.AddRecovered()
+	}
+}
+
+// padToPage pads data with zeros to a whole number of pageSize-byte
+// pages, so every append starts page-aligned: concurrent appenders
+// never share a page slot and never pay BlobSeer's serialized boundary
+// merge — the same trade the shared-output record writer makes (GFS
+// record-append discipline). Segments record the unpadded length, so
+// the padding is invisible to readers.
+func padToPage(data []byte, pageSize uint64) []byte {
+	rem := uint64(len(data)) % pageSize
+	if rem == 0 && len(data) > 0 {
+		return data
+	}
+	return append(data, make([]byte, pageSize-rem)...)
+}
