@@ -662,3 +662,57 @@ func TestClusterFacade(t *testing.T) {
 		t.Fatalf("res = %+v", res)
 	}
 }
+
+// BenchmarkGCReclaim measures one garbage-collection cycle under a
+// checkpoint-style workload: 4 writers overwrite their regions of a
+// shared BLOB (creating one full working set of shadowed garbage),
+// then the collector scans, diffs reachability, deletes provider
+// pages, and removes dead metadata nodes. Reported per reclaim cycle.
+func BenchmarkGCReclaim(b *testing.B) {
+	c := newBenchCluster(b)
+	cl := c.BlobClient("node-000")
+	b.Cleanup(func() { cl.Close() })
+	bl, err := cl.Create(benchCtx, benchBlock)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := bl.SetRetention(benchCtx, 2); err != nil {
+		b.Fatal(err)
+	}
+	const writers = 4
+	region := benchChunk(1) // one block per writer region
+	gcol := c.FS.GC
+
+	write := func(round int) {
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				if _, err := bl.WriteAt(benchCtx, region, uint64(w)*benchBlock); err != nil {
+					b.Error(err)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	write(0) // seed the working set
+	if _, err := gcol.RunOnce(benchCtx); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		write(i + 1)
+		rep, err := gcol.RunOnce(benchCtx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.VersionsCollected == 0 {
+			b.Fatal("reclaim cycle collected nothing")
+		}
+	}
+	b.StopTimer()
+	if bytes := c.Blob.ProviderBytes(); bytes > int64(3*writers*benchBlock) {
+		b.Fatalf("storage unbounded under GC: %d bytes", bytes)
+	}
+}

@@ -1,6 +1,8 @@
 package blobseer
 
 import (
+	"time"
+
 	"blobseer/internal/blob"
 	"blobseer/internal/bsfs"
 	"blobseer/internal/dfs"
@@ -30,6 +32,14 @@ type Options struct {
 	CacheBytes int64
 	// PageReplicas is the page replication factor (default 1).
 	PageReplicas int
+	// Retain is the version manager's default RetainLatest policy: keep
+	// only the latest k published versions per BLOB, letting the
+	// garbage collector retire the rest. 0 keeps every version.
+	Retain uint64
+	// GCInterval arms periodic garbage-collection passes. 0 leaves the
+	// collector kick-driven: file deletion still reclaims storage, but
+	// retention policies only make progress when something kicks it.
+	GCInterval time.Duration
 	// Net lets callers supply a shaped or TCP transport; nil uses an
 	// in-process transport at memory speed.
 	Net transport.Network
@@ -69,6 +79,7 @@ func NewCluster(opts Options) (*Cluster, error) {
 		MetaProviders: opts.MetaProviders,
 		PageReplicas:  opts.PageReplicas,
 		CacheBytes:    opts.CacheBytes,
+		Retain:        opts.Retain,
 	})
 	if err != nil {
 		return nil, err
@@ -81,6 +92,9 @@ func NewCluster(opts Options) (*Cluster, error) {
 	d.WriteDepth = opts.WriteDepth
 	d.ReadDepth = opts.ReadDepth
 	d.CacheBytes = opts.CacheBytes
+	if opts.GCInterval > 0 {
+		d.SetGCInterval(opts.GCInterval)
+	}
 	return &Cluster{Blob: bc, FS: d}, nil
 }
 

@@ -38,6 +38,7 @@ const usage = `commands:
   rm <path>               delete
   locate <path>           show block -> host placement
   entries                 namespace metadata entry count
+  gcstats                 run a GC pass and print collector counters
   help                    this text
 `
 
@@ -49,6 +50,8 @@ func main() {
 		depth     = flag.Int("depth", 0, "writer pipeline depth (0 = default, 1 = synchronous)")
 		rdepth    = flag.Int("readdepth", 0, "reader readahead depth (0 = default, negative = off)")
 		cachemb   = flag.Int("cachemb", 0, "page cache budget in MiB (0 = default, negative = off)")
+		retain    = flag.Uint64("retain", 0, "default RetainLatest GC policy (0 = keep every version)")
+		gcIntv    = flag.Duration("gc-interval", 0, "periodic GC pass cadence (0 = kick-driven only)")
 		demo      = flag.Bool("demo", false, "run a canned demo script")
 	)
 	flag.Parse()
@@ -60,6 +63,8 @@ func main() {
 		WriteDepth:    *depth,
 		ReadDepth:     *rdepth,
 		CacheBytes:    blobseer.CacheMiB(*cachemb),
+		Retain:        *retain,
+		GCInterval:    *gcIntv,
 	})
 	if err != nil {
 		fatal(err)
@@ -89,6 +94,19 @@ entries
 			continue
 		}
 		fmt.Printf("> %s\n", line)
+		if line == "gcstats" {
+			// Needs the deployment, not just the mount, so it is handled
+			// here: run a reclaim pass and print the collector counters.
+			if _, err := cluster.FS.GC.RunOnce(ctx); err != nil {
+				fmt.Printf("error: %v\n", err)
+				continue
+			}
+			s := cluster.FS.GC.Stats().Snapshot()
+			fmt.Printf("gc: passes=%d versions=%d blobs=%d pages=%d bytes=%d nodes=%d pins-blocked=%d\n",
+				s.Passes, s.VersionsCollected, s.BlobsDeleted, s.PagesReclaimed,
+				s.BytesReclaimed, s.NodesDeleted, s.PinsBlocked)
+			continue
+		}
 		if err := run(ctx, fs, line); err != nil {
 			fmt.Printf("error: %v\n", err)
 		}

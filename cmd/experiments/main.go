@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to run: all,3,4,5,6,filecount,pipeline,shuffle,abl-placement,abl-pagesize,abl-lock")
+		fig     = flag.String("fig", "all", "figure to run: all,3,4,5,6,filecount,pipeline,shuffle,gc,abl-placement,abl-pagesize,abl-lock")
 		nodes   = flag.Int("nodes", 270, "total simulated machines (paper: 270)")
 		meta    = flag.Int("meta", 20, "metadata providers (paper: 20)")
 		page    = flag.Int("page", 256, "page/chunk size in KiB (paper: 64 MiB, scaled)")
@@ -35,6 +35,8 @@ func main() {
 		rdepth  = flag.Int("readdepth", 0, "BSFS reader readahead depth (blocks in flight; 0 = default, negative = off)")
 		cachemb = flag.Int("cachemb", 0, "BSFS page cache budget in MiB per mount (0 = off so figures measure the network; >0 enables as an ablation)")
 		shufB   = flag.String("shuffle", "memory", "Map/Reduce shuffle backend for BSFS application figures: memory or blob")
+		retain  = flag.Uint64("retain", 0, "default RetainLatest GC policy for the environment (0 = keep every version)")
+		gcIntv  = flag.Duration("gc-interval", 0, "periodic GC pass cadence (0 = kick-driven only)")
 		seed    = flag.Int64("seed", 1, "random seed")
 		quick   = flag.Bool("quick", false, "reduced sweeps for a fast run")
 		csv     = flag.Bool("csv", false, "also print CSV data")
@@ -56,6 +58,8 @@ func main() {
 		ReadDepth:     *rdepth,
 		CacheBytes:    blobseer.CacheMiB(*cachemb),
 		Shuffle:       shuffleBackend,
+		Retain:        *retain,
+		GCInterval:    *gcIntv,
 		Seed:          *seed,
 	}
 
@@ -166,6 +170,21 @@ func main() {
 			res.RerunsMemory, res.RerunsBlob)
 		fmt.Printf("# blob backend: first segment fetched %.3f s before the map phase ended\n", res.BlobOverlapSec)
 		fmt.Printf("# blob backend: %d segments served after their producing tracker died\n\n", res.BlobRecovered)
+		return nil
+	})
+
+	run("gc", func() error {
+		res, err := experiments.GC(cfg)
+		if err != nil {
+			return err
+		}
+		emit("Storage lifecycle: bounded vs unbounded provider storage under sustained writes",
+			res.OverwriteGC, res.OverwriteNoGC, res.RotateGC, res.RotateNoGC)
+		fmt.Printf("# overwrite: final storage %.2fx the working set under RetainLatest(2)\n", res.OverwriteBoundRatio)
+		fmt.Printf("# rotate:    final storage %.2fx the live-file set with delete-driven GC\n", res.RotateBoundRatio)
+		fmt.Printf("# collector: %d passes, %d versions collected, %d blobs deleted, %d pages (%d bytes) reclaimed, %d tree nodes deleted\n\n",
+			res.GCStats.Passes, res.GCStats.VersionsCollected, res.GCStats.BlobsDeleted,
+			res.GCStats.PagesReclaimed, res.GCStats.BytesReclaimed, res.GCStats.NodesDeleted)
 		return nil
 	})
 

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"blobseer"
 	"blobseer/internal/apps/datajoin"
@@ -40,6 +41,9 @@ func main() {
 		rdepth   = flag.Int("readdepth", 0, "BSFS reader readahead depth (0 = default, negative = off)")
 		cachemb  = flag.Int("cachemb", 0, "BSFS page cache budget in MiB per mount (0 = default, negative = off)")
 		shuffleB = flag.String("shuffle", "memory", "shuffle backend: memory (in-tracker RPC store) or blob (durable concurrent appends, bsfs only)")
+		retain   = flag.Uint64("retain", 0, "BSFS default RetainLatest GC policy (0 = keep every version)")
+		gcIntv   = flag.Duration("gc-interval", 0, "BSFS periodic GC pass cadence (0 = kick-driven only)")
+		keepInt  = flag.Bool("keep-intermediate", false, "keep the blob shuffle backend's intermediate BLOBs after the job (default: retired through GC)")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -53,7 +57,7 @@ func main() {
 		fatal(err)
 	}
 
-	fw, cleanup, err := buildFramework(*fsName, *nodes, uint64(*block)<<10, *depth, *rdepth, blobseer.CacheMiB(*cachemb))
+	fw, cleanup, err := buildFramework(*fsName, *nodes, uint64(*block)<<10, *depth, *rdepth, blobseer.CacheMiB(*cachemb), *retain, *gcIntv)
 	if err != nil {
 		fatal(err)
 	}
@@ -83,6 +87,7 @@ func main() {
 		fatal(fmt.Errorf("unknown app %q", *app))
 	}
 	job.Shuffle = shuffleBackend
+	job.KeepIntermediate = *keepInt
 
 	res, err := fw.Run(ctx, job)
 	if err != nil {
@@ -118,12 +123,13 @@ func main() {
 	}
 }
 
-func buildFramework(fsName string, nodes int, block uint64, depth, rdepth int, cacheBytes int64) (*mapreduce.Framework, func(), error) {
+func buildFramework(fsName string, nodes int, block uint64, depth, rdepth int, cacheBytes int64, retain uint64, gcInterval time.Duration) (*mapreduce.Framework, func(), error) {
 	switch fsName {
 	case "bsfs":
 		cluster, err := blobseer.NewCluster(blobseer.Options{
 			Providers: nodes, MetaProviders: 3, BlockSize: block,
 			WriteDepth: depth, ReadDepth: rdepth, CacheBytes: cacheBytes,
+			Retain: retain, GCInterval: gcInterval,
 		})
 		if err != nil {
 			return nil, nil, err

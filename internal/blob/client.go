@@ -209,6 +209,132 @@ func (b *Blob) WaitPublished(ctx context.Context, ver uint64) (VersionInfo, erro
 	}
 }
 
+//
+// Lifecycle: retention, truncation, deletion, and reader pins.
+//
+
+// SetRetention sets this BLOB's retention override: keep only the
+// latest `keep` published versions; older ones become collectable by
+// the next GC pass. keep == 0 keeps every version.
+func (b *Blob) SetRetention(ctx context.Context, keep uint64) error {
+	return b.c.pool.Call(ctx, b.c.cfg.VersionManager, VMSetRetention,
+		&SetRetentionReq{Blob: b.id, Retain: keep}, nil)
+}
+
+// TruncateBefore marks every version below ver collectable. The latest
+// published version always survives; use Delete to retire the BLOB.
+func (b *Blob) TruncateBefore(ctx context.Context, ver uint64) error {
+	return b.c.pool.Call(ctx, b.c.cfg.VersionManager, VMTruncateBefore,
+		&VersionRef{Blob: b.id, Ver: ver}, nil)
+}
+
+// Delete retires the whole BLOB: every version becomes collectable
+// (pinned snapshots last until their pins release) and subsequent reads
+// fail with ErrVersionCollected. The handle's local caches are purged.
+func (b *Blob) Delete(ctx context.Context) error {
+	return b.c.DeleteBlob(ctx, b.id)
+}
+
+// DeleteBlob retires BLOB id (see Blob.Delete).
+func (c *Client) DeleteBlob(ctx context.Context, id uint64) error {
+	err := c.pool.Call(ctx, c.cfg.VersionManager, VMDeleteBlob, &BlobRef{Blob: id}, nil)
+	if err == nil {
+		c.PurgeBlob(id)
+	}
+	return err
+}
+
+// Pin takes a lease-style reference on ver: while held (and before ttl
+// expires) the version cannot be collected, so a slow reader never has
+// pages deleted out from under it. ttl <= 0 uses the manager's default.
+// Pinning a version the collector already owns fails with
+// ErrVersionCollected.
+func (b *Blob) Pin(ctx context.Context, ver uint64, ttl time.Duration) error {
+	return b.c.pool.Call(ctx, b.c.cfg.VersionManager, VMPin,
+		&PinReq{Blob: b.id, Ver: ver, TTLMillis: uint64(ttl / time.Millisecond)}, nil)
+}
+
+// Unpin releases one reference taken by Pin.
+func (b *Blob) Unpin(ctx context.Context, ver uint64) error {
+	return b.c.pool.Call(ctx, b.c.cfg.VersionManager, VMUnpin,
+		&VersionRef{Blob: b.id, Ver: ver}, nil)
+}
+
+// ReclaimScan asks the version manager for every newly dead version
+// (marking them collected in the same step). The garbage collector is
+// the only intended caller.
+func (c *Client) ReclaimScan(ctx context.Context) (*ReclaimScanResp, error) {
+	var resp ReclaimScanResp
+	if err := c.pool.Call(ctx, c.cfg.VersionManager, VMReclaimScan, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// DeletePages sends one provider a batch of reclaimable page keys.
+func (c *Client) DeletePages(ctx context.Context, provider string, keys []pagestore.Key) (DeletePagesResp, error) {
+	var resp DeletePagesResp
+	err := c.pool.Call(ctx, transport.Addr(provider), ProvDeletePages, &DeletePagesReq{Keys: keys}, &resp)
+	return resp, err
+}
+
+// PurgeVersion drops every locally cached artifact of one version —
+// its VersionInfo, resolved slots, and cached pages. Collection breaks
+// the "published versions are immutable forever" assumption those
+// caches rely on, so this is the cache layer's invalidation path.
+func (c *Client) PurgeVersion(blob, ver uint64) {
+	c.mu.Lock()
+	delete(c.verinfo, VersionRef{Blob: blob, Ver: ver})
+	for k := range c.slots {
+		if k.blob == blob && k.ver == ver {
+			delete(c.slots, k)
+		}
+	}
+	c.mu.Unlock()
+	if c.pages != nil {
+		c.pages.PurgeVersion(blob, ver)
+	}
+}
+
+// PurgeBlob drops every locally cached artifact of a whole BLOB,
+// including the write-record history.
+func (c *Client) PurgeBlob(blob uint64) {
+	c.mu.Lock()
+	delete(c.hist, blob)
+	for k := range c.verinfo {
+		if k.Blob == blob {
+			delete(c.verinfo, k)
+		}
+	}
+	for k := range c.slots {
+		if k.blob == blob {
+			delete(c.slots, k)
+		}
+	}
+	c.mu.Unlock()
+	if c.pages != nil {
+		c.pages.PurgeBlob(blob)
+	}
+}
+
+// collectedOr maps a read failure whose root cause is garbage
+// collection — pages or tree nodes that vanished mid-read — to a clean
+// ErrVersionCollected, purging the local caches so later reads fail
+// fast. Failures with live versions pass through unchanged.
+func (b *Blob) collectedOr(ctx context.Context, ver uint64, err error) error {
+	if err == nil || ver == 0 ||
+		!(errors.Is(err, ErrPageRead) || errors.Is(err, segtree.ErrNodeMissing)) {
+		return err
+	}
+	var info VersionInfo
+	perr := b.c.pool.Call(ctx, b.c.cfg.VersionManager, VMGetVersion, &VersionRef{Blob: b.id, Ver: ver}, &info)
+	if errors.Is(perr, ErrVersionCollected) {
+		b.c.PurgeVersion(b.id, ver)
+		return fmt.Errorf("%w: blob %d version %d", ErrVersionCollected, b.id, ver)
+	}
+	return err
+}
+
 // Abort seals a version this writer no longer intends to complete.
 func (b *Blob) Abort(ctx context.Context, ver uint64) error {
 	return b.c.pool.Call(ctx, b.c.cfg.VersionManager, VMSeal, &VersionRef{Blob: b.id, Ver: ver}, nil)
@@ -564,7 +690,7 @@ func (b *Blob) ReadAtInto(ctx context.Context, ver uint64, off uint64, p []byte)
 	lastPage := (off + n - 1) / ps
 	slots, err := b.resolveSlots(ctx, info, firstPage, lastPage-firstPage+1)
 	if err != nil {
-		return 0, err
+		return 0, b.collectedOr(ctx, info.Ver, err)
 	}
 
 	err = b.c.forEachPage(uint64(len(slots)), func(i uint64) error {
@@ -586,7 +712,7 @@ func (b *Blob) ReadAtInto(ctx context.Context, ver uint64, off uint64, p []byte)
 		return nil
 	})
 	if err != nil {
-		return 0, err
+		return 0, b.collectedOr(ctx, info.Ver, err)
 	}
 	return int(n), nil
 }
@@ -610,7 +736,7 @@ func (b *Blob) PageView(ctx context.Context, ver, page uint64) ([]byte, error) {
 	want := minU64(ps, info.Size-page*ps)
 	slots, err := b.resolveSlots(ctx, info, page, 1)
 	if err != nil {
-		return nil, err
+		return nil, b.collectedOr(ctx, info.Ver, err)
 	}
 	slot := slots[0]
 	if slot.Ref.Hole {
@@ -619,7 +745,7 @@ func (b *Blob) PageView(ctx context.Context, ver, page uint64) ([]byte, error) {
 	// fetchPage validates length: success means >= want bytes.
 	data, err := b.c.fetchPage(ctx, slot.Ref, want)
 	if err != nil {
-		return nil, err
+		return nil, b.collectedOr(ctx, info.Ver, err)
 	}
 	return data[:want], nil
 }
@@ -648,9 +774,9 @@ func (b *Blob) Prefetch(ctx context.Context, ver, off, n uint64) error {
 	lastPage := (off + n - 1) / ps
 	slots, err := b.resolveSlots(ctx, info, firstPage, lastPage-firstPage+1)
 	if err != nil {
-		return err
+		return b.collectedOr(ctx, info.Ver, err)
 	}
-	return b.c.forEachPage(uint64(len(slots)), func(i uint64) error {
+	err = b.c.forEachPage(uint64(len(slots)), func(i uint64) error {
 		slot := slots[i]
 		if slot.Ref.Hole {
 			return nil
@@ -659,6 +785,7 @@ func (b *Blob) Prefetch(ctx context.Context, ver, off, n uint64) error {
 		_, err := b.c.fetchPage(ctx, slot.Ref, want)
 		return err
 	})
+	return b.collectedOr(ctx, info.Ver, err)
 }
 
 // resolveSlots maps pages [first, first+n) of the published version
@@ -713,6 +840,11 @@ func (b *Blob) resolveVersion(ctx context.Context, ver uint64) (VersionInfo, err
 	}
 	info, err := b.GetVersion(ctx, ver)
 	if err != nil {
+		if errors.Is(err, ErrVersionCollected) {
+			// Collection invalidated whatever this client still caches
+			// about the version.
+			c.PurgeVersion(b.id, ver)
+		}
 		return VersionInfo{}, err
 	}
 	if !info.Published {

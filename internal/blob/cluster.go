@@ -32,6 +32,11 @@ type ClusterConfig struct {
 	MetaReplicas  int // DHT replication (default 2)
 	PageReplicas  int // page replication (default 1)
 
+	// Retain is the version manager's default RetainLatest policy:
+	// keep only the latest k published versions per BLOB and let the
+	// garbage collector retire the rest. 0 keeps every version.
+	Retain uint64
+
 	// CacheBytes is the per-client page-cache budget handed to
 	// Client() (0 = cache.DefaultBudget, negative disables caching).
 	CacheBytes int64
@@ -89,7 +94,7 @@ func NewCluster(net transport.Network, cfg ClusterConfig) (*Cluster, error) {
 	ring := dht.NewRing(c.MetaAddrs(), 64)
 	nodes := NewNodeStore(dht.NewClient(ring, c.vmPool, cfg.MetaReplicas))
 	vm, err := NewVersionManager(net, transport.MakeAddr("vmanager-host", SvcVersionManager),
-		VersionManagerConfig{SealTimeout: cfg.SealTimeout, Nodes: nodes})
+		VersionManagerConfig{SealTimeout: cfg.SealTimeout, Nodes: nodes, RetainLatest: cfg.Retain})
 	if err != nil {
 		c.Close()
 		return nil, err
@@ -142,6 +147,16 @@ func (c *Cluster) ProviderHosts() []string {
 		out[i] = p.Addr().Host()
 	}
 	return out
+}
+
+// ProviderBytes sums BytesUsed over all data providers; tests and the
+// GC experiments watch it to verify reclamation.
+func (c *Cluster) ProviderBytes() int64 {
+	var total int64
+	for _, p := range c.Providers {
+		total += p.Store().BytesUsed()
+	}
+	return total
 }
 
 // Client returns a client for this deployment running on host.

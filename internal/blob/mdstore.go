@@ -30,3 +30,12 @@ func (s *dhtNodeStore) PutNodes(ctx context.Context, keys []string, values [][]b
 func (s *dhtNodeStore) GetNodes(ctx context.Context, keys []string) ([][]byte, error) {
 	return s.c.GetBatch(ctx, keys)
 }
+
+// DeleteNodes implements segtree.NodeDeleter: the garbage collector
+// reclaims the tree nodes of collected versions through it. A failed
+// member batch surfaces as an error so the collector re-queues the
+// whole (idempotent) item instead of leaking nodes on the member that
+// was down.
+func (s *dhtNodeStore) DeleteNodes(ctx context.Context, keys []string) error {
+	return s.c.DeleteBatch(ctx, keys)
+}

@@ -31,6 +31,7 @@ func NewProvider(net transport.Network, addr transport.Addr, store pagestore.Sto
 	srv.Handle(ProvPutPage, p.handlePutPage)
 	srv.Handle(ProvGetPage, p.handleGetPage)
 	srv.Handle(ProvStats, p.handleStats)
+	srv.Handle(ProvDeletePages, p.handleDeletePages)
 	return p, nil
 }
 
@@ -83,4 +84,38 @@ func (p *Provider) handleStats(r *wire.Reader) (wire.Marshaler, error) {
 		Pages: uint64(p.store.Len()),
 		Bytes: uint64(p.store.BytesUsed()),
 	}, nil
+}
+
+// handleDeletePages drops a garbage-collection batch. Keys the store
+// does not hold are skipped silently (replication spreads a version's
+// pages over many providers). When the engine supports it, crossing
+// the dead-byte threshold triggers an automatic compaction, so
+// reclaimed pages become reclaimed disk.
+func (p *Provider) handleDeletePages(r *wire.Reader) (wire.Marshaler, error) {
+	var req DeletePagesReq
+	if err := req.DecodeFrom(r); err != nil {
+		return nil, err
+	}
+	resp := &DeletePagesResp{}
+	before := p.store.BytesUsed()
+	for _, k := range req.Keys {
+		if !p.store.Has(k) {
+			continue
+		}
+		if err := p.store.Delete(k); err != nil {
+			return nil, err
+		}
+		resp.Deleted++
+	}
+	if freed := before - p.store.BytesUsed(); freed > 0 {
+		resp.BytesFreed = uint64(freed)
+	}
+	if ac, ok := p.store.(pagestore.AutoCompacter); ok && resp.Deleted > 0 {
+		compacted, err := ac.MaybeCompact()
+		if err != nil {
+			return nil, err
+		}
+		resp.Compacted = compacted
+	}
+	return resp, nil
 }

@@ -47,6 +47,12 @@ const (
 	VMWaitPublished
 	VMListBlobs
 	VMStats
+	VMSetRetention
+	VMTruncateBefore
+	VMDeleteBlob
+	VMPin
+	VMUnpin
+	VMReclaimScan
 )
 
 // Provider manager methods.
@@ -61,6 +67,7 @@ const (
 	ProvPutPage uint32 = iota + 1
 	ProvGetPage
 	ProvStats
+	ProvDeletePages
 )
 
 // Write kinds for AssignReq.
@@ -347,6 +354,191 @@ func (m *VMStatsResp) DecodeFrom(r *wire.Reader) error {
 	m.Assigned = r.Uvarint()
 	m.Published = r.Uvarint()
 	m.Sealed = r.Uvarint()
+	return r.Err()
+}
+
+//
+// Lifecycle / garbage-collection messages.
+//
+
+// SetRetentionReq sets a per-BLOB retention override: keep the latest
+// Retain published versions (older ones become collectable). Retain 0
+// keeps every version. The override shadows the manager's default.
+type SetRetentionReq struct {
+	Blob   uint64
+	Retain uint64
+}
+
+// AppendTo implements wire.Marshaler.
+func (m *SetRetentionReq) AppendTo(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.Blob)
+	return wire.AppendUvarint(b, m.Retain)
+}
+
+// DecodeFrom implements wire.Unmarshaler.
+func (m *SetRetentionReq) DecodeFrom(r *wire.Reader) error {
+	m.Blob = r.Uvarint()
+	m.Retain = r.Uvarint()
+	return r.Err()
+}
+
+// PinReq takes a lease-style reference on one version: while the lease
+// is live the version cannot be collected. TTLMillis bounds the lease
+// so a dead client never blocks collection forever.
+type PinReq struct {
+	Blob      uint64
+	Ver       uint64
+	TTLMillis uint64
+}
+
+// AppendTo implements wire.Marshaler.
+func (m *PinReq) AppendTo(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.Blob)
+	b = wire.AppendUvarint(b, m.Ver)
+	return wire.AppendUvarint(b, m.TTLMillis)
+}
+
+// DecodeFrom implements wire.Unmarshaler.
+func (m *PinReq) DecodeFrom(r *wire.Reader) error {
+	m.Blob = r.Uvarint()
+	m.Ver = r.Uvarint()
+	m.TTLMillis = r.Uvarint()
+	return r.Err()
+}
+
+// BlobReclaim is one BLOB's slice of a reclaim scan: the manager just
+// advanced this BLOB's collection frontier from From to To (versions in
+// [From, To) died; all versions below To are now collected), and ships
+// the write records [1, min(To, assigned)] the collector needs. The
+// collector reclaims shadow-driven: each version w in (From, To] kills
+// the pages and tree nodes of its latest predecessor on every range w
+// wrote, because the snapshots [predecessor, w) that could still see
+// them are all dead once the frontier reaches w. Deleted marks the
+// scan that finishes a deleted BLOB (To passed its last version and no
+// pin remains): the collector then sweeps every remaining page and
+// node of the whole history.
+type BlobReclaim struct {
+	Blob     uint64
+	PageSize uint64
+	Deleted  bool
+	From     uint64
+	To       uint64
+	Records  []segtree.WriteRecord
+}
+
+// AppendTo implements wire.Marshaler.
+func (m *BlobReclaim) AppendTo(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.Blob)
+	b = wire.AppendUvarint(b, m.PageSize)
+	b = wire.AppendBool(b, m.Deleted)
+	b = wire.AppendUvarint(b, m.From)
+	b = wire.AppendUvarint(b, m.To)
+	b = wire.AppendUvarint(b, uint64(len(m.Records)))
+	for _, rec := range m.Records {
+		b = appendWriteRecord(b, rec)
+	}
+	return b
+}
+
+// DecodeFrom implements wire.Unmarshaler.
+func (m *BlobReclaim) DecodeFrom(r *wire.Reader) error {
+	m.Blob = r.Uvarint()
+	m.PageSize = r.Uvarint()
+	m.Deleted = r.Bool()
+	m.From = r.Uvarint()
+	m.To = r.Uvarint()
+	n := r.Uvarint()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	m.Records = make([]segtree.WriteRecord, 0, n)
+	for i := uint64(0); i < n; i++ {
+		m.Records = append(m.Records, decodeWriteRecord(r))
+	}
+	return r.Err()
+}
+
+// ReclaimScanResp is a whole reclaim scan: every BLOB with newly dead
+// versions, plus the count of versions a live pin kept alive this scan.
+type ReclaimScanResp struct {
+	PinsBlocked uint64
+	Blobs       []BlobReclaim
+}
+
+// AppendTo implements wire.Marshaler.
+func (m *ReclaimScanResp) AppendTo(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.PinsBlocked)
+	b = wire.AppendUvarint(b, uint64(len(m.Blobs)))
+	for i := range m.Blobs {
+		b = m.Blobs[i].AppendTo(b)
+	}
+	return b
+}
+
+// DecodeFrom implements wire.Unmarshaler.
+func (m *ReclaimScanResp) DecodeFrom(r *wire.Reader) error {
+	m.PinsBlocked = r.Uvarint()
+	n := r.Uvarint()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	m.Blobs = make([]BlobReclaim, n)
+	for i := uint64(0); i < n; i++ {
+		if err := m.Blobs[i].DecodeFrom(r); err != nil {
+			return err
+		}
+	}
+	return r.Err()
+}
+
+// DeletePagesReq asks a provider to drop a batch of pages (garbage
+// collection). Missing pages are not errors: replication means any
+// given provider holds only a subset of a version's pages.
+type DeletePagesReq struct {
+	Keys []pagestore.Key
+}
+
+// AppendTo implements wire.Marshaler.
+func (m *DeletePagesReq) AppendTo(b []byte) []byte {
+	b = wire.AppendUvarint(b, uint64(len(m.Keys)))
+	for _, k := range m.Keys {
+		b = appendPageKey(b, k)
+	}
+	return b
+}
+
+// DecodeFrom implements wire.Unmarshaler.
+func (m *DeletePagesReq) DecodeFrom(r *wire.Reader) error {
+	n := r.Uvarint()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	m.Keys = make([]pagestore.Key, 0, n)
+	for i := uint64(0); i < n; i++ {
+		m.Keys = append(m.Keys, decodePageKey(r))
+	}
+	return r.Err()
+}
+
+// DeletePagesResp reports what a delete batch freed.
+type DeletePagesResp struct {
+	Deleted    uint64 // pages actually present and removed
+	BytesFreed uint64
+	Compacted  bool // the store's dead-byte threshold triggered a compaction
+}
+
+// AppendTo implements wire.Marshaler.
+func (m *DeletePagesResp) AppendTo(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.Deleted)
+	b = wire.AppendUvarint(b, m.BytesFreed)
+	return wire.AppendBool(b, m.Compacted)
+}
+
+// DecodeFrom implements wire.Unmarshaler.
+func (m *DeletePagesResp) DecodeFrom(r *wire.Reader) error {
+	m.Deleted = r.Uvarint()
+	m.BytesFreed = r.Uvarint()
+	m.Compacted = r.Bool()
 	return r.Err()
 }
 

@@ -23,6 +23,11 @@ var (
 	ErrNoSuchVersion   = errors.New("blob: no such version")
 	ErrWaitTimeout     = errors.New("blob: wait-published timeout")
 	ErrVersionFinished = errors.New("blob: version already completed or sealed")
+	// ErrVersionCollected reports a read of a version (or a whole BLOB)
+	// the garbage collector has reclaimed: the version's pages may be
+	// gone from the providers, so the only honest answer is this error,
+	// never stale or short data.
+	ErrVersionCollected = errors.New("blob: version collected")
 )
 
 // Version lifecycle inside the manager.
@@ -52,6 +57,37 @@ type blobState struct {
 	// has published and v has completed (or been sealed).
 	published uint64
 	waiters   map[uint64][]chan struct{}
+
+	// Lifecycle state (internal/gc). Versions below truncBefore are
+	// retirable; retain (when retainSet) overrides the manager's default
+	// RetainLatest policy; deleted marks the whole BLOB dead. frontier
+	// is the collection frontier: every version below it has been handed
+	// to the collector — its pages may be gone, so reads must fail with
+	// ErrVersionCollected. The frontier only advances (atomically with
+	// the reclaim scan) and never passes a pinned version, so a pinned
+	// snapshot's pages are never deleted and a pin on an already
+	// collected version is refused — there is no in-between.
+	retain      uint64
+	retainSet   bool
+	truncBefore uint64
+	deleted     bool
+	frontier    uint64 // versions < frontier are collected (0/1 = none)
+	pins        map[uint64]*pinLease
+}
+
+// pinLease aggregates the live pins of one version: a refcount plus
+// the latest lease expiry. Expired leases are pruned by reclaim scans,
+// so a crashed reader delays collection by at most one TTL.
+type pinLease struct {
+	count   int
+	expires time.Time
+}
+
+// collectedGet reports whether ver was handed to the collector.
+// Version 0 (the empty initial snapshot) has no pages and is never
+// collected.
+func (bs *blobState) collectedGet(ver uint64) bool {
+	return ver >= 1 && ver < bs.frontier
 }
 
 func (bs *blobState) info(ver uint64) VersionInfo {
@@ -98,6 +134,14 @@ type VersionManagerConfig struct {
 	// Nodes is the metadata store used to commit hole metadata when
 	// sealing. Required if sealing is used.
 	Nodes segtree.NodeStore
+	// RetainLatest is the default retention policy: keep only the
+	// latest k published versions of every BLOB, letting reclaim scans
+	// retire the rest. Zero keeps every version (BlobSeer's original
+	// keep-forever model); per-BLOB SetRetention overrides it.
+	RetainLatest uint64
+	// DefaultPinTTL bounds pin leases whose request carries no TTL
+	// (zero means one minute).
+	DefaultPinTTL time.Duration
 }
 
 // vmShardCount is the number of shards of the blob map. Power of two so
@@ -135,6 +179,14 @@ type VersionManager struct {
 	publishedCount atomic.Uint64
 	sealed         atomic.Uint64
 
+	// reclaimNotify, when set, is called after any lifecycle change
+	// that may create garbage (DeleteBlob, TruncateBefore,
+	// SetRetention); the collector registers a non-blocking kick here
+	// so deletions reclaim promptly instead of waiting for the next
+	// periodic pass.
+	notifyMu      sync.Mutex
+	reclaimNotify func()
+
 	done chan struct{}
 	wg   sync.WaitGroup
 }
@@ -163,6 +215,12 @@ func NewVersionManager(net transport.Network, addr transport.Addr, cfg VersionMa
 	srv.Handle(VMWaitPublished, vm.handleWaitPublished)
 	srv.Handle(VMListBlobs, vm.handleListBlobs)
 	srv.Handle(VMStats, vm.handleStats)
+	srv.Handle(VMSetRetention, vm.handleSetRetention)
+	srv.Handle(VMTruncateBefore, vm.handleTruncateBefore)
+	srv.Handle(VMDeleteBlob, vm.handleDeleteBlob)
+	srv.Handle(VMPin, vm.handlePin)
+	srv.Handle(VMUnpin, vm.handleUnpin)
+	srv.Handle(VMReclaimScan, vm.handleReclaimScan)
 	if cfg.SealTimeout > 0 {
 		vm.wg.Add(1)
 		go vm.sealLoop()
@@ -232,6 +290,9 @@ func (vm *VersionManager) handleOpenBlob(r *wire.Reader) (wire.Marshaler, error)
 	}
 	bs.mu.Lock()
 	defer bs.mu.Unlock()
+	if bs.deleted {
+		return nil, ErrBlobNotFound
+	}
 	return &OpenBlobResp{PageSize: bs.pageSize, Latest: bs.info(bs.published)}, nil
 }
 
@@ -249,6 +310,9 @@ func (vm *VersionManager) handleAssign(r *wire.Reader) (wire.Marshaler, error) {
 	}
 	bs.mu.Lock()
 	defer bs.mu.Unlock()
+	if bs.deleted {
+		return nil, ErrBlobNotFound
+	}
 	ps := bs.pageSize
 	var prevSize uint64
 	if n := len(bs.sizes); n > 0 {
@@ -313,6 +377,9 @@ func (vm *VersionManager) handleComplete(r *wire.Reader) (wire.Marshaler, error)
 	}
 	bs.mu.Lock()
 	defer bs.mu.Unlock()
+	if bs.deleted {
+		return nil, ErrBlobNotFound
+	}
 	if req.Ver == 0 || req.Ver > uint64(len(bs.status)) {
 		return nil, ErrNoSuchVersion
 	}
@@ -367,6 +434,10 @@ func (vm *VersionManager) seal(blob, ver uint64) error {
 		return ErrBlobNotFound
 	}
 	bs.mu.Lock()
+	if bs.deleted {
+		bs.mu.Unlock()
+		return nil // the whole BLOB is dead; nothing left to unwedge
+	}
 	if ver == 0 || ver > uint64(len(bs.status)) {
 		bs.mu.Unlock()
 		return ErrNoSuchVersion
@@ -431,6 +502,10 @@ func (vm *VersionManager) sealLoop() {
 			s.mu.Unlock()
 			for id, bs := range states {
 				bs.mu.Lock()
+				if bs.deleted {
+					bs.mu.Unlock()
+					continue
+				}
 				// Only the version blocking publication can stall others;
 				// seal any expired pending version though, oldest first.
 				for v := bs.published + 1; v <= uint64(len(bs.status)); v++ {
@@ -459,7 +534,16 @@ func (vm *VersionManager) handleGetVersion(r *wire.Reader) (wire.Marshaler, erro
 	}
 	bs.mu.Lock()
 	defer bs.mu.Unlock()
+	// Only versions behind the collection frontier are refused: a
+	// pinned snapshot of a deleted BLOB stays readable until its pin
+	// releases and the frontier passes it.
+	if bs.collectedGet(req.Ver) {
+		return nil, ErrVersionCollected
+	}
 	if req.Ver > uint64(len(bs.records)) {
+		if bs.deleted {
+			return nil, ErrVersionCollected
+		}
 		return nil, ErrNoSuchVersion
 	}
 	info := bs.info(req.Ver)
@@ -477,6 +561,9 @@ func (vm *VersionManager) handleLatest(r *wire.Reader) (wire.Marshaler, error) {
 	}
 	bs.mu.Lock()
 	defer bs.mu.Unlock()
+	if bs.deleted {
+		return nil, ErrVersionCollected
+	}
 	info := bs.info(bs.published)
 	return &info, nil
 }
@@ -491,14 +578,28 @@ func (vm *VersionManager) handleWaitPublished(r *wire.Reader) (wire.Marshaler, e
 		return nil, ErrBlobNotFound
 	}
 	bs.mu.Lock()
-	if req.Ver > uint64(len(bs.records)) {
+	if bs.collectedGet(req.Ver) {
 		bs.mu.Unlock()
+		return nil, ErrVersionCollected
+	}
+	if req.Ver > uint64(len(bs.records)) {
+		deleted := bs.deleted
+		bs.mu.Unlock()
+		if deleted {
+			return nil, ErrVersionCollected
+		}
 		return nil, ErrNoSuchVersion
 	}
 	if req.Ver <= bs.published {
 		info := bs.info(req.Ver)
 		bs.mu.Unlock()
 		return &info, nil
+	}
+	if bs.deleted {
+		// The publication chain of a deleted BLOB never advances; fail
+		// instead of blocking for the whole timeout.
+		bs.mu.Unlock()
+		return nil, ErrVersionCollected
 	}
 	ch := make(chan struct{})
 	bs.waiters[req.Ver] = append(bs.waiters[req.Ver], ch)
@@ -513,6 +614,11 @@ func (vm *VersionManager) handleWaitPublished(r *wire.Reader) (wire.Marshaler, e
 	select {
 	case <-ch:
 		bs.mu.Lock()
+		if bs.deleted || bs.collectedGet(req.Ver) {
+			// Woken by DeleteBlob, not publication.
+			bs.mu.Unlock()
+			return nil, ErrVersionCollected
+		}
 		info := bs.info(req.Ver)
 		bs.mu.Unlock()
 		return &info, nil
@@ -554,8 +660,13 @@ func (vm *VersionManager) handleListBlobs(r *wire.Reader) (wire.Marshaler, error
 	vm.mu.Unlock()
 	resp := &ListBlobsResp{Blobs: make([]uint64, 0, next)}
 	for id := uint64(1); id <= next; id++ {
-		if _, ok := vm.lookup(id); ok {
-			resp.Blobs = append(resp.Blobs, id)
+		if bs, ok := vm.lookup(id); ok {
+			bs.mu.Lock()
+			dead := bs.deleted
+			bs.mu.Unlock()
+			if !dead {
+				resp.Blobs = append(resp.Blobs, id)
+			}
 		}
 	}
 	return resp, nil
@@ -575,4 +686,295 @@ func (vm *VersionManager) handleStats(r *wire.Reader) (wire.Marshaler, error) {
 		Published: vm.publishedCount.Load(),
 		Sealed:    vm.sealed.Load(),
 	}, nil
+}
+
+//
+// Lifecycle: retention policy, pins, deletion, and the reclaim scan
+// that feeds the garbage collector (internal/gc).
+//
+
+// SetReclaimNotify registers a callback invoked after every lifecycle
+// RPC that may create garbage. The collector registers a non-blocking
+// kick so deletions reclaim promptly.
+func (vm *VersionManager) SetReclaimNotify(fn func()) {
+	vm.notifyMu.Lock()
+	vm.reclaimNotify = fn
+	vm.notifyMu.Unlock()
+}
+
+func (vm *VersionManager) reclaimKick() {
+	vm.notifyMu.Lock()
+	fn := vm.reclaimNotify
+	vm.notifyMu.Unlock()
+	if fn != nil {
+		fn()
+	}
+}
+
+func (vm *VersionManager) handleSetRetention(r *wire.Reader) (wire.Marshaler, error) {
+	var req SetRetentionReq
+	if err := req.DecodeFrom(r); err != nil {
+		return nil, err
+	}
+	bs, ok := vm.lookup(req.Blob)
+	if !ok {
+		return nil, ErrBlobNotFound
+	}
+	bs.mu.Lock()
+	if bs.deleted {
+		bs.mu.Unlock()
+		return nil, ErrBlobNotFound
+	}
+	bs.retain = req.Retain
+	bs.retainSet = true
+	bs.mu.Unlock()
+	vm.reclaimKick()
+	return nil, nil
+}
+
+func (vm *VersionManager) handleTruncateBefore(r *wire.Reader) (wire.Marshaler, error) {
+	var req VersionRef
+	if err := req.DecodeFrom(r); err != nil {
+		return nil, err
+	}
+	bs, ok := vm.lookup(req.Blob)
+	if !ok {
+		return nil, ErrBlobNotFound
+	}
+	bs.mu.Lock()
+	if bs.deleted {
+		bs.mu.Unlock()
+		return nil, ErrBlobNotFound
+	}
+	// The latest published version always survives a truncation; only
+	// DeleteBlob retires a whole BLOB.
+	ver := req.Ver
+	if ver > bs.published {
+		ver = bs.published
+	}
+	if ver > bs.truncBefore {
+		bs.truncBefore = ver
+	}
+	bs.mu.Unlock()
+	vm.reclaimKick()
+	return nil, nil
+}
+
+func (vm *VersionManager) handleDeleteBlob(r *wire.Reader) (wire.Marshaler, error) {
+	var req BlobRef
+	if err := req.DecodeFrom(r); err != nil {
+		return nil, err
+	}
+	bs, ok := vm.lookup(req.Blob)
+	if !ok {
+		return nil, ErrBlobNotFound
+	}
+	bs.mu.Lock()
+	if !bs.deleted {
+		bs.deleted = true
+		// Wake every waiter; they observe deleted and fail cleanly.
+		for ver, chans := range bs.waiters {
+			for _, ch := range chans {
+				close(ch)
+			}
+			delete(bs.waiters, ver)
+		}
+	}
+	bs.mu.Unlock()
+	vm.reclaimKick()
+	return nil, nil
+}
+
+func (vm *VersionManager) handlePin(r *wire.Reader) (wire.Marshaler, error) {
+	var req PinReq
+	if err := req.DecodeFrom(r); err != nil {
+		return nil, err
+	}
+	bs, ok := vm.lookup(req.Blob)
+	if !ok {
+		return nil, ErrBlobNotFound
+	}
+	ttl := time.Duration(req.TTLMillis) * time.Millisecond
+	if ttl <= 0 {
+		ttl = vm.cfg.DefaultPinTTL
+		if ttl <= 0 {
+			ttl = time.Minute
+		}
+	}
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	if bs.deleted || bs.collectedGet(req.Ver) {
+		// Too late: the version is already in the collector's hands. A
+		// pin either lands before the reclaim scan (the version is then
+		// excluded) or is refused here — there is no window where a
+		// pinned version's pages disappear.
+		return nil, ErrVersionCollected
+	}
+	if req.Ver == 0 || req.Ver > uint64(len(bs.records)) {
+		return nil, ErrNoSuchVersion
+	}
+	if bs.pins == nil {
+		bs.pins = make(map[uint64]*pinLease)
+	}
+	p := bs.pins[req.Ver]
+	if p == nil {
+		p = &pinLease{}
+		bs.pins[req.Ver] = p
+	}
+	p.count++
+	if exp := time.Now().Add(ttl); exp.After(p.expires) {
+		p.expires = exp
+	}
+	return nil, nil
+}
+
+func (vm *VersionManager) handleUnpin(r *wire.Reader) (wire.Marshaler, error) {
+	var req VersionRef
+	if err := req.DecodeFrom(r); err != nil {
+		return nil, err
+	}
+	bs, ok := vm.lookup(req.Blob)
+	if !ok {
+		return nil, ErrBlobNotFound
+	}
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	if p := bs.pins[req.Ver]; p != nil {
+		p.count--
+		if p.count <= 0 {
+			delete(bs.pins, req.Ver)
+		}
+	}
+	return nil, nil
+}
+
+// handleReclaimScan computes, marks, and hands out every newly dead
+// version. Marking happens here, atomically with the scan, so reads of
+// a handed-out version fail with ErrVersionCollected before its pages
+// start disappearing, and no later pin can land on it.
+func (vm *VersionManager) handleReclaimScan(r *wire.Reader) (wire.Marshaler, error) {
+	resp := &ReclaimScanResp{}
+	now := time.Now()
+	for i := range vm.shards {
+		s := &vm.shards[i]
+		s.mu.Lock()
+		states := make(map[uint64]*blobState, len(s.blobs))
+		for id, bs := range s.blobs {
+			states[id] = bs
+		}
+		s.mu.Unlock()
+		for id, bs := range states {
+			bs.mu.Lock()
+			br, blocked := bs.reclaimLocked(id, vm.cfg.RetainLatest, now)
+			bs.mu.Unlock()
+			resp.PinsBlocked += blocked
+			if br != nil {
+				resp.Blobs = append(resp.Blobs, *br)
+			}
+		}
+	}
+	return resp, nil
+}
+
+// reclaimLocked is one BLOB's share of a reclaim scan. Caller holds
+// bs.mu. It prunes expired pins, advances the collection frontier as
+// far as the effective retention policy and the oldest live pin allow,
+// and returns the frontier-advance work item (nil when the frontier
+// did not move). Returns the count of versions a pin held back.
+func (bs *blobState) reclaimLocked(id, defaultRetain uint64, now time.Time) (*BlobReclaim, uint64) {
+
+	// policyDead is the exclusive upper bound the policy wants dead:
+	// everything below it may go. The latest published version always
+	// survives unless the BLOB is deleted.
+	var policyDead uint64
+	if bs.deleted {
+		policyDead = uint64(len(bs.records)) + 1
+	} else {
+		policyDead = bs.truncBefore
+		retain := defaultRetain
+		if bs.retainSet {
+			retain = bs.retain
+		}
+		if retain > 0 && bs.published > retain {
+			if v := bs.published - retain + 1; v > policyDead {
+				policyDead = v
+			}
+		}
+		if policyDead > bs.published {
+			policyDead = bs.published
+		}
+	}
+
+	// The frontier never passes a live pin: a pinned snapshot keeps
+	// every page it can reach, which is exactly "no version >= the pin's
+	// own view boundary dies". Once the pin releases (or its lease
+	// expires), the next scan finishes the advance. Expired leases stop
+	// clamping but keep their entry: deleting it here would let the
+	// stale holder's eventual Unpin steal a reference from a fresh pin
+	// on the same version. Entries are pruned only once the frontier
+	// passes them (new pins below the frontier are refused, so a late
+	// Unpin of a pruned pin is a harmless no-op).
+	effective := policyDead
+	for v, p := range bs.pins {
+		if now.After(p.expires) {
+			continue
+		}
+		if v < effective {
+			effective = v
+		}
+	}
+	var blocked uint64
+	if effective < policyDead {
+		from := effective
+		if bs.frontier > from {
+			from = bs.frontier
+		}
+		if policyDead > from {
+			blocked = policyDead - from
+		}
+	}
+
+	from := bs.frontier
+	if from < 1 {
+		from = 1
+	}
+	if effective <= from {
+		return nil, blocked
+	}
+	bs.frontier = effective
+	for v := range bs.pins {
+		if v < bs.frontier {
+			delete(bs.pins, v)
+		}
+	}
+
+	maxVer := effective
+	if maxVer > uint64(len(bs.records)) {
+		maxVer = uint64(len(bs.records))
+	}
+	br := &BlobReclaim{
+		Blob:     id,
+		PageSize: bs.pageSize,
+		Deleted:  bs.deleted && effective == uint64(len(bs.records))+1,
+		From:     from,
+		To:       effective,
+		// Zero-copy share of the record prefix: write records are
+		// written once at assignment and never mutated, and appends
+		// never touch indices below maxVer, so encoding this slice
+		// outside the lock is race-free — the scan holds bs.mu for
+		// O(1) regardless of history length. The full prefix ships
+		// (rather than just (From, To]) so every scan item is
+		// self-contained: a collector restart — or a scan response
+		// lost to a timeout after the frontier advanced (the one leak
+		// window of the mark-first design) — costs at most the lost
+		// window's pages, never a corrupted reclaim of later windows.
+		Records: bs.records[:maxVer:maxVer],
+	}
+	// A fully collected, unpinned, deleted BLOB needs only a tombstone:
+	// drop the bulk arrays, keep the flags so reads keep failing with
+	// ErrVersionCollected.
+	if br.Deleted {
+		bs.records, bs.sizes, bs.status, bs.assignedAt = nil, nil, nil, nil
+	}
+	return br, blocked
 }

@@ -379,3 +379,124 @@ func TestSealTimeoutAdvancesChain(t *testing.T) {
 		t.Error("no hole metadata committed for the sealed version")
 	}
 }
+
+// scan drives a reclaim scan RPC against the harness manager.
+func (h *vmHarness) scan(t *testing.T) *ReclaimScanResp {
+	t.Helper()
+	var resp ReclaimScanResp
+	if err := h.pool.Call(ctx, h.vm.Addr(), VMReclaimScan, nil, &resp); err != nil {
+		t.Fatal(err)
+	}
+	return &resp
+}
+
+func (h *vmHarness) publishN(t *testing.T, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		a := h.assign(t, KindAppend, 0, 100, 0)
+		if err := h.complete(t, a.Ver); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRetentionScanAdvancesFrontier: with RetainLatest(2) set, a scan
+// hands out exactly the versions below published-1 and marks them
+// collected; a second scan with no new publications is empty.
+func TestRetentionScanAdvancesFrontier(t *testing.T) {
+	h := newVMHarness(t, 100)
+	h.publishN(t, 5)
+	if err := h.pool.Call(ctx, h.vm.Addr(), VMSetRetention,
+		&SetRetentionReq{Blob: h.blob, Retain: 2}, nil); err != nil {
+		t.Fatal(err)
+	}
+	resp := h.scan(t)
+	if len(resp.Blobs) != 1 {
+		t.Fatalf("scan returned %d blobs, want 1", len(resp.Blobs))
+	}
+	br := resp.Blobs[0]
+	if br.From != 1 || br.To != 4 || br.Deleted {
+		t.Fatalf("scan window = [%d,%d) deleted=%v, want [1,4)", br.From, br.To, br.Deleted)
+	}
+	if len(br.Records) != 4 {
+		t.Fatalf("scan shipped %d records, want 4 (through the first live version)", len(br.Records))
+	}
+	if resp2 := h.scan(t); len(resp2.Blobs) != 0 {
+		t.Fatalf("idle rescan returned %d blobs", len(resp2.Blobs))
+	}
+	// Collected versions answer ErrVersionCollected; live ones work.
+	err := h.pool.Call(ctx, h.vm.Addr(), VMGetVersion, &VersionRef{Blob: h.blob, Ver: 2}, &VersionInfo{})
+	if !errors.Is(err, ErrVersionCollected) {
+		t.Errorf("GetVersion(collected) = %v", err)
+	}
+	if err := h.pool.Call(ctx, h.vm.Addr(), VMGetVersion, &VersionRef{Blob: h.blob, Ver: 4}, &VersionInfo{}); err != nil {
+		t.Errorf("GetVersion(live) = %v", err)
+	}
+}
+
+// TestPinLeaseExpiryUnblocksScan: an expired pin no longer clamps the
+// frontier — a crashed reader delays collection by one TTL, not
+// forever.
+func TestPinLeaseExpiryUnblocksScan(t *testing.T) {
+	h := newVMHarness(t, 100)
+	h.publishN(t, 4)
+	if err := h.pool.Call(ctx, h.vm.Addr(), VMPin,
+		&PinReq{Blob: h.blob, Ver: 1, TTLMillis: 20}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.pool.Call(ctx, h.vm.Addr(), VMSetRetention,
+		&SetRetentionReq{Blob: h.blob, Retain: 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	resp := h.scan(t)
+	if len(resp.Blobs) != 0 || resp.PinsBlocked == 0 {
+		t.Fatalf("pinned scan: blobs=%d blocked=%d, want clamp at the pin", len(resp.Blobs), resp.PinsBlocked)
+	}
+	time.Sleep(40 * time.Millisecond)
+	resp = h.scan(t)
+	if len(resp.Blobs) != 1 || resp.Blobs[0].To != 4 {
+		t.Fatalf("post-expiry scan = %+v, want frontier through 4", resp.Blobs)
+	}
+}
+
+// TestListBlobsExcludesDeleted: a deleted BLOB disappears from the
+// listing while a sibling survives.
+func TestListBlobsExcludesDeleted(t *testing.T) {
+	h := newVMHarness(t, 100)
+	var second CreateBlobResp
+	if err := h.pool.Call(ctx, h.vm.Addr(), VMCreateBlob, &CreateBlobReq{PageSize: 100}, &second); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.pool.Call(ctx, h.vm.Addr(), VMDeleteBlob, &BlobRef{Blob: h.blob}, nil); err != nil {
+		t.Fatal(err)
+	}
+	var list ListBlobsResp
+	if err := h.pool.Call(ctx, h.vm.Addr(), VMListBlobs, nil, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Blobs) != 1 || list.Blobs[0] != second.Blob {
+		t.Fatalf("ListBlobs after delete = %v, want only %d", list.Blobs, second.Blob)
+	}
+	// Appends to the deleted BLOB are refused.
+	err := h.pool.Call(ctx, h.vm.Addr(), VMAssign,
+		&AssignReq{Blob: h.blob, Kind: KindAppend, Len: 10}, &AssignResp{})
+	if !errors.Is(err, ErrBlobNotFound) {
+		t.Errorf("assign on deleted blob = %v, want ErrBlobNotFound", err)
+	}
+}
+
+// TestReclaimNotifyFires: lifecycle RPCs kick the registered reclaim
+// notify hook.
+func TestReclaimNotifyFires(t *testing.T) {
+	h := newVMHarness(t, 100)
+	kicks := make(chan struct{}, 8)
+	h.vm.SetReclaimNotify(func() { kicks <- struct{}{} })
+	if err := h.pool.Call(ctx, h.vm.Addr(), VMDeleteBlob, &BlobRef{Blob: h.blob}, nil); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-kicks:
+	case <-time.After(time.Second):
+		t.Fatal("DeleteBlob did not kick the reclaim notify hook")
+	}
+}

@@ -1,15 +1,24 @@
 package bsfs
 
 import (
+	"time"
+
 	"blobseer/internal/blob"
+	"blobseer/internal/gc"
 	"blobseer/internal/transport"
 )
 
-// Deployment bundles a BlobSeer cluster with a BSFS namespace manager:
-// a complete BSFS installation.
+// Deployment bundles a BlobSeer cluster with a BSFS namespace manager
+// and the garbage collector: a complete BSFS installation.
 type Deployment struct {
 	Blob *blob.Cluster
 	NS   *NamespaceManager
+
+	// GC is the deployment's garbage collector. It is always created —
+	// file deletion kicks it so "rm" actually frees provider storage —
+	// and runs kick-driven until SetGCInterval arms periodic passes
+	// (which retention policies need to make progress without deletes).
+	GC *gc.Collector
 
 	// WriteDepth is the writer pipeline depth handed to mounts (how
 	// many blocks one writer keeps in flight); 0 means
@@ -25,12 +34,18 @@ type Deployment struct {
 	// cache.DefaultBudget, negative disables caching.
 	CacheBytes int64
 
+	// PinTTL is the reader pin lease handed to mounts; 0 means
+	// DefaultPinTTL, negative disables reader pins.
+	PinTTL time.Duration
+
 	nsClient  *blob.Client // owned by the namespace manager
+	gcClient  *blob.Client // owned by the collector wiring
 	blockSize uint64
 }
 
 // Deploy starts a namespace manager on host "bsfs-ns-host" attached to
-// an existing BlobSeer cluster. blockSize is the page size of newly
+// an existing BlobSeer cluster, plus a garbage collector co-located
+// with the version manager. blockSize is the page size of newly
 // created files.
 func Deploy(c *blob.Cluster, blockSize uint64) (*Deployment, error) {
 	nsClient := c.Client("bsfs-ns-host")
@@ -39,7 +54,26 @@ func Deploy(c *blob.Cluster, blockSize uint64) (*Deployment, error) {
 		nsClient.Close()
 		return nil, err
 	}
-	return &Deployment{Blob: c, NS: ns, nsClient: nsClient, blockSize: blockSize}, nil
+	// The collector gets its own client (cache purges must not race a
+	// real mount's reads) and a kick from every lifecycle RPC, so
+	// deletions reclaim promptly even with no periodic interval armed.
+	gcClient := c.Client("vmanager-host")
+	collector := gc.New(gcClient, gc.Options{})
+	c.VM.SetReclaimNotify(collector.Kick)
+	return &Deployment{
+		Blob:      c,
+		NS:        ns,
+		GC:        collector,
+		nsClient:  nsClient,
+		gcClient:  gcClient,
+		blockSize: blockSize,
+	}, nil
+}
+
+// SetGCInterval arms the collector's periodic reclaim passes (0 keeps
+// it kick-driven only).
+func (d *Deployment) SetGCInterval(interval time.Duration) {
+	d.GC.SetInterval(interval)
 }
 
 // Mount returns a BSFS client mount running on host.
@@ -55,15 +89,19 @@ func (d *Deployment) Mount(host string) *FS {
 		WriteDepth:      d.WriteDepth,
 		ReadDepth:       d.ReadDepth,
 		CacheBytes:      d.CacheBytes,
+		PinTTL:          d.PinTTL,
 		MetaReplicas:    d.Blob.Cfg.MetaReplicas,
 		PageReplicas:    d.Blob.Cfg.PageReplicas,
 	})
 }
 
-// Close stops the namespace manager (the BlobSeer cluster is owned by
-// the caller).
+// Close stops the namespace manager and the collector (the BlobSeer
+// cluster is owned by the caller).
 func (d *Deployment) Close() error {
+	d.Blob.VM.SetReclaimNotify(nil)
+	d.GC.Close()
 	err := d.NS.Close()
 	d.nsClient.Close()
+	d.gcClient.Close()
 	return err
 }

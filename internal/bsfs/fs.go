@@ -6,6 +6,7 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"blobseer/internal/blob"
 	"blobseer/internal/cache"
@@ -49,6 +50,14 @@ type Config struct {
 	// (and with it readahead, which stages pages through the cache).
 	CacheBytes int64
 
+	// PinTTL is the lease length of the version pin every reader takes
+	// on its snapshot at Open: while the pin is live the garbage
+	// collector cannot reclaim the pinned version, so a slow reader
+	// never has pages deleted out from under it, and a crashed reader
+	// delays collection by at most one TTL. 0 means DefaultPinTTL;
+	// negative disables reader pins.
+	PinTTL time.Duration
+
 	MetaReplicas int
 	PageReplicas int
 }
@@ -60,6 +69,10 @@ const DefaultWriteDepth = 4
 // DefaultReadDepth is the reader readahead depth used when Config
 // leaves ReadDepth unset.
 const DefaultReadDepth = 4
+
+// DefaultPinTTL is the reader pin lease used when Config leaves PinTTL
+// unset.
+const DefaultPinTTL = 2 * time.Minute
 
 // FS is a BSFS mount implementing dfs.FileSystem.
 type FS struct {
@@ -86,6 +99,12 @@ func New(cfg Config) *FS {
 	}
 	if cfg.CacheBytes < 0 {
 		cfg.ReadDepth = 0 // readahead stages pages through the cache
+	}
+	switch {
+	case cfg.PinTTL == 0:
+		cfg.PinTTL = DefaultPinTTL
+	case cfg.PinTTL < 0:
+		cfg.PinTTL = 0 // normalized: 0 now means "reader pins off"
 	}
 	return &FS{
 		cfg:  cfg,
@@ -161,7 +180,16 @@ func (fs *FS) Open(ctx context.Context, path string) (dfs.FileReader, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &fileReader{ctx: ctx, b: b, blockSize: ent.PageSize}
+	r := &fileReader{ctx: ctx, b: b, blockSize: ent.PageSize, pinTTL: fs.cfg.PinTTL}
+	// Pin the snapshot so the garbage collector cannot reclaim it while
+	// this reader streams it, however slowly.
+	if r.pinTTL > 0 && info.Ver > 0 {
+		if err := b.Pin(ctx, info.Ver, r.pinTTL); err != nil {
+			return nil, err
+		}
+		r.pinned = info.Ver
+		r.pinnedAt = time.Now()
+	}
 	r.ver.Store(info.Ver)
 	r.size.Store(info.Size)
 	if fs.cfg.ReadDepth > 0 {
@@ -220,9 +248,21 @@ func (fs *FS) Rename(ctx context.Context, src, dst string) error {
 	return fs.pool.Call(ctx, fs.cfg.Namespace, NSRename, &dfs.PathPairReq{Src: src, Dst: dst}, nil)
 }
 
-// Delete implements dfs.FileSystem.
+// Delete implements dfs.FileSystem. Deleting a file schedules its
+// backing BLOB for reclamation (the namespace manager retires it at the
+// version manager; the garbage collector frees the pages), so this
+// mount's cached pages, slots, and version infos for that BLOB are
+// purged too — other mounts purge lazily when a read surfaces
+// blob.ErrVersionCollected.
 func (fs *FS) Delete(ctx context.Context, path string) error {
-	return fs.pool.Call(ctx, fs.cfg.Namespace, NSDelete, &dfs.PathReq{Path: path}, nil)
+	ent, lerr := fs.lookup(ctx, path)
+	if err := fs.pool.Call(ctx, fs.cfg.Namespace, NSDelete, &dfs.PathReq{Path: path}, nil); err != nil {
+		return err
+	}
+	if lerr == nil && !ent.IsDir && ent.Blob != 0 {
+		fs.bc.PurgeBlob(ent.Blob)
+	}
+	return nil
 }
 
 // Mkdir implements dfs.FileSystem.
@@ -483,6 +523,14 @@ type fileReader struct {
 	b         *blob.Blob
 	blockSize uint64
 
+	// pinned is the version this reader holds a GC pin on (0 = none);
+	// pinTTL is the lease length used when (re-)pinning, and pinnedAt
+	// is when the lease was last extended — block reads renew it past
+	// its half-life, so a reader slower than the TTL keeps protection.
+	pinned   uint64
+	pinTTL   time.Duration
+	pinnedAt time.Time
+
 	// ver/size are the pinned snapshot. They are atomics because the
 	// readahead goroutines read ver concurrently with Refresh.
 	ver  atomic.Uint64
@@ -501,6 +549,7 @@ type fileReader struct {
 // at all — the view aliases the cached page — and consuming it nudges
 // the readahead window forward.
 func (r *fileReader) fillBlock(pos uint64) error {
+	r.renewPin()
 	size := r.size.Load()
 	block := pos / r.blockSize
 	view, err := r.b.PageView(r.ctx, r.ver.Load(), block)
@@ -572,9 +621,10 @@ func (r *fileReader) ReadAt(p []byte, off int64) (int, error) {
 	return int(done), nil
 }
 
-// Close implements io.Closer: it cancels outstanding readahead and
-// drops the block view so a closed reader pins neither cache budget
-// nor provider bandwidth. Further reads fail.
+// Close implements io.Closer: it cancels outstanding readahead,
+// releases the snapshot's GC pin, and drops the block view so a closed
+// reader pins neither cache budget, provider bandwidth, nor obsolete
+// versions. Further reads fail.
 func (r *fileReader) Close() error {
 	if r.closed {
 		return nil
@@ -582,7 +632,39 @@ func (r *fileReader) Close() error {
 	r.closed = true
 	r.ra.Close()
 	r.buf = nil
+	r.unpin()
 	return nil
+}
+
+// renewPin extends the snapshot pin's lease once it is past half its
+// TTL, so a reader streaming slower than the TTL keeps GC protection.
+// Renewal is a Pin/Unpin pair in that order: the extra reference
+// carries the refreshed expiry while the count nets out, and the
+// version is never left unreferenced in between. Renewal failure is
+// ignored — the read itself surfaces ErrVersionCollected if the
+// version really is gone.
+func (r *fileReader) renewPin() {
+	if r.pinned == 0 || time.Since(r.pinnedAt) < r.pinTTL/2 {
+		return
+	}
+	if err := r.b.Pin(r.ctx, r.pinned, r.pinTTL); err == nil {
+		_ = r.b.Unpin(r.ctx, r.pinned)
+		r.pinnedAt = time.Now()
+	}
+}
+
+// unpin releases the current pin (if any) on a detached context: the
+// reader's own context may already be cancelled, but the lease must
+// still reach the version manager or collection stalls for one TTL.
+func (r *fileReader) unpin() {
+	if r.pinned == 0 {
+		return
+	}
+	ver := r.pinned
+	r.pinned = 0
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = r.b.Unpin(ctx, ver)
 }
 
 // Size implements dfs.FileReader.
@@ -596,6 +678,17 @@ func (r *fileReader) Refresh(ctx context.Context) (uint64, error) {
 	info, err := r.b.Latest(ctx)
 	if err != nil {
 		return 0, err
+	}
+	// Move the GC pin to the refreshed snapshot (pin first, then release
+	// the old one, so the reader is never unprotected in between). This
+	// also renews the lease, so long-lived tailing readers stay pinned.
+	if r.pinTTL > 0 && info.Ver > 0 && info.Ver != r.pinned {
+		if err := r.b.Pin(ctx, info.Ver, r.pinTTL); err != nil {
+			return 0, err
+		}
+		r.unpin()
+		r.pinned = info.Ver
+		r.pinnedAt = time.Now()
 	}
 	r.ver.Store(info.Ver)
 	r.size.Store(info.Size)

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"blobseer/internal/blob"
 	"blobseer/internal/dfs"
@@ -221,20 +222,34 @@ func (ns *NamespaceManager) handleCreate(r *wire.Reader) (wire.Marshaler, error)
 	}
 
 	ns.mu.Lock()
-	defer ns.mu.Unlock()
 	if e, ok := ns.entries[path]; ok {
-		// Lost a create race; the other BLOB wins, ours leaks (GC'd by
-		// the version manager in a real deployment).
-		if e.isDir {
+		// Lost a create race; the other BLOB wins. Retire ours through
+		// the garbage collector instead of leaking it. Copy the winner's
+		// fields under the lock — concurrent NSUpdateSize writes e.size.
+		resp := EntryResp{Blob: e.blob, PageSize: e.pageSize, Size: e.size, IsDir: e.isDir}
+		ns.mu.Unlock()
+		ns.deleteBlobDetached(bl.ID())
+		if resp.IsDir {
 			return nil, dfs.ErrIsDir
 		}
 		if req.Exclusive {
 			return nil, dfs.ErrExists
 		}
-		return &EntryResp{Blob: e.blob, PageSize: e.pageSize, Size: e.size}, nil
+		return &resp, nil
 	}
 	ns.entries[path] = &nsEntry{blob: bl.ID(), pageSize: req.PageSize}
+	ns.mu.Unlock()
 	return &EntryResp{Blob: bl.ID(), PageSize: req.PageSize}, nil
+}
+
+// deleteBlobDetached retires a BLOB in the background, on a context
+// independent of the triggering request.
+func (ns *NamespaceManager) deleteBlobDetached(id uint64) {
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = ns.bc.DeleteBlob(ctx, id)
+	}()
 }
 
 func (ns *NamespaceManager) handleLookup(r *wire.Reader) (wire.Marshaler, error) {
@@ -367,20 +382,48 @@ func (ns *NamespaceManager) handleDelete(r *wire.Reader) (wire.Marshaler, error)
 		return nil, dfs.ErrInvalidPath
 	}
 	ns.mu.Lock()
-	defer ns.mu.Unlock()
 	e, ok := ns.entries[path]
 	if !ok {
+		ns.mu.Unlock()
 		return nil, dfs.ErrNotExist
 	}
-	if e.isDir {
+	isDir, blobID := e.isDir, e.blob
+	if isDir {
 		prefix := path + "/"
 		for p := range ns.entries {
 			if strings.HasPrefix(p, prefix) {
+				ns.mu.Unlock()
 				return nil, dfs.ErrNotEmpty
 			}
 		}
+		delete(ns.entries, path)
+		ns.mu.Unlock()
+		return nil, nil
 	}
-	delete(ns.entries, path)
+	ns.mu.Unlock()
+
+	// Deleting a file retires its backing BLOB: the version manager
+	// marks every version dead and the garbage collector reclaims the
+	// pages — dropping the namespace entry alone would leave the data
+	// pinned on every provider forever. Retire FIRST (outside the lock),
+	// so a failed retirement leaves the entry in place and the caller's
+	// retry tries again, instead of leaking an orphaned BLOB behind a
+	// half-done delete.
+	if blobID != 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := ns.bc.DeleteBlob(ctx, blobID); err != nil {
+			return nil, err
+		}
+	}
+	ns.mu.Lock()
+	// Drop the entry only if it is still the one whose BLOB we retired:
+	// a concurrent rename/recreate made a new entry under this path,
+	// and that one's BLOB is untouched.
+	if cur, ok := ns.entries[path]; ok && cur == e {
+		delete(ns.entries, path)
+	}
+	ns.mu.Unlock()
 	return nil, nil
 }
 

@@ -59,6 +59,11 @@ type flight struct {
 	done chan struct{} // closed when data/err are set
 	data []byte
 	err  error
+	// noCache is set (under Cache.mu) when a purge lands while this
+	// fetch is in flight: the result is still handed to waiting callers
+	// (the bytes are correct — pages are immutable) but must not be
+	// re-inserted behind the purge.
+	noCache bool
 }
 
 // New returns a cache holding at most budget bytes of page content
@@ -123,13 +128,51 @@ func (c *Cache) Get(ctx context.Context, key pagestore.Key, fetch Fetch) ([]byte
 		f.data, f.err = fetch(ctx)
 		c.mu.Lock()
 		delete(c.flights, key)
-		if f.err == nil {
+		if f.err == nil && !f.noCache {
 			c.add(key, f.data)
 		}
 		c.mu.Unlock()
 		close(f.done)
 		return f.data, f.err
 	}
+}
+
+// PurgeVersion drops every cached page of one BLOB version and returns
+// the number of entries removed. Garbage collection is the first (and
+// only) event that invalidates this cache: published pages are
+// immutable, but a collected version's pages are gone from the
+// providers, so serving them from cache would mask the deletion.
+// In-flight fetches of purged pages are marked so their results are
+// not re-inserted behind the purge.
+func (c *Cache) PurgeVersion(blob, ver uint64) int {
+	return c.purge(func(k pagestore.Key) bool { return k.Blob == blob && k.Version == ver })
+}
+
+// PurgeBlob drops every cached page of a whole BLOB (see PurgeVersion).
+func (c *Cache) PurgeBlob(blob uint64) int {
+	return c.purge(func(k pagestore.Key) bool { return k.Blob == blob })
+}
+
+func (c *Cache) purge(match func(pagestore.Key) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for k, el := range c.entries {
+		if !match(k) {
+			continue
+		}
+		e := el.Value.(*entry)
+		c.lru.Remove(el)
+		delete(c.entries, k)
+		c.bytes -= int64(len(e.data))
+		n++
+	}
+	for k, f := range c.flights {
+		if match(k) {
+			f.noCache = true
+		}
+	}
+	return n
 }
 
 // Peek returns the cached page without fetching (and without counting

@@ -397,3 +397,73 @@ func TestNilReadaheadIsDisabled(t *testing.T) {
 	ra.Observe(0, 10)
 	ra.Close()
 }
+
+// TestPurgeVersionAndBlob: the garbage collector's invalidation path
+// removes exactly the targeted version's (or BLOB's) entries, returns
+// the count, and releases their bytes.
+func TestPurgeVersionAndBlob(t *testing.T) {
+	c := New(1<<20, nil)
+	put := func(blob, ver, idx uint64) {
+		k := pagestore.Key{Blob: blob, Version: ver, Index: idx}
+		if _, err := c.Get(ctx, k, func(context.Context) ([]byte, error) {
+			return page(idx, 128), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 3; i++ {
+		put(1, 1, i)
+		put(1, 2, i)
+		put(2, 1, i)
+	}
+	if n := c.PurgeVersion(1, 1); n != 3 {
+		t.Fatalf("PurgeVersion removed %d, want 3", n)
+	}
+	if _, ok := c.Peek(pagestore.Key{Blob: 1, Version: 1, Index: 0}); ok {
+		t.Fatal("purged entry still cached")
+	}
+	if _, ok := c.Peek(pagestore.Key{Blob: 1, Version: 2, Index: 0}); !ok {
+		t.Fatal("sibling version was purged")
+	}
+	if n := c.PurgeBlob(1); n != 3 {
+		t.Fatalf("PurgeBlob removed %d, want the remaining 3", n)
+	}
+	if _, ok := c.Peek(pagestore.Key{Blob: 2, Version: 1, Index: 0}); !ok {
+		t.Fatal("other blob was purged")
+	}
+	if got, want := c.Bytes(), int64(3*128); got != want {
+		t.Fatalf("bytes after purges = %d, want %d", got, want)
+	}
+}
+
+// TestPurgeMarksInFlightFetches: a purge landing while a fetch is in
+// flight must keep that fetch's result out of the cache — the waiting
+// callers still get the (correct, immutable) bytes, but nothing is
+// re-inserted behind the purge.
+func TestPurgeMarksInFlightFetches(t *testing.T) {
+	c := New(1<<20, nil)
+	k := key(7)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan []byte, 1)
+	go func() {
+		data, err := c.Get(ctx, k, func(context.Context) ([]byte, error) {
+			close(started)
+			<-release
+			return page(7, 64), nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		done <- data
+	}()
+	<-started
+	c.PurgeVersion(k.Blob, k.Version) // lands mid-flight
+	close(release)
+	if data := <-done; len(data) != 64 {
+		t.Fatalf("in-flight caller got %d bytes", len(data))
+	}
+	if _, ok := c.Peek(k); ok {
+		t.Fatal("purged in-flight fetch was cached anyway")
+	}
+}

@@ -33,6 +33,7 @@ const (
 	MethodGetBatch
 	MethodPutBatch
 	MethodStats
+	MethodDeleteBatch
 )
 
 // ErrNotFound is returned when no replica holds the key.
@@ -202,6 +203,7 @@ func NewServer(net transport.Network, addr transport.Addr) (*Server, error) {
 	srv.Handle(MethodGetBatch, s.handleGetBatch)
 	srv.Handle(MethodPutBatch, s.handlePutBatch)
 	srv.Handle(MethodStats, s.handleStats)
+	srv.Handle(MethodDeleteBatch, s.handleDeleteBatch)
 	return s, nil
 }
 
@@ -257,6 +259,22 @@ func (s *Server) handleDelete(r *wire.Reader) (wire.Marshaler, error) {
 	if old, ok := s.data[req.Key]; ok {
 		s.bytes -= uint64(len(old))
 		delete(s.data, req.Key)
+	}
+	s.mu.Unlock()
+	return nil, nil
+}
+
+func (s *Server) handleDeleteBatch(r *wire.Reader) (wire.Marshaler, error) {
+	var req BatchReq // Values unused for deletes
+	if err := req.DecodeFrom(r); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	for _, k := range req.Keys {
+		if old, ok := s.data[k]; ok {
+			s.bytes -= uint64(len(old))
+			delete(s.data, k)
+		}
 	}
 	s.mu.Unlock()
 	return nil, nil
@@ -515,6 +533,46 @@ func (c *Client) PutBatch(ctx context.Context, kvs []KV) error {
 		return firstErr
 	}
 	return nil
+}
+
+// DeleteBatch removes a set of keys from every replica, grouping keys
+// by member so one RPC carries all deletions destined for the same
+// node. An unreachable member never blocks the others, but its failure
+// IS reported: a delete that silently skipped a replica would leak the
+// entries there forever, so the garbage collector needs the error to
+// re-queue the batch (deletions are idempotent, retries are free).
+func (c *Client) DeleteBatch(ctx context.Context, keys []string) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	batches := make(map[transport.Addr]*BatchReq)
+	for _, k := range keys {
+		for _, addr := range c.ring.Lookup(k, c.replicas) {
+			b, ok := batches[addr]
+			if !ok {
+				b = &BatchReq{}
+				batches[addr] = b
+			}
+			b.Keys = append(b.Keys, k)
+		}
+	}
+	errs := make(chan error, len(batches))
+	for addr, b := range batches {
+		go func(addr transport.Addr, b *BatchReq) {
+			err := c.pool.Call(ctx, addr, MethodDeleteBatch, b, nil)
+			if err != nil {
+				err = fmt.Errorf("dht delete batch at %s: %w", addr, err)
+			}
+			errs <- err
+		}(addr, b)
+	}
+	var firstErr error
+	for range batches {
+		if err := <-errs; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // GetBatch fetches many keys; the result slice is parallel to keys and

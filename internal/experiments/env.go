@@ -68,6 +68,13 @@ type Config struct {
 	// map outputs as concurrent appends to shared intermediate BLOBs.
 	// The dedicated Shuffle scenario compares both regardless.
 	Shuffle shuffle.Backend
+	// Retain is the version manager's default RetainLatest policy for
+	// the environment (0 keeps every version, the paper's model). The
+	// dedicated GC scenario sweeps its own policies regardless.
+	Retain uint64
+	// GCInterval arms periodic garbage-collection passes on the
+	// deployment's collector (0 = kick-driven only).
+	GCInterval time.Duration
 	// Seed drives all randomness.
 	Seed int64
 }
@@ -146,6 +153,7 @@ func newBSFSEnvStore(cfg Config, store blob.StoreKind) (*bsfsEnv, error) {
 		MetaProviders: cfg.MetaProviders,
 		Store:         store,
 		Strategy:      cfg.Placement,
+		Retain:        cfg.Retain,
 	})
 	if err != nil {
 		return nil, err
@@ -160,6 +168,9 @@ func newBSFSEnvStore(cfg Config, store blob.StoreKind) (*bsfsEnv, error) {
 	deploy.CacheBytes = cfg.CacheBytes
 	if cfg.CacheBytes == 0 {
 		deploy.CacheBytes = -1 // measure the network, not the cache
+	}
+	if cfg.GCInterval > 0 {
+		deploy.SetGCInterval(cfg.GCInterval)
 	}
 	return &bsfsEnv{cfg: cfg, net: net, cluster: cluster, deploy: deploy}, nil
 }

@@ -162,3 +162,31 @@ func TestAblationPageSizeSmoke(t *testing.T) {
 		t.Fatalf("points = %d", len(series.Points))
 	}
 }
+
+func TestGCScenarioSmoke(t *testing.T) {
+	res, err := GC(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The acceptance bound: GC runs hold storage within 2x their
+	// working set; the baselines grow linearly with rounds.
+	if res.OverwriteBoundRatio <= 0 || res.OverwriteBoundRatio > 2 {
+		t.Errorf("overwrite bound ratio = %.2f, want (0, 2]", res.OverwriteBoundRatio)
+	}
+	if res.RotateBoundRatio <= 0 || res.RotateBoundRatio > 2 {
+		t.Errorf("rotate bound ratio = %.2f, want (0, 2]", res.RotateBoundRatio)
+	}
+	ogc := res.OverwriteGC.Points[len(res.OverwriteGC.Points)-1].Y
+	oraw := res.OverwriteNoGC.Points[len(res.OverwriteNoGC.Points)-1].Y
+	if oraw < 2*ogc {
+		t.Errorf("overwrite: no-GC baseline %f MiB not clearly above GC run %f MiB", oraw, ogc)
+	}
+	rgc := res.RotateGC.Points[len(res.RotateGC.Points)-1].Y
+	rraw := res.RotateNoGC.Points[len(res.RotateNoGC.Points)-1].Y
+	if rraw < 2*rgc {
+		t.Errorf("rotate: no-GC baseline %f MiB not clearly above GC run %f MiB", rraw, rgc)
+	}
+	if res.GCStats.PagesReclaimed == 0 || res.GCStats.BlobsDeleted == 0 {
+		t.Errorf("collector idle across the scenario: %+v", res.GCStats)
+	}
+}

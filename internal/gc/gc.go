@@ -1,0 +1,553 @@
+// Package gc is the BLOB lifecycle subsystem the BlobSeer model leaves
+// open: versioning makes every append/write publish a new immutable
+// snapshot, and nothing ever reclaimed the snapshots that fell out of
+// use — "delete" merely dropped a namespace entry while every page
+// stayed pinned on every provider forever.
+//
+// The collector closes that loop with an epoch-style design split
+// across the existing services:
+//
+//   - The version manager owns lifecycle STATE: retention policy
+//     (RetainLatest / TruncateBefore / DeleteBlob RPCs), lease-style
+//     reader pins, and the reclaim scan that atomically marks dead
+//     versions "collected" — after which every read of those versions
+//     fails with blob.ErrVersionCollected, and no new pin can land on
+//     them. Marking before deleting means a racy reader observes a
+//     clean error, never short or stale data.
+//   - This package owns lifecycle WORK: from the scan's write-record
+//     history it computes which pages and segment-tree nodes are
+//     reachable ONLY from dead versions (a page written at dead
+//     version v survives while any protected — live or pinned —
+//     version still resolves it; it dies once a later write at or
+//     below the next protected version shadows it), reads the dead
+//     leaves to learn each page's replica providers, and drives
+//     batched, per-provider delete queues plus DHT node deletion.
+//     Failed provider batches stay queued and retry next pass.
+//
+// Reachability needs no tree reads: the same write-record algebra that
+// lets segtree.Commit build a version's tree without reading other
+// versions' metadata (the paper's concurrency trick) also decides
+// reachability — version v's node or page covering page range R is
+// shadowed at protected version P iff some write in (v, P] intersects
+// R, because every resolve from P then descends through the later
+// writer's node instead.
+package gc
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"blobseer/internal/blob"
+	"blobseer/internal/metrics"
+	"blobseer/internal/pagestore"
+	"blobseer/internal/segtree"
+)
+
+// Options configures a collector.
+type Options struct {
+	// Interval is the periodic reclaim pass cadence. Zero disables the
+	// timer: passes then run only on Kick (the version manager kicks on
+	// every DeleteBlob/TruncateBefore/SetRetention) or explicit RunOnce.
+	Interval time.Duration
+	// BatchSize bounds one provider delete RPC (default 256 keys).
+	BatchSize int
+	// Stats receives the collector's counters (nil allocates one).
+	Stats *metrics.GCStats
+}
+
+// Collector drives reclamation for one deployment. It talks to the
+// version manager, metadata DHT, and providers through a regular
+// blob.Client, so it deploys anywhere a client can run.
+type Collector struct {
+	c     *blob.Client
+	opts  Options
+	stats *metrics.GCStats
+
+	runMu sync.Mutex // serializes passes
+
+	mu      sync.Mutex
+	enabled bool
+	queues  map[string][]pagestore.Key // provider addr -> pending deletes
+	retry   []*reclaimWork             // work items whose metadata I/O failed
+
+	// blobs caches per-BLOB reclaim state across passes: the write
+	// records seen so far and the owner index replayed through
+	// `processed`. The frontier only moves forward, so each version's
+	// shadow walk runs once ever; without the cache every pass would
+	// replay the whole history from version 1.
+	blobs map[uint64]*blobGCState
+
+	kick chan struct{}
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// blobGCState is the collector's memory of one BLOB between passes.
+type blobGCState struct {
+	recs      []segtree.WriteRecord
+	owners    *ownerMap
+	processed uint64 // owners reflect versions [1, processed]
+}
+
+// reclaimWork is the I/O half of one frontier advance: everything to
+// read (dead leaves, for replica locations) and delete. It is derived
+// by pure computation over write records, so a failed execution —
+// say the metadata DHT was briefly unreachable — can be retried on
+// the next pass without recomputing or losing anything; deletions are
+// idempotent, so a partially executed item retries whole.
+type reclaimWork struct {
+	blob      uint64
+	leafKeys  []string
+	leafPages []pagestore.Key
+	deadNodes []string
+}
+
+// Report summarizes one reclaim pass.
+type Report struct {
+	VersionsCollected int
+	PagesQueued       int    // garbage pages resolved to providers this pass
+	PagesReclaimed    uint64 // pages confirmed deleted by providers
+	BytesReclaimed    uint64
+	NodesDeleted      int
+	PagesUnlocatable  int // garbage pages whose leaf was missing (leaked)
+	PinsBlocked       uint64
+	ProviderFailures  int // delete batches that failed (kept queued)
+	WorkRetries       int // work items whose metadata I/O failed (kept queued)
+}
+
+// New returns a running collector over the deployment c talks to. The
+// caller keeps ownership of c (Close does not close it); c should be a
+// dedicated client so the collector's cache purges cannot race real
+// readers' caches.
+func New(c *blob.Client, opts Options) *Collector {
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 256
+	}
+	if opts.Stats == nil {
+		opts.Stats = &metrics.GCStats{}
+	}
+	g := &Collector{
+		c:       c,
+		opts:    opts,
+		stats:   opts.Stats,
+		enabled: true,
+		queues:  make(map[string][]pagestore.Key),
+		blobs:   make(map[uint64]*blobGCState),
+		kick:    make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	g.wg.Add(1)
+	go g.loop()
+	return g
+}
+
+// Stats returns the collector's counters.
+func (g *Collector) Stats() *metrics.GCStats { return g.stats }
+
+// SetEnabled toggles collection; while disabled, passes (periodic,
+// kicked, or explicit) are no-ops. Experiments use it for no-GC
+// baselines.
+func (g *Collector) SetEnabled(on bool) {
+	g.mu.Lock()
+	g.enabled = on
+	g.mu.Unlock()
+}
+
+// Kick schedules a reclaim pass as soon as the loop is free; the
+// version manager calls it (via blob.VersionManager.SetReclaimNotify)
+// whenever a lifecycle RPC creates garbage. Non-blocking.
+func (g *Collector) Kick() {
+	select {
+	case g.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Close stops the collector's loop. Pending queue entries are dropped
+// (a fresh collector re-derives nothing — those pages leak; production
+// deployments run the collector for the cluster's lifetime).
+func (g *Collector) Close() {
+	select {
+	case <-g.done:
+	default:
+		close(g.done)
+	}
+	g.wg.Wait()
+}
+
+// SetInterval (re)arms the periodic pass cadence; 0 disables the timer
+// (kick-driven passes keep working). Deployments arm it after flag
+// parsing.
+func (g *Collector) SetInterval(d time.Duration) {
+	g.mu.Lock()
+	g.opts.Interval = d
+	g.mu.Unlock()
+	g.Kick() // re-enter the loop so the new cadence takes effect
+}
+
+func (g *Collector) loop() {
+	defer g.wg.Done()
+	for {
+		g.mu.Lock()
+		iv := g.opts.Interval
+		g.mu.Unlock()
+		var tickC <-chan time.Time
+		var timer *time.Timer
+		if iv > 0 {
+			timer = time.NewTimer(iv)
+			tickC = timer.C
+		}
+		fired := false
+		select {
+		case <-g.done:
+		case <-g.kick:
+			fired = true
+		case <-tickC:
+			fired = true
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+		select {
+		case <-g.done:
+			return
+		default:
+		}
+		if fired {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			_, _ = g.RunOnce(ctx)
+			cancel()
+		}
+	}
+}
+
+// RunOnce executes one full reclaim pass: scan (the version manager
+// marks dead versions collected), reachability diff, provider delete
+// batches, metadata node deletion, and cache purge. Passes serialize;
+// tests call it directly for deterministic collection points.
+func (g *Collector) RunOnce(ctx context.Context) (Report, error) {
+	g.runMu.Lock()
+	defer g.runMu.Unlock()
+	var rep Report
+
+	g.mu.Lock()
+	enabled := g.enabled
+	g.mu.Unlock()
+	if !enabled {
+		return rep, nil
+	}
+
+	scan, err := g.c.ReclaimScan(ctx)
+	if err != nil {
+		return rep, err
+	}
+	rep.PinsBlocked = scan.PinsBlocked
+	g.stats.AddPinsBlocked(scan.PinsBlocked)
+
+	// Retry work whose metadata I/O failed in an earlier pass first:
+	// the scan already advanced those frontiers irreversibly, so this
+	// queue is the only thing standing between a transient DHT error
+	// and a permanent leak.
+	g.mu.Lock()
+	pending := g.retry
+	g.retry = nil
+	g.mu.Unlock()
+	for _, w := range pending {
+		g.executeWork(ctx, w, &rep)
+	}
+
+	for i := range scan.Blobs {
+		br := &scan.Blobs[i]
+		died := int(br.To - br.From)
+		rep.VersionsCollected += died
+		g.stats.AddVersionsCollected(uint64(died))
+		if br.Deleted {
+			g.stats.AddBlobDeleted()
+		}
+		// Deriving the work is pure computation over write records and
+		// cannot fail; only executing it does I/O and can be retried.
+		g.executeWork(ctx, g.computeWork(br), &rep)
+	}
+	g.flush(ctx, &rep)
+	g.stats.AddPass()
+	return rep, nil
+}
+
+// computeWork turns one BLOB's frontier advance into the set of leaves
+// to read and pages/nodes to delete.
+//
+// The reclaim is shadow-driven: version w's commit created a node for
+// exactly every range it shadowed, so walking w's node set and asking
+// "who owned this range before w?" enumerates everything whose last
+// observers — the snapshots [owner, w) — died when the frontier
+// reached w. Each version is shadow-walked exactly once across the
+// collector's lifetime (the per-BLOB owner state persists between
+// passes), so total reclaim CPU is linear in total metadata written,
+// no matter how often scans run.
+func (g *Collector) computeWork(br *blob.BlobReclaim) *reclaimWork {
+	w := &reclaimWork{blob: br.Blob}
+
+	if br.Deleted {
+		// Terminal sweep of a deleted BLOB: every remaining page and
+		// node of the whole history goes. Re-deleting what earlier
+		// frontier advances already reclaimed is an idempotent no-op.
+		recs := br.Records
+		for v := uint64(1); v <= uint64(len(recs)); v++ {
+			rec := recs[v-1]
+			for i := rec.Off; i < rec.Off+rec.N; i++ {
+				w.leafKeys = append(w.leafKeys, segtree.LeafKey(br.Blob, v, i))
+				w.leafPages = append(w.leafPages, pagestore.Key{Blob: br.Blob, Version: v, Index: i})
+			}
+			for _, nr := range segtree.VersionNodes(br.Blob, rec, recs[:v-1]) {
+				w.deadNodes = append(w.deadNodes, nr.Key)
+			}
+			g.c.PurgeVersion(br.Blob, v)
+		}
+		g.mu.Lock()
+		delete(g.blobs, br.Blob) // tombstoned at the manager; state is moot
+		g.mu.Unlock()
+		return w
+	}
+
+	g.mu.Lock()
+	st := g.blobs[br.Blob]
+	if st == nil {
+		st = &blobGCState{owners: newOwnerMap(nil)}
+		g.blobs[br.Blob] = st
+	}
+	g.mu.Unlock()
+	if len(br.Records) > len(st.recs) {
+		st.recs = br.Records
+	}
+	recs := st.recs
+	n := uint64(len(recs))
+	st.owners.ensureSpan(maxRootSpan(recs), recs[:minU64(st.processed, n)])
+
+	// owners answers "which version owned range R just before w" in
+	// O(1): it replays writes [1, w) level-aligned, exactly the ranges
+	// version trees are built from. The replay resumes where the last
+	// pass stopped (from 1 only after a collector restart, where the
+	// scan ships the full prefix again).
+	for v := st.processed + 1; v <= br.To && v <= n; v++ {
+		if v > br.From {
+			for _, nr := range segtree.VersionNodes(br.Blob, recs[v-1], recs[:v-1]) {
+				owner := st.owners.latest(nr.Off, nr.Span)
+				if owner == 0 {
+					continue // no predecessor: fresh range or hole wrapper
+				}
+				// The predecessor's node for this exact range (a missing
+				// key — e.g. a smaller-rooted tree — deletes as a no-op).
+				w.deadNodes = append(w.deadNodes, segtree.NodeKey(br.Blob, owner, nr.Off, nr.Span))
+				if nr.Span == 1 {
+					w.leafPages = append(w.leafPages, pagestore.Key{Blob: br.Blob, Version: owner, Index: nr.Off})
+					w.leafKeys = append(w.leafKeys, segtree.LeafKey(br.Blob, owner, nr.Off))
+				}
+			}
+		}
+		st.owners.update(v, recs[v-1])
+	}
+	if to := minU64(br.To, n); to > st.processed {
+		st.processed = to
+	}
+	for v := br.From; v < br.To; v++ {
+		g.c.PurgeVersion(br.Blob, v)
+	}
+	return w
+}
+
+// executeWork runs one work item's I/O: read the dead leaves for
+// replica locations, queue the page deletions per provider, delete the
+// dead tree nodes. A failure re-queues the whole item for the next
+// pass (deletions are idempotent, and leaves are only deleted after
+// they have been read, so a retry always still finds what it needs).
+func (g *Collector) executeWork(ctx context.Context, w *reclaimWork, rep *Report) {
+	if len(w.leafKeys) == 0 && len(w.deadNodes) == 0 {
+		return
+	}
+	fail := func() {
+		rep.WorkRetries++
+		g.mu.Lock()
+		g.retry = append(g.retry, w)
+		g.mu.Unlock()
+	}
+	if len(w.leafKeys) > 0 {
+		raws, err := g.c.NodeStore().GetNodes(ctx, w.leafKeys)
+		if err != nil {
+			fail()
+			return
+		}
+		g.mu.Lock()
+		for i, raw := range raws {
+			if raw == nil {
+				rep.PagesUnlocatable++
+				continue
+			}
+			ref, err := segtree.DecodeLeaf(raw)
+			if err != nil || ref.Hole {
+				if err != nil {
+					rep.PagesUnlocatable++
+				}
+				continue // holes store no page
+			}
+			for _, addr := range ref.Providers {
+				g.queues[addr] = append(g.queues[addr], w.leafPages[i])
+			}
+			rep.PagesQueued++
+		}
+		g.mu.Unlock()
+		// The pages are queued; a failure below must not re-read (and
+		// re-queue) them on retry.
+		w.leafKeys, w.leafPages = nil, nil
+	}
+	if len(w.deadNodes) > 0 {
+		if nd, ok := g.c.NodeStore().(segtree.NodeDeleter); ok {
+			if err := nd.DeleteNodes(ctx, w.deadNodes); err != nil {
+				fail()
+				return
+			}
+			rep.NodesDeleted += len(w.deadNodes)
+			g.stats.AddNodesDeleted(uint64(len(w.deadNodes)))
+		}
+	}
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// maxRootSpan returns the root span implied by the largest grid any
+// record has seen.
+func maxRootSpan(recs []segtree.WriteRecord) uint64 {
+	var maxPages uint64
+	for _, r := range recs {
+		if r.PagesAfter > maxPages {
+			maxPages = r.PagesAfter
+		}
+	}
+	return segtree.RootSpan(maxPages)
+}
+
+// flush drains the per-provider reclaim queues in bounded batches. A
+// failed batch stays queued for the next pass (the provider may be
+// down; deletions are idempotent).
+func (g *Collector) flush(ctx context.Context, rep *Report) {
+	g.mu.Lock()
+	addrs := make([]string, 0, len(g.queues))
+	for addr := range g.queues {
+		addrs = append(addrs, addr)
+	}
+	g.mu.Unlock()
+	sort.Strings(addrs)
+
+	for _, addr := range addrs {
+		g.mu.Lock()
+		keys := g.queues[addr]
+		delete(g.queues, addr)
+		g.mu.Unlock()
+
+		for off := 0; off < len(keys); off += g.opts.BatchSize {
+			end := off + g.opts.BatchSize
+			if end > len(keys) {
+				end = len(keys)
+			}
+			resp, err := g.c.DeletePages(ctx, addr, keys[off:end])
+			if err != nil {
+				rep.ProviderFailures++
+				g.mu.Lock()
+				g.queues[addr] = append(g.queues[addr], keys[off:]...)
+				g.mu.Unlock()
+				break
+			}
+			rep.PagesReclaimed += resp.Deleted
+			rep.BytesReclaimed += resp.BytesFreed
+			g.stats.AddPagesReclaimed(resp.Deleted, resp.BytesFreed)
+			if resp.Compacted {
+				g.stats.AddCompaction()
+			}
+		}
+	}
+}
+
+// PendingDeletes reports the queued-but-undelivered page deletions
+// (tests use it to observe retry behaviour).
+func (g *Collector) PendingDeletes() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := 0
+	for _, q := range g.queues {
+		n += len(q)
+	}
+	return n
+}
+
+//
+// ownerMap: per level-aligned range, the latest version whose write
+// intersects it — the predecessor-owner query behind shadow-driven
+// reclaim. Version trees are built over exactly these aligned ranges
+// (the builder halves from an aligned root), so lookups are exact.
+//
+
+type ownerMap struct {
+	maxSpan uint64
+	levels  map[uint64]map[uint64]uint64 // span -> aligned off -> version
+}
+
+func newOwnerMap(recs []segtree.WriteRecord) *ownerMap {
+	return &ownerMap{
+		maxSpan: maxRootSpan(recs),
+		levels:  make(map[uint64]map[uint64]uint64),
+	}
+}
+
+// ensureSpan grows the index to cover span, re-registering the already
+// processed records at the newly added levels only. The grid only
+// grows, and each growth doubles the span, so the total replay cost is
+// logarithmic in the final grid size.
+func (m *ownerMap) ensureSpan(span uint64, replay []segtree.WriteRecord) {
+	if span <= m.maxSpan {
+		return
+	}
+	old := m.maxSpan
+	m.maxSpan = span
+	for _, r := range replay {
+		m.updateAbove(r.Ver, r, old)
+	}
+}
+
+// update records version ver's write interval at every level.
+func (m *ownerMap) update(ver uint64, rec segtree.WriteRecord) {
+	m.updateAbove(ver, rec, 0)
+}
+
+// updateAbove registers the write at every level with span > aboveSpan.
+func (m *ownerMap) updateAbove(ver uint64, rec segtree.WriteRecord, aboveSpan uint64) {
+	if rec.N == 0 {
+		return
+	}
+	for span := uint64(1); span <= m.maxSpan; span *= 2 {
+		if span <= aboveSpan {
+			continue
+		}
+		lvl := m.levels[span]
+		if lvl == nil {
+			lvl = make(map[uint64]uint64)
+			m.levels[span] = lvl
+		}
+		first := rec.Off / span * span
+		last := (rec.Off + rec.N - 1) / span * span
+		for off := first; off <= last; off += span {
+			lvl[off] = ver
+		}
+	}
+}
+
+// latest returns the most recent recorded version whose write
+// intersects the aligned range [off, off+span), or 0.
+func (m *ownerMap) latest(off, span uint64) uint64 {
+	return m.levels[span][off]
+}

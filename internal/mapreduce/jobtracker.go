@@ -230,6 +230,16 @@ func (jt *JobTracker) RunStreaming(ctx context.Context, fs dfs.FileSystem, conf 
 	for _, tt := range jt.trackers {
 		tt.dropJobOutputs(job.id)
 	}
+	if job.shuffle != nil && !conf.KeepIntermediate {
+		// The job is over (success or failure) and every reducer has
+		// drained, so no segment pin is held: retire the intermediate
+		// BLOBs so shuffle traffic does not accrete storage forever.
+		// Detached context: cleanup must run even when the caller's
+		// context is what killed the job.
+		cctx, ccancel := context.WithTimeout(context.Background(), 30*time.Second)
+		_ = job.shuffle.Cleanup(cctx, fs.(shuffle.ClientSource).BlobClient())
+		ccancel()
+	}
 	if err != nil {
 		return res, err
 	}

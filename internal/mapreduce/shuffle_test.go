@@ -229,3 +229,61 @@ func TestBlobShufflePipeline(t *testing.T) {
 		t.Fatalf("results = %+v", results)
 	}
 }
+
+// TestBlobShuffleJobEndCleanup: a finished job retires its
+// intermediate shuffle BLOBs through the garbage collector, so the
+// cluster ends the job holding only input and output bytes; a job
+// opting out with KeepIntermediate leaves the segments in place.
+func TestBlobShuffleJobEndCleanup(t *testing.T) {
+	run := func(t *testing.T, keep bool) int64 {
+		cluster, err := blob.NewCluster(transport.NewMemNet(), blob.ClusterConfig{
+			Providers: 6, MetaProviders: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cluster.Close() })
+		d, err := bsfs.Deploy(cluster, testBlock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { d.Close() })
+		fw, err := mapreduce.NewFramework(mapreduce.FrameworkConfig{
+			Net:   cluster.Net,
+			Hosts: cluster.ProviderHosts(),
+			Mount: func(host string) dfs.FileSystem { return d.Mount(host) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { fw.Close() })
+
+		text := workload.Text(16<<10, 7)
+		if err := dfs.WriteFile(ctx, fw.ClientFS(), "/in/text", []byte(text)); err != nil {
+			t.Fatal(err)
+		}
+		job := wordcount.Job([]string{"/in/text"}, "/out", 4, mapreduce.SeparateFiles)
+		job.Shuffle = shuffle.Blob
+		job.KeepIntermediate = keep
+		res, err := fw.Run(ctx, job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SegmentsAppended == 0 {
+			t.Fatal("job produced no shuffle segments")
+		}
+		// Deterministic settle: the cleanup's DeleteBlob kicked the
+		// collector; RunOnce serializes behind it and finishes the job.
+		if _, err := d.GC.RunOnce(ctx); err != nil {
+			t.Fatal(err)
+		}
+		return cluster.ProviderBytes()
+	}
+
+	var cleaned, kept int64
+	t.Run("cleanup", func(t *testing.T) { cleaned = run(t, false) })
+	t.Run("keep-intermediate", func(t *testing.T) { kept = run(t, true) })
+	if cleaned >= kept {
+		t.Errorf("cleanup run holds %d bytes, keep-intermediate %d: cleanup freed nothing", cleaned, kept)
+	}
+}

@@ -99,6 +99,12 @@ type JobConf struct {
 	// system's block size.
 	ShufflePageSize uint64
 
+	// KeepIntermediate opts out of the job-end cleanup that retires the
+	// Blob backend's intermediate BLOBs through the garbage collector.
+	// Debugging aid: kept BLOBs let a post-mortem re-read the raw
+	// shuffle segments, at the cost of storage that nothing reclaims.
+	KeepIntermediate bool
+
 	// MapsDoneHook, when set, runs synchronously at the map/reduce
 	// barrier: all maps have finished, and no barrier-gated reduce has
 	// been scheduled yet. Tests and experiments use it to inject

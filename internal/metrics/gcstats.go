@@ -1,0 +1,72 @@
+package metrics
+
+import "sync/atomic"
+
+// GCStats aggregates the garbage collector's counters: how many
+// versions have been retired, how much page data and metadata was
+// reclaimed, and how often reader pins held a version back. All
+// methods are safe for concurrent use.
+type GCStats struct {
+	passes            atomic.Uint64
+	versionsCollected atomic.Uint64
+	blobsDeleted      atomic.Uint64
+	pagesReclaimed    atomic.Uint64
+	bytesReclaimed    atomic.Uint64
+	nodesDeleted      atomic.Uint64
+	pinsBlocked       atomic.Uint64
+	compactions       atomic.Uint64
+}
+
+// AddPass counts one completed reclaim pass.
+func (s *GCStats) AddPass() { s.passes.Add(1) }
+
+// AddVersionsCollected counts n versions retired by a pass.
+func (s *GCStats) AddVersionsCollected(n uint64) { s.versionsCollected.Add(n) }
+
+// AddBlobDeleted counts one whole BLOB fully reclaimed.
+func (s *GCStats) AddBlobDeleted() { s.blobsDeleted.Add(1) }
+
+// AddPagesReclaimed counts pages deleted from providers and the bytes
+// they held.
+func (s *GCStats) AddPagesReclaimed(pages, bytes uint64) {
+	s.pagesReclaimed.Add(pages)
+	s.bytesReclaimed.Add(bytes)
+}
+
+// AddNodesDeleted counts metadata tree nodes removed from the DHT.
+func (s *GCStats) AddNodesDeleted(n uint64) { s.nodesDeleted.Add(n) }
+
+// AddPinsBlocked counts versions a reader pin excluded from a scan.
+func (s *GCStats) AddPinsBlocked(n uint64) { s.pinsBlocked.Add(n) }
+
+// AddCompaction counts one provider-side auto-compaction triggered by
+// a delete batch.
+func (s *GCStats) AddCompaction() { s.compactions.Add(1) }
+
+// GCSnapshot is a point-in-time copy of GCStats.
+type GCSnapshot struct {
+	Passes            uint64
+	VersionsCollected uint64
+	BlobsDeleted      uint64
+	PagesReclaimed    uint64
+	BytesReclaimed    uint64
+	NodesDeleted      uint64
+	PinsBlocked       uint64
+	Compactions       uint64
+}
+
+// Snapshot returns a copy of the counters. Counters are read
+// individually, so a snapshot taken mid-pass may be skewed by
+// in-flight work.
+func (s *GCStats) Snapshot() GCSnapshot {
+	return GCSnapshot{
+		Passes:            s.passes.Load(),
+		VersionsCollected: s.versionsCollected.Load(),
+		BlobsDeleted:      s.blobsDeleted.Load(),
+		PagesReclaimed:    s.pagesReclaimed.Load(),
+		BytesReclaimed:    s.bytesReclaimed.Load(),
+		NodesDeleted:      s.nodesDeleted.Load(),
+		PinsBlocked:       s.pinsBlocked.Load(),
+		Compactions:       s.compactions.Load(),
+	}
+}

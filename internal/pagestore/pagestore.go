@@ -154,18 +154,38 @@ func (m *Memory) Close() error { return nil }
 // Durable engine.
 //
 
+// DefaultCompactThreshold is the dead-byte watermark beyond which
+// MaybeCompact rewrites a durable store's log.
+const DefaultCompactThreshold = 4 << 20
+
 // Durable persists pages in a kvlog file.
 type Durable struct {
 	log *kvlog.Store
+
+	mu               sync.Mutex // serializes MaybeCompact decisions
+	compactThreshold int64
 }
 
-// OpenDurable opens (or creates) a durable page store at path.
+// OpenDurable opens (or creates) a durable page store at path, with
+// auto-compaction armed at DefaultCompactThreshold dead bytes.
 func OpenDurable(path string) (*Durable, error) {
 	log, err := kvlog.Open(path, kvlog.Options{})
 	if err != nil {
 		return nil, fmt.Errorf("pagestore: %w", err)
 	}
-	return &Durable{log: log}, nil
+	return &Durable{log: log, compactThreshold: DefaultCompactThreshold}, nil
+}
+
+// SetCompactThreshold arms (or, with a negative value, disarms) the
+// dead-byte watermark MaybeCompact compares against. Zero restores
+// DefaultCompactThreshold.
+func (d *Durable) SetCompactThreshold(bytes int64) {
+	if bytes == 0 {
+		bytes = DefaultCompactThreshold
+	}
+	d.mu.Lock()
+	d.compactThreshold = bytes
+	d.mu.Unlock()
 }
 
 // Put implements Store.
@@ -199,6 +219,33 @@ func (d *Durable) BytesUsed() int64 {
 
 // Compact reclaims space from deleted pages.
 func (d *Durable) Compact() error { return d.log.Compact() }
+
+// MaybeCompact compacts the log when its dead bytes (log size minus
+// live payload) have crossed the configured threshold, and reports
+// whether it did. The provider's delete-batch handler calls it after
+// every garbage-collection batch, so reclaimed pages translate into
+// reclaimed disk instead of accumulating as log garbage forever.
+func (d *Durable) MaybeCompact() (bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.compactThreshold < 0 {
+		return false, nil
+	}
+	total, live := d.log.Size()
+	if total-live < d.compactThreshold {
+		return false, nil
+	}
+	if err := d.log.Compact(); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// AutoCompacter is implemented by engines whose deletions leave dead
+// bytes behind that a compaction pass can reclaim.
+type AutoCompacter interface {
+	MaybeCompact() (bool, error)
+}
 
 // Close implements Store.
 func (d *Durable) Close() error { return d.log.Close() }

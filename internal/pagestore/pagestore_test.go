@@ -272,3 +272,73 @@ func BenchmarkSynthesizeGet64K(b *testing.B) {
 		}
 	}
 }
+
+// TestDurableAutoCompact: deleting pages accrues dead bytes in the
+// kvlog; once they cross the configured threshold, MaybeCompact
+// rewrites the log and the file shrinks. Below the threshold it must
+// leave the log alone.
+func TestDurableAutoCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.log")
+	d, err := OpenDurable(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	d.SetCompactThreshold(4096)
+
+	page := make([]byte, 1024)
+	for i := range page {
+		page[i] = byte(i)
+	}
+	for i := uint64(0); i < 8; i++ {
+		if err := d.Put(Key{Blob: 1, Version: 1, Index: i}, page); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// One deletion: dead bytes below the threshold, no compaction.
+	if err := d.Delete(Key{Blob: 1, Version: 1, Index: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if did, err := d.MaybeCompact(); err != nil || did {
+		t.Fatalf("MaybeCompact below threshold: did=%v err=%v", did, err)
+	}
+
+	// Delete most pages: dead bytes cross the threshold.
+	for i := uint64(1); i < 6; i++ {
+		if err := d.Delete(Key{Blob: 1, Version: 1, Index: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	totalBefore, _ := d.log.Size()
+	did, err := d.MaybeCompact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !did {
+		t.Fatal("MaybeCompact above threshold did not compact")
+	}
+	totalAfter, live := d.log.Size()
+	if totalAfter >= totalBefore {
+		t.Errorf("log did not shrink: %d -> %d", totalBefore, totalAfter)
+	}
+	if live != 2*1024 {
+		t.Errorf("live bytes after compact = %d, want %d", live, 2*1024)
+	}
+	// Surviving pages still read back.
+	for i := uint64(6); i < 8; i++ {
+		got, err := d.Get(Key{Blob: 1, Version: 1, Index: i})
+		if err != nil || len(got) != len(page) {
+			t.Fatalf("page %d after compact: err=%v len=%d", i, err, len(got))
+		}
+	}
+
+	// A negative threshold disarms auto-compaction entirely.
+	d.SetCompactThreshold(-1)
+	if err := d.Delete(Key{Blob: 1, Version: 1, Index: 6}); err != nil {
+		t.Fatal(err)
+	}
+	if did, err := d.MaybeCompact(); err != nil || did {
+		t.Fatalf("disarmed MaybeCompact: did=%v err=%v", did, err)
+	}
+}

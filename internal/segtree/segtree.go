@@ -166,6 +166,8 @@ type builder struct {
 
 	keys   []string
 	values [][]byte
+	offs   []uint64 // page range of keys[i]: [offs[i], offs[i]+spans[i])
+	spans  []uint64
 }
 
 // intersects reports whether [aOff, aOff+aN) and [bOff, bOff+bN) overlap.
@@ -218,6 +220,8 @@ func (b *builder) build(off, span uint64) {
 		}
 		b.keys = append(b.keys, nodeKey(b.blob, b.w.Ver, off, 1))
 		b.values = append(b.values, encodeLeaf(ref))
+		b.offs = append(b.offs, off)
+		b.spans = append(b.spans, 1)
 		return
 	}
 	half := span / 2
@@ -231,6 +235,8 @@ func (b *builder) build(off, span uint64) {
 	}
 	b.keys = append(b.keys, nodeKey(b.blob, b.w.Ver, off, span))
 	b.values = append(b.values, encodeInner(lp, lv, rp, rv))
+	b.offs = append(b.offs, off)
+	b.spans = append(b.spans, span)
 }
 
 // Commit computes and stores all tree nodes for version w of blob.
@@ -255,6 +261,70 @@ func Commit(ctx context.Context, store NodeStore, blob uint64, w WriteRecord, hi
 	b := &builder{blob: blob, w: w, history: history, refs: refs}
 	b.build(0, RootSpan(w.PagesAfter))
 	return store.PutNodes(ctx, b.keys, b.values)
+}
+
+// NodeRef names one stored node of a version's tree: its store key and
+// the page range [Off, Off+Span) it covers.
+type NodeRef struct {
+	Key  string
+	Off  uint64
+	Span uint64
+}
+
+// VersionNodes returns the refs of every node version w's commit stored
+// — the exact key set Commit (or a seal) wrote — computed from the
+// write-record history alone, without reading the tree. The garbage
+// collector uses it to enumerate a dead version's metadata nodes: a
+// node of dead version v is reclaimable iff its range is intersected by
+// some later write at or below the next protected (live or pinned)
+// version, because then every protected tree resolves that range
+// through the later writer's node instead.
+func VersionNodes(blob uint64, w WriteRecord, history []WriteRecord) []NodeRef {
+	b := &builder{blob: blob, w: w, history: history, refs: make([]PageRef, w.N)}
+	b.build(0, RootSpan(w.PagesAfter))
+	out := make([]NodeRef, len(b.keys))
+	for i := range b.keys {
+		out[i] = NodeRef{Key: b.keys[i], Off: b.offs[i], Span: b.spans[i]}
+	}
+	return out
+}
+
+// NodeKey renders the store key of the node covering [off, off+span)
+// in version ver's tree — the exported twin of nodeKey, for the
+// garbage collector's targeted node deletion.
+func NodeKey(blob, ver, off, span uint64) string {
+	return nodeKey(blob, ver, off, span)
+}
+
+// LeafKey renders the store key of the leaf holding page `page` in the
+// tree of version ver — the node whose value carries the page's
+// provider locations. The garbage collector reads these to learn which
+// providers hold a reclaimable page.
+func LeafKey(blob, ver, page uint64) string {
+	return nodeKey(blob, ver, page, 1)
+}
+
+// DecodeLeaf parses a stored leaf node into its PageRef. It fails on
+// inner nodes and corrupt encodings.
+func DecodeLeaf(raw []byte) (PageRef, error) {
+	n, err := decodeNode(raw)
+	if err != nil {
+		return PageRef{}, err
+	}
+	ref, ok := n.(*PageRef)
+	if !ok {
+		return PageRef{}, errors.New("segtree: not a leaf node")
+	}
+	return *ref, nil
+}
+
+// NodeDeleter is the optional deletion capability of a NodeStore.
+// Stores that support it let the garbage collector reclaim the tree
+// nodes of collected versions; both MemStore and the DHT-backed store
+// implement it.
+type NodeDeleter interface {
+	// DeleteNodes removes the given keys. Missing keys are not errors.
+	DeleteNodes(ctx context.Context, keys []string) error
 }
 
 // resolveItem is one frontier entry of the level-ordered descent.
@@ -394,6 +464,16 @@ func (s *MemStore) GetNodes(_ context.Context, keys []string) ([][]byte, error) 
 		out[i] = s.m[k]
 	}
 	return out, nil
+}
+
+// DeleteNodes implements NodeDeleter.
+func (s *MemStore) DeleteNodes(_ context.Context, keys []string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, k := range keys {
+		delete(s.m, k)
+	}
+	return nil
 }
 
 // Len returns the number of stored nodes.

@@ -392,3 +392,77 @@ func BenchmarkResolve16(b *testing.B) {
 		}
 	}
 }
+
+// TestVersionNodesMatchesCommit: VersionNodes must enumerate exactly
+// the key set Commit stores, for appends, overwrites, and grid-growth
+// wrappers alike — the garbage collector relies on this equivalence to
+// delete a dead version's metadata without reading it.
+func TestVersionNodesMatchesCommit(t *testing.T) {
+	store := NewMemStore()
+	recs := []WriteRecord{
+		{Ver: 1, Off: 0, N: 2, PagesAfter: 2},
+		{Ver: 2, Off: 1, N: 2, PagesAfter: 3}, // overwrite + grow
+		{Ver: 3, Off: 6, N: 2, PagesAfter: 8}, // jump past the old root (wrappers)
+		{Ver: 4, Off: 0, N: 1, PagesAfter: 8}, // overwrite inside the grown grid
+	}
+	for i, w := range recs {
+		refs := make([]PageRef, w.N)
+		for j := range refs {
+			refs[j] = PageRef{Page: pagestore.Key{Blob: 9, Version: w.Ver, Index: w.Off + uint64(j)}, Providers: []string{"p"}}
+		}
+		before := keySet(store)
+		if err := Commit(ctx, store, 9, w, recs[:i], refs); err != nil {
+			t.Fatal(err)
+		}
+		var committed []string
+		for k := range keySet(store) {
+			if !before[k] {
+				committed = append(committed, k)
+			}
+		}
+		nodes := VersionNodes(9, w, recs[:i])
+		if len(nodes) != len(committed) {
+			t.Fatalf("v%d: VersionNodes has %d keys, Commit stored %d", w.Ver, len(nodes), len(committed))
+		}
+		want := make(map[string]bool, len(committed))
+		for _, k := range committed {
+			want[k] = true
+		}
+		for _, nr := range nodes {
+			if !want[nr.Key] {
+				t.Errorf("v%d: VersionNodes key %s never committed", w.Ver, nr.Key)
+			}
+			if nr.Key != NodeKey(9, w.Ver, nr.Off, nr.Span) {
+				t.Errorf("v%d: NodeRef range (%d,%d) disagrees with key %s", w.Ver, nr.Off, nr.Span, nr.Key)
+			}
+		}
+	}
+}
+
+func keySet(s *MemStore) map[string]bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]bool, len(s.m))
+	for k := range s.m {
+		out[k] = true
+	}
+	return out
+}
+
+// TestMemStoreDeleteNodes: the deletion capability behind metadata GC.
+func TestMemStoreDeleteNodes(t *testing.T) {
+	s := NewMemStore()
+	if err := s.PutNodes(ctx, []string{"a", "b", "c"}, [][]byte{{1}, {2}, {3}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteNodes(ctx, []string{"a", "c", "missing"}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len after delete = %d, want 1", s.Len())
+	}
+	vals, err := s.GetNodes(ctx, []string{"b"})
+	if err != nil || vals[0] == nil {
+		t.Fatalf("survivor missing: %v %v", vals, err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sync"
+	"time"
 
 	"blobseer/internal/blob"
 	"blobseer/internal/metrics"
@@ -138,9 +139,13 @@ func (ix *Index) Next(ctx context.Context, part, consumed int) (seg Segment, ok 
 // immutable, versioned — so a tracker dying after its maps completed
 // costs nothing: the segments outlive it.
 //
-// Intermediate BLOBs are never deleted (BlobSeer versions are
-// immutable); like the paper's BLOBs they are garbage the deployment
-// reclaims out of band.
+// Intermediate BLOBs live exactly as long as their job: the jobtracker
+// calls Cleanup at job end (unless the job opts out with
+// KeepIntermediate), retiring them through the garbage collector so a
+// busy cluster's shuffle traffic does not accrete storage forever.
+// While the job runs, every segment fetch holds a lease-style version
+// pin, so even an operator-issued delete cannot reclaim a segment out
+// from under a streaming reducer.
 type Store struct {
 	*Index
 	jobID    uint64
@@ -180,6 +185,15 @@ func NewBlobStore(ctx context.Context, c *blob.Client, jobID uint64, partitions 
 		if err != nil {
 			return nil, fmt.Errorf("shuffle: create partition %d BLOB: %w", p, err)
 		}
+		// Opt out of any cluster-default RetainLatest policy: reducers
+		// legitimately read EARLY versions late (each map append is a
+		// new version, and a re-executed reduce attempt re-reads its
+		// partition from segment zero), so retention collecting old
+		// versions mid-job would fail fetches at their seg.Ver. The
+		// BLOBs' lifecycle is the job's: Cleanup retires them whole.
+		if err := b.SetRetention(ctx, 0); err != nil {
+			return nil, fmt.Errorf("shuffle: retention opt-out partition %d: %w", p, err)
+		}
 		st.blobs = append(st.blobs, b.ID())
 	}
 	return st, nil
@@ -187,6 +201,23 @@ func NewBlobStore(ctx context.Context, c *blob.Client, jobID uint64, partitions 
 
 // Partitions returns the store's reduce-partition count.
 func (st *Store) Partitions() int { return len(st.blobs) }
+
+// Blobs returns the intermediate BLOB ids (one per partition).
+func (st *Store) Blobs() []uint64 { return append([]uint64(nil), st.blobs...) }
+
+// Cleanup retires every intermediate BLOB through the garbage
+// collector. The jobtracker calls it once the job is over — reducers
+// are drained by then, so no pin is held and the partitions' pages are
+// immediately reclaimable.
+func (st *Store) Cleanup(ctx context.Context, c *blob.Client) error {
+	var firstErr error
+	for _, id := range st.blobs {
+		if err := c.DeleteBlob(ctx, id); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
 
 // Stats exposes the store's segment counters.
 func (st *Store) Stats() *metrics.ShuffleStats { return st.stats }
@@ -246,6 +277,24 @@ func (st *Store) AppendMap(ctx context.Context, c *blob.Client, mapID uint64, pa
 // inflate the counters.
 func (st *Store) Fetch(ctx context.Context, c *blob.Client, seg Segment) ([]byte, error) {
 	b := c.Handle(st.blobs[seg.Part], st.pageSize)
+	// Pin the segment's version for the duration of the fetch so the
+	// garbage collector can never reclaim intermediate data under an
+	// active reducer (the lease expiring covers a crashed one). The
+	// pin is per segment, not per partition: the only GC threat to an
+	// intermediate BLOB is DeleteBlob (NewBlobStore opts every
+	// partition out of retention), and under deletion only versions at
+	// or above the pin survive — a long-lived partition pin would have
+	// to sit at version 1 and be lease-renewed for the whole job to
+	// protect re-read attempts, costing more machinery than two RPCs
+	// per segment.
+	if err := b.Pin(ctx, seg.Ver, 0); err != nil {
+		return nil, fmt.Errorf("shuffle: pin segment map %d part %d: %w", seg.Map, seg.Part, err)
+	}
+	defer func() {
+		uctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = b.Unpin(uctx, seg.Ver)
+	}()
 	if _, err := b.WaitPublished(ctx, seg.Ver); err != nil {
 		return nil, fmt.Errorf("shuffle: segment map %d part %d not published: %w", seg.Map, seg.Part, err)
 	}
