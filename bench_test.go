@@ -16,7 +16,6 @@ import (
 
 	"blobseer/internal/apps/datajoin"
 	"blobseer/internal/apps/wordcount"
-	"blobseer/internal/bsfs"
 	"blobseer/internal/dfs"
 	"blobseer/internal/hdfs"
 	"blobseer/internal/mapreduce"
@@ -116,7 +115,7 @@ func BenchmarkFig3ConcurrentAppends(b *testing.B) {
 }
 
 // preloadShared writes chunks into a file for the mixed benchmarks.
-func preloadShared(b *testing.B, fs *bsfs.FS, path string, chunks int) {
+func preloadShared(b *testing.B, fs dfs.FileSystem, path string, chunks int) {
 	b.Helper()
 	w, err := fs.Create(benchCtx, path)
 	if err != nil {

@@ -1,6 +1,7 @@
 package blobseer
 
 import (
+	"context"
 	"time"
 
 	"blobseer/internal/blob"
@@ -9,6 +10,58 @@ import (
 	"blobseer/internal/mapreduce"
 	"blobseer/internal/transport"
 )
+
+//
+// Snapshot-first public surface. The building blocks live in
+// internal/ packages; these aliases and re-exports make the whole API
+// — including the versioned capability interface — reachable through
+// the blobseer package alone, so callers never import internal paths.
+//
+
+// Core file-system types, re-exported from internal/dfs.
+type (
+	// FileSystem is the storage interface Map/Reduce runs against.
+	FileSystem = dfs.FileSystem
+	// VersionedFileSystem is the snapshot capability interface: probe
+	// any FileSystem for it with AsVersioned. BSFS mounts implement it;
+	// HDFS mounts answer every method with ErrVersionsNotSupported.
+	VersionedFileSystem = dfs.VersionedFileSystem
+	// FileReader is a streaming reader with random access.
+	FileReader = dfs.FileReader
+	// VersionedReader is a FileReader bound to one published snapshot;
+	// Version reports which.
+	VersionedReader = dfs.VersionedReader
+	// FileInfo describes a namespace entry; on versioned backends Stat
+	// fills Version with the latest published snapshot.
+	FileInfo = dfs.FileInfo
+	// VersionInfo describes one published snapshot of a file.
+	VersionInfo = dfs.VersionInfo
+	// BlockLoc locates one block for locality-aware scheduling.
+	BlockLoc = dfs.BlockLoc
+	// Snapshot is a pinned BLOB-level snapshot handle (Blob.At): reads
+	// through it are immune to garbage collection for its lifetime.
+	Snapshot = blob.Snapshot
+	// JobConf and JobResult are the Map/Reduce job surface; on a
+	// versioned backend a job pins each input file's snapshot at
+	// submit (JobResult.InputVersions), so its input set is immutable
+	// under concurrent appenders.
+	JobConf   = mapreduce.JobConf
+	JobResult = mapreduce.JobResult
+)
+
+// Stable sentinels of the versioned API, re-exported from internal/dfs.
+var (
+	// ErrVersionsNotSupported is returned by every VersionedFileSystem
+	// method of a backend without snapshot support (HDFS).
+	ErrVersionsNotSupported = dfs.ErrVersionsNotSupported
+	// ErrVersionGone reports an open or read of a snapshot the
+	// retention policy has collected.
+	ErrVersionGone = dfs.ErrVersionGone
+)
+
+// AsVersioned probes fs for the snapshot capability the way the
+// Map/Reduce framework does. See dfs.AsVersioned.
+func AsVersioned(fs FileSystem) (VersionedFileSystem, bool) { return dfs.AsVersioned(fs) }
 
 // Options sizes an embedded (in-process) BlobSeer + BSFS deployment.
 // The zero value gives a small development cluster.
@@ -98,11 +151,45 @@ func NewCluster(opts Options) (*Cluster, error) {
 	return &Cluster{Blob: bc, FS: d}, nil
 }
 
+// Mount is a BSFS file-system mount surfaced through the facade: a
+// full VersionedFileSystem (versioned opens, history enumeration,
+// tailing waits, snapshot-resolved block locations) plus the
+// facade-level snapshot helpers below. The promoted method set comes
+// from the underlying BSFS client; Close releases the mount.
+type Mount struct {
+	*bsfs.FS
+}
+
+var _ VersionedFileSystem = (*Mount)(nil)
+
+// History enumerates path's published snapshots still inside the
+// retention window, oldest first (an alias of Versions that reads
+// naturally at call sites: m.History(ctx, "/logs/events")).
+func (m *Mount) History(ctx context.Context, path string) ([]VersionInfo, error) {
+	return m.Versions(ctx, path)
+}
+
+// Tail follows a file concurrent appenders keep growing: it blocks
+// until a snapshot newer than after publishes, then opens that
+// snapshot pinned. Loop on (info.Version, reader) to consume an
+// append-only file as a sequence of immutable prefixes.
+func (m *Mount) Tail(ctx context.Context, path string, after uint64) (VersionInfo, VersionedReader, error) {
+	info, err := m.WaitVersion(ctx, path, after)
+	if err != nil {
+		return VersionInfo{}, nil, err
+	}
+	r, err := m.OpenVersion(ctx, path, info.Version)
+	if err != nil {
+		return VersionInfo{}, nil, err
+	}
+	return info, r, nil
+}
+
 // Mount returns a BSFS file-system mount running on the named host
 // (hosts are simulated machines; use a provider host to co-locate the
 // client with storage, as the paper's experiments do).
-func (c *Cluster) Mount(host string) *bsfs.FS {
-	return c.FS.Mount(host)
+func (c *Cluster) Mount(host string) *Mount {
+	return &Mount{FS: c.FS.Mount(host)}
 }
 
 // BlobClient returns a raw BlobSeer client on the named host, for

@@ -29,9 +29,10 @@ const usage = `commands:
   gen <path> <bytes>      create <path> with <bytes> of synthetic text
   put <path> <text...>    create <path> containing <text>
   append <path> <text...> append <text> plus newline to <path>
-  cat <path>              print file contents
-  head <path> <n>         print first n bytes
-  stat <path>             show size/blocks
+  cat [-ver N] <path>     print file contents (at snapshot N)
+  head [-ver N] <path> <n> print first n bytes (at snapshot N)
+  stat [-ver N] <path>    show size/blocks (at snapshot N)
+  versions <path>         list the file's published snapshots
   ls <dir>                list directory
   mkdir <dir>             create directory
   mv <src> <dst>          rename
@@ -81,6 +82,8 @@ stat /data/sample
 append /data/sample tail record one
 append /data/sample tail record two
 stat /data/sample
+versions /data/sample
+head -ver 1 /data/sample 80
 ls /data
 locate /data/sample
 entries
@@ -113,9 +116,60 @@ entries
 	}
 }
 
+// extractVer strips a "-ver N" pair from args (anywhere in the list)
+// and returns the remaining args plus the requested snapshot version
+// (0 = latest, the default).
+func extractVer(args []string) ([]string, uint64, error) {
+	out := args[:0:0]
+	var ver uint64
+	for i := 0; i < len(args); i++ {
+		if args[i] != "-ver" {
+			out = append(out, args[i])
+			continue
+		}
+		if i+1 >= len(args) {
+			return nil, 0, fmt.Errorf("-ver needs a version number")
+		}
+		n, err := strconv.ParseUint(args[i+1], 10, 64)
+		if err != nil {
+			return nil, 0, fmt.Errorf("-ver %q: %v", args[i+1], err)
+		}
+		ver = n
+		i++
+	}
+	return out, ver, nil
+}
+
+// readAllAt reads the whole file at snapshot ver (0 = latest).
+func readAllAt(ctx context.Context, fs dfs.FileSystem, path string, ver uint64) ([]byte, error) {
+	if ver == 0 {
+		return dfs.ReadAll(ctx, fs, path)
+	}
+	f, err := dfs.OpenVersion(ctx, fs, path, ver)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, f.Size())
+	if _, err := io.ReadFull(f, buf); err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+		return nil, err
+	}
+	return buf, nil
+}
+
 func run(ctx context.Context, fs dfs.FileSystem, line string) error {
 	fields := strings.Fields(line)
 	cmd, args := fields[0], fields[1:]
+	var ver uint64
+	switch cmd {
+	case "cat", "head", "stat":
+		// Only the read commands take -ver; free-text commands (put,
+		// append) must keep a literal "-ver" in their payload.
+		var err error
+		if args, ver, err = extractVer(args); err != nil {
+			return err
+		}
+	}
 	switch cmd {
 	case "help":
 		fmt.Print(usage)
@@ -151,9 +205,9 @@ func run(ctx context.Context, fs dfs.FileSystem, line string) error {
 		return w.Close()
 	case "cat", "head":
 		if len(args) < 1 {
-			return fmt.Errorf("usage: %s <path>", cmd)
+			return fmt.Errorf("usage: %s [-ver N] <path>", cmd)
 		}
-		data, err := dfs.ReadAll(ctx, fs, args[0])
+		data, err := readAllAt(ctx, fs, args[0], ver)
 		if err != nil {
 			return err
 		}
@@ -171,11 +225,38 @@ func run(ctx context.Context, fs dfs.FileSystem, line string) error {
 			fmt.Println()
 		}
 	case "stat":
+		if len(args) < 1 {
+			return fmt.Errorf("usage: stat [-ver N] <path>")
+		}
+		if ver != 0 {
+			infos, err := dfs.Versions(ctx, fs, args[0])
+			if err != nil {
+				return err
+			}
+			for _, vi := range infos {
+				if vi.Version == ver {
+					fmt.Printf("%s@%d: size=%d blocks=%d\n", args[0], ver, vi.Size, vi.Blocks)
+					return nil
+				}
+			}
+			return fmt.Errorf("%s: version %d not retained", args[0], ver)
+		}
 		fi, err := fs.Stat(ctx, args[0])
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%s: dir=%v size=%d blocks=%d\n", fi.Path, fi.IsDir, fi.Size, fi.Blocks)
+		fmt.Printf("%s: dir=%v size=%d blocks=%d version=%d\n", fi.Path, fi.IsDir, fi.Size, fi.Blocks, fi.Version)
+	case "versions":
+		if len(args) < 1 {
+			return fmt.Errorf("usage: versions <path>")
+		}
+		infos, err := dfs.Versions(ctx, fs, args[0])
+		if err != nil {
+			return err
+		}
+		for _, vi := range infos {
+			fmt.Printf("  v%-6d size=%-10d blocks=%d\n", vi.Version, vi.Size, vi.Blocks)
+		}
 	case "ls":
 		dir := "/"
 		if len(args) > 0 {

@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to run: all,3,4,5,6,filecount,pipeline,shuffle,gc,abl-placement,abl-pagesize,abl-lock")
+		fig     = flag.String("fig", "all", "figure to run: all,3,4,5,6,filecount,pipeline,shuffle,gc,snapshot,abl-placement,abl-pagesize,abl-lock")
 		nodes   = flag.Int("nodes", 270, "total simulated machines (paper: 270)")
 		meta    = flag.Int("meta", 20, "metadata providers (paper: 20)")
 		page    = flag.Int("page", 256, "page/chunk size in KiB (paper: 64 MiB, scaled)")
@@ -185,6 +185,22 @@ func main() {
 		fmt.Printf("# collector: %d passes, %d versions collected, %d blobs deleted, %d pages (%d bytes) reclaimed, %d tree nodes deleted\n\n",
 			res.GCStats.Passes, res.GCStats.VersionsCollected, res.GCStats.BlobsDeleted,
 			res.GCStats.PagesReclaimed, res.GCStats.BytesReclaimed, res.GCStats.NodesDeleted)
+		return nil
+	})
+
+	run("snapshot", func() error {
+		res, err := experiments.Snapshot(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# Snapshot-first API: fixed-version reads under %d concurrent appenders\n", res.Appenders)
+		fmt.Printf("%-34s %d snapshots, %d reads, all byte-identical\n", "fixed-version readers", res.FixedSnapshots, res.FixedReads)
+		fmt.Printf("%-34s %d snapshots, consistent prefixes\n", "WaitVersion tailing reader", res.TailVersions)
+		fmt.Printf("%-34s v%d: %d bytes = %d records (file grew to %d)\n",
+			"mid-append job pinned input", res.PinnedVersion, res.JobInputBytes, res.JobRecords, res.FinalSize)
+		fmt.Printf("%-34s %d versions collected once pins released; re-open => ErrVersionGone: %v\n",
+			"retention after release", res.VersionsCollected, res.GoneAfterGC)
+		fmt.Printf("%-34s %d versions\n\n", "retained history at end", res.VersionsListed)
 		return nil
 	})
 

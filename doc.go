@@ -3,10 +3,49 @@
 // Concurrent Appends through the BlobSeer BLOB management system"
 // (Moise, Antoniu, Bougé — HPDC 2010, MapReduce workshop).
 //
-// The package itself is a thin facade over the building blocks in
+// The package is the snapshot-first facade over the building blocks in
 // internal/: the BlobSeer versioned BLOB service (internal/blob), the
 // BSFS file-system layer (internal/bsfs), an HDFS-like baseline
 // (internal/hdfs) and a Hadoop-like Map/Reduce framework
-// (internal/mapreduce). See DESIGN.md for the system inventory and
-// EXPERIMENTS.md for the reproduced evaluation.
+// (internal/mapreduce). Everything a caller needs — including the
+// versioned capability interface — is reachable through this package
+// alone; callers never import internal paths.
+//
+// # Quick start
+//
+//	cluster, _ := blobseer.NewCluster(blobseer.Options{})
+//	defer cluster.Close()
+//	fs := cluster.Mount("node-000") // a VersionedFileSystem
+//
+// # The version axis
+//
+// Every append to a BSFS file publishes an immutable snapshot. The
+// facade makes that axis first-class:
+//
+//   - fs.Stat fills FileInfo.Version, so "Stat then OpenVersion" pins
+//     exactly the snapshot whose size was observed;
+//   - fs.OpenVersion(ctx, path, ver) opens a fixed snapshot, pinned
+//     against garbage collection until the reader closes;
+//   - fs.History(ctx, path) enumerates the retained snapshots;
+//   - fs.Tail(ctx, path, after) blocks for the next snapshot and opens
+//     it — the tailing-reader loop for files concurrent appenders keep
+//     growing;
+//   - fs.SnapshotAt(ctx, path, ver) descends to a pinned BLOB-level
+//     Snapshot handle (byte-offset reads, page views, page locations).
+//
+// Capability probing follows the Map/Reduce framework's own pattern:
+//
+//	if vfs, ok := blobseer.AsVersioned(fs); ok { ... }
+//
+// with ErrVersionsNotSupported as the stable answer from backends
+// without the capability (the HDFS baseline), and ErrVersionGone as
+// the stable answer for snapshots the retention policy has collected.
+//
+// Map/Reduce jobs submitted through Cluster.NewFramework pin each
+// input file's snapshot at submit (JobResult.InputVersions), so a
+// job's input set is immutable under live appenders — the paper's
+// read/append overlap, correct by construction.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduced evaluation.
 package blobseer

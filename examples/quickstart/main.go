@@ -8,7 +8,9 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
 	"log"
+	"strings"
 	"sync"
 
 	"blobseer"
@@ -65,7 +67,34 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("shared file after 4 concurrent appenders: %d bytes\n", fi.Size)
+	fmt.Printf("shared file after 4 concurrent appenders: %d bytes (version %d)\n", fi.Size, fi.Version)
+
+	// --- File-system level: the version axis ---
+	// Every append published an immutable snapshot; enumerate them and
+	// time-travel to the first one. The versioned open pins its
+	// snapshot against garbage collection until the reader closes.
+	history, err := fs.History(ctx, "/logs/events")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("history: %d published snapshots (first %d bytes, last %d bytes)\n",
+		len(history), history[0].Size, history[len(history)-1].Size)
+	first, err := fs.OpenVersion(ctx, "/logs/events", history[0].Version)
+	if err != nil {
+		log.Fatal(err)
+	}
+	firstBytes := make([]byte, first.Size())
+	if _, err := first.ReadAt(firstBytes, 0); err != nil && err != io.EOF {
+		log.Fatal(err)
+	}
+	fmt.Printf("snapshot %d 1st line: %q\n", first.Version(),
+		strings.SplitN(string(firstBytes), "\n", 2)[0])
+	first.Close()
+
+	// Capability probing, the way the Map/Reduce framework does it:
+	if _, ok := blobseer.AsVersioned(fs); !ok {
+		log.Fatal("bsfs mount lost its versioned capability")
+	}
 
 	// --- BLOB level: versioning ---
 	bc := cluster.BlobClient("node-001")

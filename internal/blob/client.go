@@ -189,7 +189,26 @@ func (b *Blob) GetVersion(ctx context.Context, ver uint64) (VersionInfo, error) 
 	return info, err
 }
 
-// WaitPublished blocks until ver is published (or ctx expires).
+// History enumerates the BLOB's published versions still inside the
+// retention window, oldest first (ver, size, pages; position doubles
+// as publish order, since versions publish in assignment order). limit
+// bounds the response to the newest limit versions; 0 returns the
+// whole window.
+func (b *Blob) History(ctx context.Context, limit uint64) ([]VersionInfo, error) {
+	var resp HistoryResp
+	err := b.c.pool.Call(ctx, b.c.cfg.VersionManager, VMHistory,
+		&HistoryReq{Blob: b.id, Limit: limit}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Infos, nil
+}
+
+// WaitPublished blocks until ver is published (or ctx expires). ver
+// may lie beyond the currently assigned range: the wait then covers
+// future assignment too, which is what makes it the tailing primitive
+// behind WaitVersion — wait for latest+1 and a concurrent appender's
+// next publish wakes it.
 func (b *Blob) WaitPublished(ctx context.Context, ver uint64) (VersionInfo, error) {
 	for {
 		var info VersionInfo

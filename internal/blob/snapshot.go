@@ -1,0 +1,181 @@
+package blob
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Snapshot is a read handle bound to one published version of a BLOB,
+// carrying a garbage-collection pin for its whole lifetime: between At
+// and Close the version manager cannot reclaim the version, so every
+// read through the handle is served from an immutable, complete page
+// set — the "versioned open" primitive of the snapshot-first API.
+//
+// The pin is a lease (see Blob.Pin): a crashed holder delays
+// collection by at most one TTL. Reads through the handle renew the
+// lease once it is past half its life, so a handle that is actually
+// being read stays protected indefinitely; an idle handle older than
+// the TTL may lose its pin and should call Renew before resuming.
+type Snapshot struct {
+	b    *Blob
+	info VersionInfo
+	ttl  time.Duration
+
+	mu       sync.Mutex
+	pinned   bool
+	pinnedAt time.Time
+	closed   bool
+}
+
+// At opens a pinned snapshot of version ver (0 means the latest
+// published version). The pin lands before the version metadata is
+// read, so there is no window where the collector can reclaim the
+// version between lookup and pin: At either returns a fully protected
+// handle or fails with ErrVersionCollected. ttl <= 0 uses the version
+// manager's default lease.
+//
+// Version 0 (the empty initial snapshot) has no pages and needs no
+// pin; At returns a handle over the empty state.
+func (b *Blob) At(ctx context.Context, ver uint64, ttl time.Duration) (*Snapshot, error) {
+	// For ver == 0 the Latest reply already carries the snapshot's full
+	// (immutable) metadata; a successful pin proves the version is
+	// still uncollected, so no re-fetch is needed. Only an explicitly
+	// requested version resolves after the pin.
+	var info VersionInfo
+	if ver == 0 {
+		latest, err := b.Latest(ctx)
+		if err != nil {
+			return nil, err
+		}
+		ver, info = latest.Ver, latest
+	}
+	s := &Snapshot{b: b, ttl: ttl, info: VersionInfo{Ver: ver, Published: true}}
+	if ver > 0 {
+		if err := b.Pin(ctx, ver, ttl); err != nil {
+			return nil, err
+		}
+		s.pinned = true
+		s.pinnedAt = time.Now()
+	}
+	if info.Ver != ver || !info.Published {
+		got, err := b.GetVersion(ctx, ver)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		if !got.Published {
+			s.Close()
+			return nil, ErrNotPublished
+		}
+		info = got
+	}
+	s.info = info
+	return s, nil
+}
+
+// Info returns the snapshot's version metadata.
+func (s *Snapshot) Info() VersionInfo { return s.info }
+
+// Ver returns the pinned version number.
+func (s *Snapshot) Ver() uint64 { return s.info.Ver }
+
+// Size returns the BLOB size at the pinned version.
+func (s *Snapshot) Size() uint64 { return s.info.Size }
+
+// ReadAt reads n bytes at byte offset off from the pinned version.
+func (s *Snapshot) ReadAt(ctx context.Context, off, n uint64) ([]byte, error) {
+	s.renew(ctx)
+	return s.b.ReadAt(ctx, s.info.Ver, off, n)
+}
+
+// ReadAtInto reads len(p) bytes at off from the pinned version into p.
+func (s *Snapshot) ReadAtInto(ctx context.Context, off uint64, p []byte) (int, error) {
+	s.renew(ctx)
+	return s.b.ReadAtInto(ctx, s.info.Ver, off, p)
+}
+
+// PageView returns a read-only whole-page view of the pinned version
+// (see Blob.PageView; the bytes may alias the shared cache).
+func (s *Snapshot) PageView(ctx context.Context, page uint64) ([]byte, error) {
+	s.renew(ctx)
+	return s.b.PageView(ctx, s.info.Ver, page)
+}
+
+// Prefetch warms the shared page cache with [off, off+n) of the pinned
+// version.
+func (s *Snapshot) Prefetch(ctx context.Context, off, n uint64) error {
+	s.renew(ctx)
+	return s.b.Prefetch(ctx, s.info.Ver, off, n)
+}
+
+// PageLocations resolves the page→provider mapping of [off, off+n) of
+// the pinned version, for locality-aware scheduling against a fixed
+// snapshot.
+func (s *Snapshot) PageLocations(ctx context.Context, off, n uint64) ([]PageLoc, error) {
+	s.renew(ctx)
+	return s.b.PageLocations(ctx, s.info.Ver, off, n)
+}
+
+// Renew extends the pin lease by a full TTL immediately (reads renew
+// lazily past the half-life; an idle holder calls this before resuming
+// after a long pause). Renewing a collected version fails with
+// ErrVersionCollected — the handle lost its protection while idle.
+func (s *Snapshot) Renew(ctx context.Context) error {
+	s.mu.Lock()
+	pinned := s.pinned && !s.closed
+	s.mu.Unlock()
+	if !pinned {
+		return nil
+	}
+	// Pin then Unpin, in that order: the extra reference carries the
+	// refreshed expiry while the count nets out, and the version is
+	// never left unreferenced in between.
+	if err := s.b.Pin(ctx, s.info.Ver, s.ttl); err != nil {
+		return err
+	}
+	_ = s.b.Unpin(ctx, s.info.Ver)
+	s.mu.Lock()
+	s.pinnedAt = time.Now()
+	s.mu.Unlock()
+	return nil
+}
+
+// renew extends the lease once it is past half its life. Failure is
+// ignored: the read itself surfaces ErrVersionCollected if the version
+// really is gone.
+func (s *Snapshot) renew(ctx context.Context) {
+	s.mu.Lock()
+	ttl := s.ttl
+	if ttl <= 0 {
+		// The manager applied its default; renew on a conservative guess.
+		ttl = time.Minute
+	}
+	due := s.pinned && !s.closed && time.Since(s.pinnedAt) >= ttl/2
+	s.mu.Unlock()
+	if due {
+		_ = s.Renew(ctx)
+	}
+}
+
+// Close releases the snapshot's pin. It runs on a detached context:
+// the caller's context may already be cancelled, but the release must
+// still reach the version manager or collection stalls for one TTL.
+// Close is idempotent.
+func (s *Snapshot) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	pinned := s.pinned
+	s.pinned = false
+	s.mu.Unlock()
+	if !pinned {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return s.b.Unpin(ctx, s.info.Ver)
+}

@@ -53,6 +53,7 @@ const (
 	VMPin
 	VMUnpin
 	VMReclaimScan
+	VMHistory
 )
 
 // Provider manager methods.
@@ -403,6 +404,59 @@ func (m *PinReq) DecodeFrom(r *wire.Reader) error {
 	m.Blob = r.Uvarint()
 	m.Ver = r.Uvarint()
 	m.TTLMillis = r.Uvarint()
+	return r.Err()
+}
+
+// HistoryReq asks the version manager to enumerate a BLOB's published
+// versions still inside the retention window. Limit, when non-zero,
+// bounds the response to the newest Limit versions.
+type HistoryReq struct {
+	Blob  uint64
+	Limit uint64
+}
+
+// AppendTo implements wire.Marshaler.
+func (m *HistoryReq) AppendTo(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.Blob)
+	return wire.AppendUvarint(b, m.Limit)
+}
+
+// DecodeFrom implements wire.Unmarshaler.
+func (m *HistoryReq) DecodeFrom(r *wire.Reader) error {
+	m.Blob = r.Uvarint()
+	m.Limit = r.Uvarint()
+	return r.Err()
+}
+
+// HistoryResp lists the published versions of one BLOB that are still
+// readable (at or above the collection frontier), oldest first.
+// Versions publish strictly in assignment order, so position in the
+// list is publish order.
+type HistoryResp struct {
+	Infos []VersionInfo
+}
+
+// AppendTo implements wire.Marshaler.
+func (m *HistoryResp) AppendTo(b []byte) []byte {
+	b = wire.AppendUvarint(b, uint64(len(m.Infos)))
+	for i := range m.Infos {
+		b = m.Infos[i].AppendTo(b)
+	}
+	return b
+}
+
+// DecodeFrom implements wire.Unmarshaler.
+func (m *HistoryResp) DecodeFrom(r *wire.Reader) error {
+	n := r.Uvarint()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	m.Infos = make([]VersionInfo, n)
+	for i := uint64(0); i < n; i++ {
+		if err := m.Infos[i].DecodeFrom(r); err != nil {
+			return err
+		}
+	}
 	return r.Err()
 }
 

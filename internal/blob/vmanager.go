@@ -221,6 +221,7 @@ func NewVersionManager(net transport.Network, addr transport.Addr, cfg VersionMa
 	srv.Handle(VMPin, vm.handlePin)
 	srv.Handle(VMUnpin, vm.handleUnpin)
 	srv.Handle(VMReclaimScan, vm.handleReclaimScan)
+	srv.Handle(VMHistory, vm.handleHistory)
 	if cfg.SealTimeout > 0 {
 		vm.wg.Add(1)
 		go vm.sealLoop()
@@ -582,14 +583,12 @@ func (vm *VersionManager) handleWaitPublished(r *wire.Reader) (wire.Marshaler, e
 		bs.mu.Unlock()
 		return nil, ErrVersionCollected
 	}
-	if req.Ver > uint64(len(bs.records)) {
-		deleted := bs.deleted
-		bs.mu.Unlock()
-		if deleted {
-			return nil, ErrVersionCollected
-		}
-		return nil, ErrNoSuchVersion
-	}
+	// A version beyond the assigned range is not an error: the next
+	// appender will be assigned it, and tailing readers (WaitVersion)
+	// wait for exactly that. The waiter registered below fires when
+	// publication reaches the version, however far in the future its
+	// assignment lies; until then each wait returns ErrWaitTimeout and
+	// the client's retry loop carries on.
 	if req.Ver <= bs.published {
 		info := bs.info(req.Ver)
 		bs.mu.Unlock()
@@ -652,6 +651,38 @@ func (vm *VersionManager) waiterCount(blob, ver uint64) int {
 	bs.mu.Lock()
 	defer bs.mu.Unlock()
 	return len(bs.waiters[ver])
+}
+
+// handleHistory enumerates the published versions still inside the
+// retention window: everything from the collection frontier up to the
+// latest published version, oldest first. The snapshot-first public
+// API (dfs.VersionedFileSystem.Versions) is built on it.
+func (vm *VersionManager) handleHistory(r *wire.Reader) (wire.Marshaler, error) {
+	var req HistoryReq
+	if err := req.DecodeFrom(r); err != nil {
+		return nil, err
+	}
+	bs, ok := vm.lookup(req.Blob)
+	if !ok {
+		return nil, ErrBlobNotFound
+	}
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	if bs.deleted {
+		return nil, ErrVersionCollected
+	}
+	from := bs.frontier
+	if from < 1 {
+		from = 1
+	}
+	if req.Limit > 0 && bs.published >= from && bs.published-from+1 > req.Limit {
+		from = bs.published - req.Limit + 1
+	}
+	resp := &HistoryResp{}
+	for v := from; v <= bs.published; v++ {
+		resp.Infos = append(resp.Infos, bs.info(v))
+	}
+	return resp, nil
 }
 
 func (vm *VersionManager) handleListBlobs(r *wire.Reader) (wire.Marshaler, error) {

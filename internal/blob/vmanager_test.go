@@ -500,3 +500,91 @@ func TestReclaimNotifyFires(t *testing.T) {
 		t.Fatal("DeleteBlob did not kick the reclaim notify hook")
 	}
 }
+
+func TestHistoryEnumeratesRetentionWindow(t *testing.T) {
+	h := newVMHarness(t, 100)
+	history := func(limit uint64) []VersionInfo {
+		t.Helper()
+		var resp HistoryResp
+		if err := h.pool.Call(ctx, h.vm.Addr(), VMHistory,
+			&HistoryReq{Blob: h.blob, Limit: limit}, &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp.Infos
+	}
+	if got := history(0); len(got) != 0 {
+		t.Fatalf("empty blob history = %+v", got)
+	}
+	for i := 0; i < 4; i++ {
+		a := h.assign(t, KindAppend, 0, 100, 0)
+		if err := h.complete(t, a.Ver); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One more assigned but unpublished version: never listed.
+	h.assign(t, KindAppend, 0, 100, 0)
+
+	got := history(0)
+	if len(got) != 4 {
+		t.Fatalf("history = %d entries, want 4 published", len(got))
+	}
+	for i, vi := range got {
+		want := uint64(i + 1)
+		if vi.Ver != want || vi.Size != want*100 || !vi.Published {
+			t.Fatalf("entry %d = %+v", i, vi)
+		}
+	}
+	// Limit keeps the newest entries.
+	got = history(2)
+	if len(got) != 2 || got[0].Ver != 3 || got[1].Ver != 4 {
+		t.Fatalf("limited history = %+v", got)
+	}
+
+	// Truncation moves the window's floor: collected versions drop out.
+	if err := h.pool.Call(ctx, h.vm.Addr(), VMTruncateBefore,
+		&VersionRef{Blob: h.blob, Ver: 3}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.pool.Call(ctx, h.vm.Addr(), VMReclaimScan, nil, new(ReclaimScanResp)); err != nil {
+		t.Fatal(err)
+	}
+	got = history(0)
+	if len(got) != 2 || got[0].Ver != 3 || got[1].Ver != 4 {
+		t.Fatalf("post-truncation history = %+v", got)
+	}
+
+	// A deleted BLOB's history answers the collected sentinel.
+	if err := h.pool.Call(ctx, h.vm.Addr(), VMDeleteBlob, &BlobRef{Blob: h.blob}, nil); err != nil {
+		t.Fatal(err)
+	}
+	err := h.pool.Call(ctx, h.vm.Addr(), VMHistory, &HistoryReq{Blob: h.blob}, new(HistoryResp))
+	if !errors.Is(err, ErrVersionCollected) {
+		t.Fatalf("history of deleted blob = %v", err)
+	}
+}
+
+func TestWaitPublishedCoversFutureVersions(t *testing.T) {
+	// The tailing primitive: a wait for a version beyond the assigned
+	// range blocks until that version is assigned AND published,
+	// instead of failing with ErrNoSuchVersion.
+	h := newVMHarness(t, 100)
+	woke := make(chan error, 1)
+	go func() {
+		var info VersionInfo
+		woke <- h.pool.Call(ctx, h.vm.Addr(), VMWaitPublished,
+			&WaitPublishedReq{Blob: h.blob, Ver: 1, TimeoutMillis: 5000}, &info)
+	}()
+	time.Sleep(20 * time.Millisecond) // let the waiter register pre-assignment
+	a := h.assign(t, KindAppend, 0, 100, 0)
+	if err := h.complete(t, a.Ver); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-woke:
+		if err != nil {
+			t.Fatalf("future-version wait: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("future-version waiter never woke")
+	}
+}

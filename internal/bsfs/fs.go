@@ -2,6 +2,7 @@ package bsfs
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -81,7 +82,27 @@ type FS struct {
 	bc   *blob.Client
 }
 
-var _ dfs.FileSystem = (*FS)(nil)
+var (
+	_ dfs.FileSystem          = (*FS)(nil)
+	_ dfs.VersionedFileSystem = (*FS)(nil)
+)
+
+// mapVerErr translates the blob layer's internal version-lifecycle
+// sentinels into the stable dfs error surface at the bsfs boundary, so
+// framework and application code matches dfs.ErrVersionGone /
+// dfs.ErrNotExist instead of internal error text that happens to
+// survive RPC boundaries. Other errors pass through unchanged.
+func mapVerErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, blob.ErrVersionCollected):
+		return fmt.Errorf("%w (%v)", dfs.ErrVersionGone, err)
+	case errors.Is(err, blob.ErrNoSuchVersion), errors.Is(err, blob.ErrNotPublished):
+		return fmt.Errorf("%w (%v)", dfs.ErrNotExist, err)
+	}
+	return err
+}
 
 // New returns a BSFS mount for the given deployment.
 func New(cfg Config) *FS {
@@ -168,6 +189,18 @@ func (fs *FS) openWriter(ctx context.Context, path string, exclusive bool) (dfs.
 // Open implements dfs.FileSystem. The reader pins the latest published
 // version at open time (a consistent snapshot); Refresh re-pins.
 func (fs *FS) Open(ctx context.Context, path string) (dfs.FileReader, error) {
+	return fs.OpenVersion(ctx, path, 0)
+}
+
+// OpenVersion implements dfs.VersionedFileSystem: it opens the file's
+// published snapshot ver (0 = latest, identical to Open). A non-zero
+// ver gives a fixed-version reader: the snapshot is pinned against
+// garbage collection before its metadata is even read — there is no
+// window where the collector can reclaim it between lookup and pin —
+// and stays pinned until Close, so the reader never observes
+// dfs.ErrVersionGone mid-stream. Opening a version already behind the
+// retention window fails up front with dfs.ErrVersionGone.
+func (fs *FS) OpenVersion(ctx context.Context, path string, ver uint64) (dfs.VersionedReader, error) {
 	ent, err := fs.lookup(ctx, path)
 	if err != nil {
 		return nil, err
@@ -176,19 +209,38 @@ func (fs *FS) Open(ctx context.Context, path string) (dfs.FileReader, error) {
 		return nil, dfs.ErrIsDir
 	}
 	b := fs.bc.Handle(ent.Blob, ent.PageSize)
-	info, err := b.Latest(ctx)
-	if err != nil {
-		return nil, err
-	}
-	r := &fileReader{ctx: ctx, b: b, blockSize: ent.PageSize, pinTTL: fs.cfg.PinTTL}
-	// Pin the snapshot so the garbage collector cannot reclaim it while
-	// this reader streams it, however slowly.
-	if r.pinTTL > 0 && info.Ver > 0 {
-		if err := b.Pin(ctx, info.Ver, r.pinTTL); err != nil {
-			return nil, err
+	r := &fileReader{ctx: ctx, b: b, blockSize: ent.PageSize, pinTTL: fs.cfg.PinTTL, fixed: ver != 0}
+
+	var info blob.VersionInfo
+	if ver != 0 {
+		// Fixed-version open: pin first, resolve after.
+		if r.pinTTL > 0 {
+			if err := b.Pin(ctx, ver, r.pinTTL); err != nil {
+				return nil, mapVerErr(err)
+			}
+			r.pinned = ver
+			r.pinnedAt = time.Now()
 		}
-		r.pinned = info.Ver
-		r.pinnedAt = time.Now()
+		if info, err = b.GetVersion(ctx, ver); err == nil && !info.Published {
+			err = blob.ErrNotPublished
+		}
+		if err != nil {
+			r.unpin()
+			return nil, mapVerErr(err)
+		}
+	} else {
+		if info, err = b.Latest(ctx); err != nil {
+			return nil, mapVerErr(err)
+		}
+		// Pin the snapshot so the garbage collector cannot reclaim it
+		// while this reader streams it, however slowly.
+		if r.pinTTL > 0 && info.Ver > 0 {
+			if err := b.Pin(ctx, info.Ver, r.pinTTL); err != nil {
+				return nil, mapVerErr(err)
+			}
+			r.pinned = info.Ver
+			r.pinnedAt = time.Now()
+		}
 	}
 	r.ver.Store(info.Ver)
 	r.size.Store(info.Size)
@@ -202,6 +254,66 @@ func (fs *FS) Open(ctx context.Context, path string) (dfs.FileReader, error) {
 			})
 	}
 	return r, nil
+}
+
+// SnapshotAt opens a pinned BLOB-level snapshot of the file at version
+// ver (0 = latest published): lower-level than OpenVersion —
+// byte-offset ReadAt, page views, page locations — with the same
+// pin-for-lifetime guarantee. Close the snapshot to release its pin.
+func (fs *FS) SnapshotAt(ctx context.Context, path string, ver uint64) (*blob.Snapshot, error) {
+	ent, err := fs.lookup(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	if ent.IsDir {
+		return nil, dfs.ErrIsDir
+	}
+	s, err := fs.bc.Handle(ent.Blob, ent.PageSize).At(ctx, ver, fs.cfg.PinTTL)
+	if err != nil {
+		return nil, mapVerErr(err)
+	}
+	return s, nil
+}
+
+// Versions implements dfs.VersionedFileSystem: the file's published
+// snapshots still inside the retention window, oldest first.
+func (fs *FS) Versions(ctx context.Context, path string) ([]dfs.VersionInfo, error) {
+	ent, err := fs.lookup(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	if ent.IsDir {
+		return nil, dfs.ErrIsDir
+	}
+	infos, err := fs.bc.Handle(ent.Blob, ent.PageSize).History(ctx, 0)
+	if err != nil {
+		return nil, mapVerErr(err)
+	}
+	out := make([]dfs.VersionInfo, 0, len(infos))
+	for _, i := range infos {
+		out = append(out, dfs.VersionInfo{Version: i.Ver, Size: i.Size, Blocks: i.Pages})
+	}
+	return out, nil
+}
+
+// WaitVersion implements dfs.VersionedFileSystem: it blocks until a
+// snapshot newer than after publishes. Versions are assigned densely,
+// so the next snapshot after `after` is exactly version after+1; the
+// wait rides the version manager's publication waiters, costing no
+// polling.
+func (fs *FS) WaitVersion(ctx context.Context, path string, after uint64) (dfs.VersionInfo, error) {
+	ent, err := fs.lookup(ctx, path)
+	if err != nil {
+		return dfs.VersionInfo{}, err
+	}
+	if ent.IsDir {
+		return dfs.VersionInfo{}, dfs.ErrIsDir
+	}
+	info, err := fs.bc.Handle(ent.Blob, ent.PageSize).WaitPublished(ctx, after+1)
+	if err != nil {
+		return dfs.VersionInfo{}, mapVerErr(err)
+	}
+	return dfs.VersionInfo{Version: info.Ver, Size: info.Size, Blocks: info.Pages}, nil
 }
 
 func (fs *FS) lookup(ctx context.Context, path string) (EntryResp, error) {
@@ -225,10 +337,13 @@ func (fs *FS) Stat(ctx context.Context, path string) (dfs.FileInfo, error) {
 	if !ent.IsDir {
 		info, err := fs.bc.Handle(ent.Blob, ent.PageSize).Latest(ctx)
 		if err != nil {
-			return dfs.FileInfo{}, err
+			return dfs.FileInfo{}, mapVerErr(err)
 		}
 		fi.Size = info.Size
 		fi.Blocks = info.Pages
+		// The version whose Size this is: "Stat then OpenVersion" pins
+		// exactly the snapshot the caller just observed.
+		fi.Version = info.Ver
 	}
 	return fi, nil
 }
@@ -253,7 +368,7 @@ func (fs *FS) Rename(ctx context.Context, src, dst string) error {
 // version manager; the garbage collector frees the pages), so this
 // mount's cached pages, slots, and version infos for that BLOB are
 // purged too — other mounts purge lazily when a read surfaces
-// blob.ErrVersionCollected.
+// dfs.ErrVersionGone.
 func (fs *FS) Delete(ctx context.Context, path string) error {
 	ent, lerr := fs.lookup(ctx, path)
 	if err := fs.pool.Call(ctx, fs.cfg.Namespace, NSDelete, &dfs.PathReq{Path: path}, nil); err != nil {
@@ -273,6 +388,14 @@ func (fs *FS) Mkdir(ctx context.Context, path string) error {
 // BlockLocations implements dfs.FileSystem via the primitive of §3.2
 // that "exposes the pages distribution to providers" for the scheduler.
 func (fs *FS) BlockLocations(ctx context.Context, path string, off, length uint64) ([]dfs.BlockLoc, error) {
+	return fs.BlockLocationsAt(ctx, path, 0, off, length)
+}
+
+// BlockLocationsAt implements dfs.VersionedFileSystem: BlockLocations
+// resolved at snapshot ver (0 = latest), so a scheduler that pinned a
+// job's input version places tasks by the pinned snapshot's page
+// distribution, not a concurrently growing latest.
+func (fs *FS) BlockLocationsAt(ctx context.Context, path string, ver uint64, off, length uint64) ([]dfs.BlockLoc, error) {
 	ent, err := fs.lookup(ctx, path)
 	if err != nil {
 		return nil, err
@@ -281,16 +404,23 @@ func (fs *FS) BlockLocations(ctx context.Context, path string, off, length uint6
 		return nil, dfs.ErrIsDir
 	}
 	b := fs.bc.Handle(ent.Blob, ent.PageSize)
-	info, err := b.Latest(ctx)
+	var info blob.VersionInfo
+	if ver != 0 {
+		if info, err = b.GetVersion(ctx, ver); err == nil && !info.Published {
+			err = blob.ErrNotPublished
+		}
+	} else {
+		info, err = b.Latest(ctx)
+	}
 	if err != nil {
-		return nil, err
+		return nil, mapVerErr(err)
 	}
 	if off >= info.Size {
 		return nil, nil
 	}
 	locs, err := b.PageLocations(ctx, info.Ver, off, length)
 	if err != nil {
-		return nil, err
+		return nil, mapVerErr(err)
 	}
 	out := make([]dfs.BlockLoc, 0, len(locs))
 	for _, l := range locs {
@@ -523,6 +653,11 @@ type fileReader struct {
 	b         *blob.Blob
 	blockSize uint64
 
+	// fixed marks a fixed-version reader (OpenVersion with ver != 0):
+	// it serves exactly one immutable snapshot, so Refresh never moves
+	// it to a newer version.
+	fixed bool
+
 	// pinned is the version this reader holds a GC pin on (0 = none);
 	// pinTTL is the lease length used when (re-)pinning, and pinnedAt
 	// is when the lease was last extended — block reads renew it past
@@ -554,7 +689,7 @@ func (r *fileReader) fillBlock(pos uint64) error {
 	block := pos / r.blockSize
 	view, err := r.b.PageView(r.ctx, r.ver.Load(), block)
 	if err != nil {
-		return err
+		return mapVerErr(err)
 	}
 	r.bufOff, r.buf = block*r.blockSize, view
 	r.ra.Observe(block, (size+r.blockSize-1)/r.blockSize)
@@ -670,21 +805,31 @@ func (r *fileReader) unpin() {
 // Size implements dfs.FileReader.
 func (r *fileReader) Size() uint64 { return r.size.Load() }
 
+// Version implements dfs.VersionedReader: the published snapshot this
+// reader currently serves.
+func (r *fileReader) Version() uint64 { return r.ver.Load() }
+
 // Refresh re-pins the latest published version so a reader can follow
 // a file that concurrent appenders are growing (the pipeline scenario
 // of §5). Cached pages of older versions stay valid — versions are
-// immutable — so refreshing never invalidates the cache.
+// immutable — so refreshing never invalidates the cache. A
+// fixed-version reader (OpenVersion) serves one immutable snapshot:
+// its Refresh is a no-op returning the snapshot size, never a move to
+// a newer version — use WaitVersion + OpenVersion to tail instead.
 func (r *fileReader) Refresh(ctx context.Context) (uint64, error) {
+	if r.fixed {
+		return r.size.Load(), nil
+	}
 	info, err := r.b.Latest(ctx)
 	if err != nil {
-		return 0, err
+		return 0, mapVerErr(err)
 	}
 	// Move the GC pin to the refreshed snapshot (pin first, then release
 	// the old one, so the reader is never unprotected in between). This
 	// also renews the lease, so long-lived tailing readers stay pinned.
 	if r.pinTTL > 0 && info.Ver > 0 && info.Ver != r.pinned {
 		if err := r.b.Pin(ctx, info.Ver, r.pinTTL); err != nil {
-			return 0, err
+			return 0, mapVerErr(err)
 		}
 		r.unpin()
 		r.pinned = info.Ver

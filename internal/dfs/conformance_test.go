@@ -334,3 +334,193 @@ func TestConformanceSequentialStreaming(t *testing.T) {
 		}
 	})
 }
+
+func TestConformanceVersioning(t *testing.T) {
+	// The snapshot capability, probed the way the framework does it: a
+	// type assertion, then calls whose stable answers distinguish a
+	// real capability (BSFS) from the rejection sentinel (HDFS).
+	forEachBackend(t, func(t *testing.T, b backend, fs dfs.FileSystem) {
+		vfs, ok := dfs.AsVersioned(fs)
+		if !ok {
+			t.Fatalf("%s does not expose dfs.VersionedFileSystem", b.name)
+		}
+		if err := dfs.WriteFile(ctx, fs, "/v/log", []byte("one\n")); err != nil {
+			t.Fatal(err)
+		}
+
+		if !b.appendSupport {
+			// HDFS: one version axis short — every method answers the
+			// stable sentinel, and Stat has no version to report.
+			if _, err := vfs.OpenVersion(ctx, "/v/log", 1); !errors.Is(err, dfs.ErrVersionsNotSupported) {
+				t.Errorf("OpenVersion: %v", err)
+			}
+			if _, err := vfs.Versions(ctx, "/v/log"); !errors.Is(err, dfs.ErrVersionsNotSupported) {
+				t.Errorf("Versions: %v", err)
+			}
+			if _, err := vfs.WaitVersion(ctx, "/v/log", 0); !errors.Is(err, dfs.ErrVersionsNotSupported) {
+				t.Errorf("WaitVersion: %v", err)
+			}
+			if _, err := vfs.BlockLocationsAt(ctx, "/v/log", 1, 0, 4); !errors.Is(err, dfs.ErrVersionsNotSupported) {
+				t.Errorf("BlockLocationsAt: %v", err)
+			}
+			// Version 0 — latest, the only version HDFS has — degrades
+			// to plain BlockLocations for capability-blind callers.
+			if _, err := vfs.BlockLocationsAt(ctx, "/v/log", 0, 0, 4); err != nil {
+				t.Errorf("BlockLocationsAt(latest): %v", err)
+			}
+			fi, err := fs.Stat(ctx, "/v/log")
+			if err != nil || fi.Version != 0 {
+				t.Errorf("Stat.Version = %d, %v", fi.Version, err)
+			}
+			// The package-level helpers answer the sentinel for any
+			// FileSystem value without the capability.
+			if _, err := dfs.OpenVersion(ctx, unversionedOnly{fs}, "/v/log", 1); !errors.Is(err, dfs.ErrVersionsNotSupported) {
+				t.Errorf("helper OpenVersion on plain FS: %v", err)
+			}
+			return
+		}
+
+		// BSFS: every append published a snapshot; round-trip them.
+		w, err := fs.Append(ctx, "/v/log")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Write([]byte("two\n")); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		fi, err := fs.Stat(ctx, "/v/log")
+		if err != nil || fi.Version != 2 || fi.Size != 8 {
+			t.Fatalf("Stat = %+v, %v", fi, err)
+		}
+		infos, err := vfs.Versions(ctx, "/v/log")
+		if err != nil || len(infos) != 2 {
+			t.Fatalf("Versions = %+v, %v", infos, err)
+		}
+		if infos[0].Version != 1 || infos[0].Size != 4 || infos[1].Version != 2 || infos[1].Size != 8 {
+			t.Fatalf("history = %+v", infos)
+		}
+		r, err := vfs.OpenVersion(ctx, "/v/log", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Version() != 1 || r.Size() != 4 {
+			t.Errorf("reader: version %d size %d", r.Version(), r.Size())
+		}
+		buf := make([]byte, 4)
+		if _, err := r.ReadAt(buf, 0); err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+		if string(buf) != "one\n" {
+			t.Errorf("snapshot 1 = %q", buf)
+		}
+		// A fixed-version reader never moves: Refresh is a no-op.
+		if n, err := r.Refresh(ctx); err != nil || n != 4 {
+			t.Errorf("fixed Refresh = %d, %v", n, err)
+		}
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// WaitVersion returns the first snapshot newer than `after`.
+		vi, err := vfs.WaitVersion(ctx, "/v/log", 0)
+		if err != nil || vi.Version != 1 {
+			t.Errorf("WaitVersion(0) = %+v, %v", vi, err)
+		}
+		vi, err = vfs.WaitVersion(ctx, "/v/log", 1)
+		if err != nil || vi.Version != 2 || vi.Size != 8 {
+			t.Errorf("WaitVersion(1) = %+v, %v", vi, err)
+		}
+		// Locations resolved at the historical snapshot cover exactly
+		// its bytes.
+		locs, err := vfs.BlockLocationsAt(ctx, "/v/log", 1, 0, 64)
+		if err != nil || len(locs) == 0 {
+			t.Fatalf("BlockLocationsAt = %+v, %v", locs, err)
+		}
+		var total uint64
+		for _, l := range locs {
+			total += l.Length
+		}
+		if total != 4 {
+			t.Errorf("locations at v1 cover %d bytes, want 4", total)
+		}
+		// A version never published maps to the stable namespace error.
+		if _, err := vfs.OpenVersion(ctx, "/v/log", 99); !errors.Is(err, dfs.ErrNotExist) {
+			t.Errorf("OpenVersion(99) = %v", err)
+		}
+	})
+}
+
+// unversionedOnly strips the capability interface from a FileSystem so
+// the package-level helpers' type-assertion fallback is exercised.
+type unversionedOnly struct{ dfs.FileSystem }
+
+func TestConformanceVersionAfterGC(t *testing.T) {
+	// BSFS-specific by construction (HDFS has neither versions nor a
+	// collector): under RetainLatest(1), an unpinned old snapshot is
+	// collected and its versioned open answers the stable
+	// dfs.ErrVersionGone — while a reader that pinned the snapshot
+	// before collection keeps reading it byte-identically.
+	cluster, err := blob.NewCluster(transport.NewMemNet(), blob.ClusterConfig{
+		Providers: 4, MetaProviders: 2, Retain: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cluster.Close() })
+	d, err := bsfs.Deploy(cluster, confBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	fs := d.Mount("conf-gc-cli")
+	t.Cleanup(func() { fs.Close() })
+
+	if err := dfs.WriteFile(ctx, fs, "/gc/log", []byte("first state\n")); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := fs.OpenVersion(ctx, "/gc/log", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		w, err := fs.Append(ctx, "/gc/log")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(w, "growth %d\n", i)
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Collector pass with the pin held: v1 must stay readable.
+	if _, err := d.GC.RunOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, r1.Size())
+	if _, err := r1.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatalf("pinned snapshot read after GC pass: %v", err)
+	}
+	if string(buf) != "first state\n" {
+		t.Fatalf("pinned snapshot = %q", buf)
+	}
+
+	// Pin released: the next pass collects v1 and the versioned open
+	// reports it gone with the exported sentinel.
+	if err := r1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.GC.RunOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.OpenVersion(ctx, "/gc/log", 1); !errors.Is(err, dfs.ErrVersionGone) {
+		t.Fatalf("OpenVersion of collected snapshot = %v, want dfs.ErrVersionGone", err)
+	}
+	// The retention window shrank to the surviving latest version.
+	infos, err := fs.Versions(ctx, "/gc/log")
+	if err != nil || len(infos) != 1 || infos[0].Version != 4 {
+		t.Fatalf("Versions after GC = %+v, %v", infos, err)
+	}
+}

@@ -31,6 +31,23 @@ var (
 	ErrUnderConstruction  = errors.New("dfs: file is under construction")
 	ErrAppendNotSupported = errors.New("dfs: append is not supported by this file system")
 	ErrInvalidPath        = errors.New("dfs: invalid path")
+
+	// ErrVersionsNotSupported is the stable sentinel a backend without
+	// snapshot support returns from every VersionedFileSystem method.
+	// HDFS returns it — the paper's backend contrast, extended to the
+	// version axis — and frameworks fall back to latest-only reads.
+	ErrVersionsNotSupported = errors.New("dfs: versioned access is not supported by this file system")
+
+	// ErrVersionGone reports an open or read of a file version the
+	// storage layer's retention/garbage collection has reclaimed. It is
+	// the boundary mapping of the BLOB layer's internal "version
+	// collected" failure, so framework and application code can match a
+	// stable exported sentinel instead of internal error text that
+	// happens to survive RPC boundaries. A reader that pinned its
+	// snapshot at open never sees it for the reader's lifetime; it
+	// surfaces when opening a version that was already collected, or
+	// when tailing far behind a retention window.
+	ErrVersionGone = errors.New("dfs: file version collected by retention")
 )
 
 // FileInfo describes a namespace entry.
@@ -39,6 +56,26 @@ type FileInfo struct {
 	IsDir bool
 	Size  uint64
 	// Blocks is the number of storage blocks/pages backing the file.
+	Blocks uint64
+	// Version is the file's latest published snapshot version on
+	// backends that support versioned access (0 on backends that do
+	// not, and in List results, whose sizes come from the namespace
+	// cache rather than the version store). Stat on a versioned
+	// backend fills it, so "Stat then OpenVersion" pins exactly the
+	// snapshot whose Size was observed.
+	Version uint64
+}
+
+// VersionInfo describes one published snapshot of a file, as
+// enumerated by VersionedFileSystem.Versions. Versions publish in
+// assignment order, so Version doubles as the publish order.
+type VersionInfo struct {
+	// Version identifies the snapshot (1 is the first write; 0 is the
+	// empty initial state and is never listed).
+	Version uint64
+	// Size is the file size at this snapshot.
+	Size uint64
+	// Blocks is the number of storage blocks backing the snapshot.
 	Blocks uint64
 }
 
@@ -80,6 +117,93 @@ type FileReader interface {
 	// Refresh re-reads the file size (a file being appended to may
 	// have grown) and returns the new size.
 	Refresh(ctx context.Context) (uint64, error)
+}
+
+// VersionedReader is a FileReader bound to one published snapshot.
+// OpenVersion returns one, and backends whose Open pins a snapshot may
+// return them from Open too; Version reports which snapshot the reader
+// is serving.
+type VersionedReader interface {
+	FileReader
+	// Version returns the published version this reader currently
+	// serves (for a fixed-version open, the version requested; for a
+	// latest-open, the version pinned at open or the last Refresh).
+	Version() uint64
+}
+
+// VersionedFileSystem is the snapshot capability interface: every
+// append to a BlobSeer-backed file publishes an immutable version, and
+// backends that expose that axis implement these four methods. The
+// Map/Reduce framework probes for it with a type assertion and treats
+// ErrVersionsNotSupported from any method as "capability absent", so a
+// backend may also implement the methods purely to return the stable
+// sentinel (HDFS does — the interface is uniform, the behaviour is the
+// paper's backend contrast).
+//
+// Lease semantics: OpenVersion pins the chosen snapshot against
+// garbage collection for the reader's lifetime (released at Close), so
+// a versioned reader never observes ErrVersionGone mid-stream; opening
+// a version already behind the retention window fails up front with
+// ErrVersionGone.
+type VersionedFileSystem interface {
+	FileSystem
+	// OpenVersion opens the file's published snapshot ver for reading
+	// (0 means latest, like Open). The snapshot is pinned until the
+	// reader closes. Fails with ErrVersionGone when ver has been
+	// collected, ErrNotExist when it was never published.
+	OpenVersion(ctx context.Context, path string, ver uint64) (VersionedReader, error)
+	// Versions enumerates the file's published snapshots still inside
+	// the retention window, oldest first.
+	Versions(ctx context.Context, path string) ([]VersionInfo, error)
+	// WaitVersion blocks until a snapshot newer than after publishes
+	// and returns it — the tailing-reader primitive: loop WaitVersion /
+	// OpenVersion to follow a file concurrent appenders keep growing,
+	// reading each prefix as an immutable snapshot.
+	WaitVersion(ctx context.Context, path string, after uint64) (VersionInfo, error)
+	// BlockLocationsAt is BlockLocations resolved at snapshot ver
+	// (0 means latest): which hosts store each block of that version.
+	// Schedulers that pinned a job's input version use it so locality
+	// follows the pinned snapshot, not a concurrently growing latest.
+	BlockLocationsAt(ctx context.Context, path string, ver uint64, off, length uint64) ([]BlockLoc, error)
+}
+
+// AsVersioned probes fs for the snapshot capability the way the
+// Map/Reduce framework does: a type assertion, plus the convention
+// that a backend advertising the interface may still answer every call
+// with ErrVersionsNotSupported.
+func AsVersioned(fs FileSystem) (VersionedFileSystem, bool) {
+	vfs, ok := fs.(VersionedFileSystem)
+	return vfs, ok
+}
+
+// OpenVersion opens path's snapshot ver through fs, returning
+// ErrVersionsNotSupported when fs lacks the capability.
+func OpenVersion(ctx context.Context, fs FileSystem, path string, ver uint64) (VersionedReader, error) {
+	vfs, ok := AsVersioned(fs)
+	if !ok {
+		return nil, ErrVersionsNotSupported
+	}
+	return vfs.OpenVersion(ctx, path, ver)
+}
+
+// Versions enumerates path's retained snapshots through fs, returning
+// ErrVersionsNotSupported when fs lacks the capability.
+func Versions(ctx context.Context, fs FileSystem, path string) ([]VersionInfo, error) {
+	vfs, ok := AsVersioned(fs)
+	if !ok {
+		return nil, ErrVersionsNotSupported
+	}
+	return vfs.Versions(ctx, path)
+}
+
+// WaitVersion blocks until path publishes a snapshot newer than after,
+// returning ErrVersionsNotSupported when fs lacks the capability.
+func WaitVersion(ctx context.Context, fs FileSystem, path string, after uint64) (VersionInfo, error) {
+	vfs, ok := AsVersioned(fs)
+	if !ok {
+		return VersionInfo{}, ErrVersionsNotSupported
+	}
+	return vfs.WaitVersion(ctx, path, after)
 }
 
 // FileSystem is the storage interface the Map/Reduce framework uses.

@@ -163,6 +163,41 @@ func TestAblationPageSizeSmoke(t *testing.T) {
 	}
 }
 
+func TestSnapshotScenario(t *testing.T) {
+	// The snapshot-first API's acceptance test: the scenario itself
+	// fails on any fixed-version byte mismatch, tail regression,
+	// pinned-job size drift, or a pin the collector violated — so a
+	// non-nil error here is the assertion; the checks below pin the
+	// scenario's shape.
+	res, err := Snapshot(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Appenders < 8 {
+		t.Errorf("appenders = %d, want >= 8", res.Appenders)
+	}
+	if res.FixedSnapshots < 2 || res.FixedReads < 2*res.FixedSnapshots {
+		t.Errorf("fixed verification too thin: %d snapshots, %d reads", res.FixedSnapshots, res.FixedReads)
+	}
+	if res.TailVersions == 0 {
+		t.Error("tailing reader observed no snapshots")
+	}
+	if res.PinnedVersion == 0 || res.JobInputBytes != res.PinnedSize {
+		t.Errorf("pinned job input: v%d, %d bytes covered, %d at snapshot",
+			res.PinnedVersion, res.JobInputBytes, res.PinnedSize)
+	}
+	if res.JobRecords != res.PinnedSize/64 {
+		t.Errorf("job records = %d, want %d", res.JobRecords, res.PinnedSize/64)
+	}
+	if res.FinalSize <= res.PinnedSize {
+		t.Errorf("file did not outgrow the pinned snapshot: %d <= %d", res.FinalSize, res.PinnedSize)
+	}
+	if res.VersionsCollected == 0 || !res.GoneAfterGC {
+		t.Errorf("retention idle after pins released: collected=%d gone=%v",
+			res.VersionsCollected, res.GoneAfterGC)
+	}
+}
+
 func TestGCScenarioSmoke(t *testing.T) {
 	res, err := GC(smallCfg())
 	if err != nil {

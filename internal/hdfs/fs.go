@@ -28,7 +28,10 @@ type FS struct {
 	pool *rpc.Pool
 }
 
-var _ dfs.FileSystem = (*FS)(nil)
+var (
+	_ dfs.FileSystem          = (*FS)(nil)
+	_ dfs.VersionedFileSystem = (*FS)(nil)
+)
 
 // New returns an HDFS mount.
 func New(cfg Config) *FS {
@@ -64,6 +67,38 @@ func (fs *FS) Create(ctx context.Context, path string) (dfs.FileWriter, error) {
 // disabled" upstream). This is the paper's premise.
 func (fs *FS) Append(ctx context.Context, path string) (dfs.FileWriter, error) {
 	return nil, dfs.ErrAppendNotSupported
+}
+
+// OpenVersion implements dfs.VersionedFileSystem by rejection: HDFS's
+// write-once files have no version axis, the versioned mirror of its
+// missing append (§2.2) — the paper's backend contrast, extended to
+// the snapshot-first API. The sentinel is stable so frameworks fall
+// back to latest-only reads instead of failing the job.
+func (fs *FS) OpenVersion(ctx context.Context, path string, ver uint64) (dfs.VersionedReader, error) {
+	return nil, dfs.ErrVersionsNotSupported
+}
+
+// Versions implements dfs.VersionedFileSystem by rejection (see
+// OpenVersion).
+func (fs *FS) Versions(ctx context.Context, path string) ([]dfs.VersionInfo, error) {
+	return nil, dfs.ErrVersionsNotSupported
+}
+
+// WaitVersion implements dfs.VersionedFileSystem by rejection (see
+// OpenVersion).
+func (fs *FS) WaitVersion(ctx context.Context, path string, after uint64) (dfs.VersionInfo, error) {
+	return dfs.VersionInfo{}, dfs.ErrVersionsNotSupported
+}
+
+// BlockLocationsAt implements dfs.VersionedFileSystem by rejection
+// (see OpenVersion); version 0 — latest, the only version HDFS has —
+// degrades to plain BlockLocations so capability-blind callers that
+// pass 0 keep working.
+func (fs *FS) BlockLocationsAt(ctx context.Context, path string, ver uint64, off, length uint64) ([]dfs.BlockLoc, error) {
+	if ver == 0 {
+		return fs.BlockLocations(ctx, path, off, length)
+	}
+	return nil, dfs.ErrVersionsNotSupported
 }
 
 // Open implements dfs.FileSystem.

@@ -13,6 +13,13 @@
 // most the in-flight record — the property the truncation-injection
 // tests exercise. Compact rewrites live records to reclaim space from
 // overwritten and deleted keys.
+//
+// Scans are pinned snapshots: the append-only log's end offset is its
+// version, so Snapshot/Scan replay exactly the records below the
+// offset pinned at open — one consistent prefix of the store's
+// history, however many appends, deletes, or compactions land while
+// the scan runs (open-at-version, like the BLOB layer's versioned
+// reads).
 package kvlog
 
 import (
@@ -257,6 +264,128 @@ func (s *Store) Keys() []string {
 		out = append(out, k)
 	}
 	return out
+}
+
+//
+// Pinned-snapshot scans. The log is append-only and records are
+// immutable, so the store's "version" IS its end offset: pinning the
+// offset at open time and replaying only records below it yields one
+// consistent prefix of the store's history, no matter how many appends
+// land while the scan runs — the same open-at-version discipline the
+// BLOB layer applies to versioned reads. The old Keys-then-Get walk
+// chased a moving tail instead: values overwritten between the key
+// listing and each Get leaked mid-scan states that never coexisted.
+//
+
+// Snapshot is a pinned read-only view of the log at one end offset.
+// It holds its own file descriptor on the log path, so a concurrent
+// Compact (which atomically renames a rewritten log over the path)
+// never disturbs it: the descriptor keeps reading the original inode.
+// Close it when done.
+type Snapshot struct {
+	f   *os.File
+	end int64
+}
+
+// Snapshot pins the store's current state — its end offset — and opens
+// an independent view of it. Appends, deletes, and compactions after
+// this point are invisible to the snapshot.
+func (s *Store) Snapshot() (*Snapshot, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, errors.New("kvlog: store closed")
+	}
+	// Open before reading s.end is not needed: we hold the read lock,
+	// so no append or compact can move the log under us in between.
+	f, err := os.Open(s.path)
+	if err != nil {
+		return nil, fmt.Errorf("kvlog snapshot: %w", err)
+	}
+	return &Snapshot{f: f, end: s.end}, nil
+}
+
+// Scan replays the snapshot's prefix and calls fn once per key live at
+// the pinned offset, with the value bytes as of that offset (last
+// record below the pin wins, deletes suppress). fn's value slice is
+// owned by the caller. Iteration order is unspecified. A non-nil error
+// from fn aborts the scan and is returned.
+func (sn *Snapshot) Scan(fn func(key string, value []byte) error) error {
+	type loc struct {
+		off  int64
+		size int64
+	}
+	index := make(map[string]loc)
+	var off int64
+	hdr := make([]byte, headerLen)
+	for off+headerLen <= sn.end {
+		if _, err := sn.f.ReadAt(hdr, off); err != nil {
+			return fmt.Errorf("kvlog scan: %w", err)
+		}
+		if hdr[0] != recMagic {
+			return fmt.Errorf("kvlog scan: bad magic at %d", off)
+		}
+		crc := binary.LittleEndian.Uint32(hdr[1:5])
+		plen := int64(binary.LittleEndian.Uint32(hdr[5:9]))
+		if off+headerLen+plen > sn.end {
+			break // record straddles the pin; it published after us
+		}
+		payload := make([]byte, plen)
+		if _, err := sn.f.ReadAt(payload, off+headerLen); err != nil {
+			return fmt.Errorf("kvlog scan: %w", err)
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			return fmt.Errorf("kvlog scan: corrupt record at %d", off)
+		}
+		r := wire.NewReader(payload)
+		op := r.Uvarint()
+		key := r.String()
+		if r.Err() != nil {
+			return fmt.Errorf("kvlog scan: %w", r.Err())
+		}
+		switch op {
+		case opPut:
+			valOff := off + headerLen + int64(len(payload)-r.Len())
+			index[key] = loc{off: valOff, size: int64(r.Len())}
+		case opDelete:
+			delete(index, key)
+		default:
+			return fmt.Errorf("kvlog scan: unknown op %d", op)
+		}
+		off += headerLen + plen
+	}
+	for key, l := range index {
+		value := make([]byte, l.size)
+		if _, err := sn.f.ReadAt(value, l.off); err != nil {
+			return fmt.Errorf("kvlog scan %q: %w", key, err)
+		}
+		if err := fn(key, value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Len returns the number of keys live at the pinned offset.
+func (sn *Snapshot) Len() (int, error) {
+	n := 0
+	err := sn.Scan(func(string, []byte) error { n++; return nil })
+	return n, err
+}
+
+// Close releases the snapshot's file descriptor.
+func (sn *Snapshot) Close() error { return sn.f.Close() }
+
+// Scan runs fn over one pinned snapshot of the store (see Snapshot):
+// the consistent-prefix replacement for iterating Keys and calling Get
+// per key while writers append.
+func (s *Store) Scan(fn func(key string, value []byte) error) error {
+	sn, err := s.Snapshot()
+	if err != nil {
+		return err
+	}
+	defer sn.Close()
+	return sn.Scan(fn)
 }
 
 // Size returns (logBytes, liveValueBytes); the gap is reclaimable.

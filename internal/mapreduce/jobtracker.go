@@ -96,14 +96,24 @@ type jobState struct {
 }
 
 // Run executes a job whose splits are computed up front from the
-// input files.
+// input files. On a backend with versioned access, each input file's
+// snapshot version is pinned at submit: maps read that exact version
+// (splits and block locations are resolved at it too), so the job's
+// input is immutable even while concurrent appenders keep growing the
+// files, and the held pins keep the garbage collector away from the
+// snapshots until the job finishes.
 func (jt *JobTracker) Run(ctx context.Context, fs dfs.FileSystem, conf JobConf) (JobResult, error) {
 	inputs, err := expandInputs(ctx, fs, conf.Input)
 	if err != nil {
 		return JobResult{}, err
 	}
 	conf.Input = inputs
-	splits, err := computeSplits(ctx, fs, conf.Input, conf.SplitSize)
+	pins, releasePins, err := pinInputs(ctx, fs, inputs)
+	if err != nil {
+		return JobResult{}, err
+	}
+	defer releasePins()
+	splits, err := computeSplits(ctx, fs, conf.Input, conf.SplitSize, pins)
 	if err != nil {
 		return JobResult{}, err
 	}
@@ -112,7 +122,14 @@ func (jt *JobTracker) Run(ctx context.Context, fs dfs.FileSystem, conf JobConf) 
 		ch <- s
 	}
 	close(ch)
-	return jt.RunStreaming(ctx, fs, conf, ch)
+	res, err := jt.RunStreaming(ctx, fs, conf, ch)
+	if len(pins) > 0 {
+		res.InputVersions = make(map[string]uint64, len(pins))
+		for path, pin := range pins {
+			res.InputVersions[path] = pin.ver
+		}
+	}
+	return res, err
 }
 
 // RunStreaming executes a job whose splits arrive on a channel — the
@@ -201,11 +218,16 @@ func (jt *JobTracker) RunStreaming(ctx context.Context, fs dfs.FileSystem, conf 
 	if !job.reducesAt.IsZero() {
 		mapPhase = job.reducesAt.Sub(start)
 	}
+	var inputBytes uint64
+	for i := range job.splits {
+		inputBytes += job.splits[i].Length
+	}
 	res := JobResult{
 		Duration:            time.Since(start),
 		MapPhase:            mapPhase,
 		ReducePhase:         time.Since(start) - mapPhase,
 		MapTasks:            len(job.splits),
+		InputBytes:          inputBytes,
 		ReduceTasks:         conf.NumReducers,
 		LocalMaps:           job.localMaps,
 		MapInputRecords:     job.recordsIn,

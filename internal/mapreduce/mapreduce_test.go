@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -459,5 +460,101 @@ func TestManyReducersFewRecords(t *testing.T) {
 	counts := parseCounts(t, readOutputs(t, e.fs, res))
 	if counts["solo"] != 1 || len(counts) != 1 {
 		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestPinnedInputVersions(t *testing.T) {
+	// A job on a versioned backend pins each input's snapshot at
+	// submit: appends racing the job — here injected deterministically
+	// from inside the first map invocation — never change what the job
+	// processes, and the result reports the pin.
+	e := newBSFSEnv(t, 4)
+	var lines []string
+	for i := 0; i < 64; i++ {
+		lines = append(lines, fmt.Sprintf("record %03d", i))
+	}
+	input := strings.Join(lines, "\n") + "\n"
+	if err := dfs.WriteFile(ctx, e.fs, "/in/data", []byte(input)); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := e.fs.Stat(ctx, "/in/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	appended := make(chan error, 1)
+	var once sync.Once
+	res, err := e.fw.Run(ctx, mapreduce.JobConf{
+		Name:      "pinned",
+		Input:     []string{"/in/data"},
+		OutputDir: "/out",
+		Map: func(_, line string, emit func(k, v string)) {
+			// Grow the input mid-job, exactly once, before this map
+			// emits: the splits were already pinned, so the new bytes
+			// must be invisible to every map of this job.
+			once.Do(func() {
+				w, err := e.fs.Append(ctx, "/in/data")
+				if err == nil {
+					_, werr := w.Write([]byte("late record\n"))
+					if cerr := w.Close(); werr == nil {
+						werr = cerr
+					}
+					err = werr
+				}
+				appended <- err
+			})
+			emit("count", "1")
+		},
+		Reduce: func(key string, values []string, emit func(k, v string)) {
+			emit(key, fmt.Sprint(len(values)))
+		},
+		NumReducers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-appended; err != nil {
+		t.Fatalf("mid-job append: %v", err)
+	}
+
+	if got := res.InputVersions["/in/data"]; got != fi.Version {
+		t.Errorf("pinned version = %d, want Stat's %d", got, fi.Version)
+	}
+	if res.InputBytes != fi.Size {
+		t.Errorf("InputBytes = %d, want submit-time size %d", res.InputBytes, fi.Size)
+	}
+	if res.MapInputRecords != 64 {
+		t.Errorf("maps read %d records, want the pinned 64", res.MapInputRecords)
+	}
+	// The file itself did grow.
+	after, err := e.fs.Stat(ctx, "/in/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size != fi.Size+uint64(len("late record\n")) || after.Version <= fi.Version {
+		t.Errorf("input did not grow past the pin: %+v -> %+v", fi, after)
+	}
+
+	// HDFS: same job shape, no version axis — the job runs unpinned
+	// and reports no input versions.
+	eh := newHDFSEnv(t, 4)
+	if err := dfs.WriteFile(ctx, eh.fs, "/in/data", []byte(input)); err != nil {
+		t.Fatal(err)
+	}
+	hres, err := eh.fw.Run(ctx, mapreduce.JobConf{
+		Name:      "unpinned",
+		Input:     []string{"/in/data"},
+		OutputDir: "/out",
+		Map:       func(_, _ string, emit func(k, v string)) { emit("count", "1") },
+		Reduce: func(key string, values []string, emit func(k, v string)) {
+			emit(key, fmt.Sprint(len(values)))
+		},
+		NumReducers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hres.InputVersions != nil {
+		t.Errorf("HDFS job reported pinned versions: %v", hres.InputVersions)
 	}
 }

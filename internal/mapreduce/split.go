@@ -3,6 +3,7 @@ package mapreduce
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 
@@ -16,25 +17,100 @@ type Split struct {
 	Offset uint64
 	Length uint64
 	Hosts  []string
+	// Ver is the input file's snapshot version pinned at job submit
+	// (0 = unpinned: read the latest version, the pre-snapshot
+	// behaviour). Map tasks open the split at exactly this version, so
+	// every map of a job reads one immutable snapshot even while
+	// concurrent appenders keep growing the file.
+	Ver uint64
+}
+
+// pinnedInput is one input file's snapshot, pinned at job submit. The
+// open reader is held for the whole job: its garbage-collection pin is
+// the job's lease on the snapshot, so no map task can find its input
+// version collected.
+type pinnedInput struct {
+	ver  uint64
+	size uint64
+	r    dfs.VersionedReader
+}
+
+// pinInputs pins each input file's latest published snapshot when the
+// backend supports versioned access: the job's input set becomes
+// immutable at submit — the paper's flagship read/append overlap, made
+// correct by construction. Backends without the capability (HDFS, or a
+// capability probe that answers with dfs.ErrVersionsNotSupported) run
+// unpinned, exactly as before. The returned release func closes every
+// held reader (dropping the pins) and must be called when the job
+// finishes.
+func pinInputs(ctx context.Context, fs dfs.FileSystem, inputs []string) (map[string]pinnedInput, func(), error) {
+	vfs, ok := dfs.AsVersioned(fs)
+	if !ok {
+		return nil, func() {}, nil
+	}
+	pins := make(map[string]pinnedInput, len(inputs))
+	closeAll := func() {
+		for _, p := range pins {
+			p.r.Close()
+		}
+	}
+	for _, path := range inputs {
+		// OpenVersion(0) pins whatever is latest atomically — a
+		// Stat-then-open pair would race retention collecting the
+		// stat'd version while appenders publish newer ones — and the
+		// reader reports which version the pin landed on.
+		r, err := vfs.OpenVersion(ctx, path, 0)
+		if errors.Is(err, dfs.ErrVersionsNotSupported) {
+			// The interface is present but the capability is absent:
+			// fall back to unpinned inputs for the whole job.
+			closeAll()
+			return nil, func() {}, nil
+		}
+		if err != nil {
+			closeAll()
+			return nil, nil, fmt.Errorf("mapreduce: pin input %s: %w", path, err)
+		}
+		if r.Version() == 0 {
+			// Empty file: nothing to pin.
+			r.Close()
+			continue
+		}
+		pins[path] = pinnedInput{ver: r.Version(), size: r.Size(), r: r}
+	}
+	return pins, closeAll, nil
 }
 
 // computeSplits cuts the input files into splits of splitSize bytes
 // ("the input data is also split into chunks of equal size", §2.2) and
-// annotates each split with its block's hosts.
-func computeSplits(ctx context.Context, fs dfs.FileSystem, inputs []string, splitSize uint64) ([]Split, error) {
+// annotates each split with its block's hosts. Inputs present in pins
+// are cut at their pinned snapshot — size and block locations both
+// resolved at that version — so a job submitted mid-append covers
+// exactly the bytes that existed at submit.
+func computeSplits(ctx context.Context, fs dfs.FileSystem, inputs []string, splitSize uint64, pins map[string]pinnedInput) ([]Split, error) {
 	if splitSize == 0 {
 		splitSize = fs.BlockSize()
 	}
 	var out []Split
 	for _, path := range inputs {
-		fi, err := fs.Stat(ctx, path)
-		if err != nil {
-			return nil, fmt.Errorf("mapreduce: stat input %s: %w", path, err)
+		var size, ver uint64
+		var locs []dfs.BlockLoc
+		var err error
+		if pin, ok := pins[path]; ok {
+			size, ver = pin.size, pin.ver
+			vfs, _ := dfs.AsVersioned(fs)
+			locs, err = vfs.BlockLocationsAt(ctx, path, ver, 0, size)
+		} else {
+			var fi dfs.FileInfo
+			fi, err = fs.Stat(ctx, path)
+			if err != nil {
+				return nil, fmt.Errorf("mapreduce: stat input %s: %w", path, err)
+			}
+			if fi.IsDir {
+				return nil, fmt.Errorf("mapreduce: input %s: %w", path, dfs.ErrIsDir)
+			}
+			size = fi.Size
+			locs, err = fs.BlockLocations(ctx, path, 0, size)
 		}
-		if fi.IsDir {
-			return nil, fmt.Errorf("mapreduce: input %s: %w", path, dfs.ErrIsDir)
-		}
-		locs, err := fs.BlockLocations(ctx, path, 0, fi.Size)
 		if err != nil {
 			return nil, fmt.Errorf("mapreduce: locations of %s: %w", path, err)
 		}
@@ -46,16 +122,17 @@ func computeSplits(ctx context.Context, fs dfs.FileSystem, inputs []string, spli
 			}
 			return nil
 		}
-		for off := uint64(0); off < fi.Size; off += splitSize {
+		for off := uint64(0); off < size; off += splitSize {
 			length := splitSize
-			if off+length > fi.Size {
-				length = fi.Size - off
+			if off+length > size {
+				length = size - off
 			}
 			out = append(out, Split{
 				Path:   path,
 				Offset: off,
 				Length: length,
 				Hosts:  hostsAt(off),
+				Ver:    ver,
 			})
 		}
 	}

@@ -195,9 +195,23 @@ func (tt *TaskTracker) runMap(ctx context.Context, job *jobState, mapID int, spl
 	ctx, cancel := mergeCtx(ctx, tt.ctx)
 	defer cancel()
 
-	f, err := tt.fs.Open(ctx, split.Path)
+	// A pinned split is read at exactly its snapshot version — the
+	// job's submit-time pin keeps the version alive, so this open
+	// re-pins it for the task's own lifetime and can never find it
+	// collected.
+	var f dfs.FileReader
+	if split.Ver != 0 {
+		vfs, ok := dfs.AsVersioned(tt.fs)
+		if !ok {
+			return 0, 0, fmt.Errorf("map %d: pinned split %s@%d on unversioned mount %s",
+				mapID, split.Path, split.Ver, tt.fs.Name())
+		}
+		f, err = vfs.OpenVersion(ctx, split.Path, split.Ver)
+	} else {
+		f, err = tt.fs.Open(ctx, split.Path)
+	}
 	if err != nil {
-		return 0, 0, fmt.Errorf("map %d: open %s: %w", mapID, split.Path, err)
+		return 0, 0, fmt.Errorf("map %d: open %s@%d: %w", mapID, split.Path, split.Ver, err)
 	}
 	defer f.Close()
 	lr, err := newLineReader(f, split)

@@ -145,6 +145,19 @@ type JobResult struct {
 	// datanodes in such way as to achieve load balancing", §2.2).
 	LocalMaps int
 
+	// InputBytes is the total bytes covered by the job's splits. When
+	// inputs were pinned (see InputVersions) it equals the input sizes
+	// at the pinned snapshots: a job submitted mid-append processes
+	// exactly the bytes that existed at submit, no matter how far
+	// concurrent appenders grow the files during the run.
+	InputBytes uint64
+
+	// InputVersions maps each input file to the snapshot version the
+	// job pinned at submit. Nil when the backend has no versioned
+	// access (HDFS) and the job read latest, the pre-snapshot
+	// behaviour.
+	InputVersions map[string]uint64
+
 	MapInputRecords     uint64
 	MapOutputRecords    uint64
 	ShuffleBytes        uint64
