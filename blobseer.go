@@ -93,6 +93,16 @@ type Options struct {
 	// collector kick-driven: file deletion still reclaims storage, but
 	// retention policies only make progress when something kicks it.
 	GCInterval time.Duration
+	// VMShards partitions the metadata plane across N version-manager
+	// shards (default 1, the paper's single version manager). BLOB ids
+	// are consistent-hashed across shards and every client routes
+	// through the shared ring.
+	VMShards int
+	// JournalDir, when set, makes the metadata plane durable: each
+	// version-manager shard and the namespace manager journal their
+	// decided state there and replay it on restart. Empty keeps
+	// everything in memory.
+	JournalDir string
 	// Net lets callers supply a shaped or TCP transport; nil uses an
 	// in-process transport at memory speed.
 	Net transport.Network
@@ -133,6 +143,8 @@ func NewCluster(opts Options) (*Cluster, error) {
 		PageReplicas:  opts.PageReplicas,
 		CacheBytes:    opts.CacheBytes,
 		Retain:        opts.Retain,
+		VMShards:      opts.VMShards,
+		JournalDir:    opts.JournalDir,
 	})
 	if err != nil {
 		return nil, err

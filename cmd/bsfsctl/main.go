@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"blobseer"
+	"blobseer/internal/blob"
 	"blobseer/internal/dfs"
 	"blobseer/internal/workload"
 )
@@ -40,6 +41,7 @@ const usage = `commands:
   locate <path>           show block -> host placement
   entries                 namespace metadata entry count
   gcstats                 run a GC pass and print collector counters
+  shards                  show ring assignment and per-shard blob/version counts
   help                    this text
 `
 
@@ -53,6 +55,8 @@ func main() {
 		cachemb   = flag.Int("cachemb", 0, "page cache budget in MiB (0 = default, negative = off)")
 		retain    = flag.Uint64("retain", 0, "default RetainLatest GC policy (0 = keep every version)")
 		gcIntv    = flag.Duration("gc-interval", 0, "periodic GC pass cadence (0 = kick-driven only)")
+		vmShards  = flag.Int("vm-shards", 1, "version-manager shards (metadata plane partitions)")
+		journal   = flag.String("journal", "", "journal directory (empty = in-memory metadata plane)")
 		demo      = flag.Bool("demo", false, "run a canned demo script")
 	)
 	flag.Parse()
@@ -66,6 +70,8 @@ func main() {
 		CacheBytes:    blobseer.CacheMiB(*cachemb),
 		Retain:        *retain,
 		GCInterval:    *gcIntv,
+		VMShards:      *vmShards,
+		JournalDir:    *journal,
 	})
 	if err != nil {
 		fatal(err)
@@ -110,10 +116,42 @@ entries
 				s.BytesReclaimed, s.NodesDeleted, s.PinsBlocked)
 			continue
 		}
+		if line == "shards" {
+			// Also deployment-level: walks the version-manager ring with
+			// a routed client and queries each shard directly.
+			if err := showShards(ctx, cluster); err != nil {
+				fmt.Printf("error: %v\n", err)
+			}
+			continue
+		}
 		if err := run(ctx, fs, line); err != nil {
 			fmt.Printf("error: %v\n", err)
 		}
 	}
+}
+
+// showShards prints the metadata ring: every version-manager shard,
+// the blob ids the ring assigns to it, and its version counters.
+func showShards(ctx context.Context, cluster *blobseer.Cluster) error {
+	bc := cluster.BlobClient("bsfsctl-shards")
+	defer bc.Close()
+	router := bc.VMRouter()
+	for i, addr := range router.Shards() {
+		var st blob.VMStatsResp
+		if err := router.CallAddr(ctx, addr, blob.VMStats, nil, &st); err != nil {
+			return fmt.Errorf("shard %d stats: %w", i, err)
+		}
+		var ls blob.ListBlobsResp
+		if err := router.CallAddr(ctx, addr, blob.VMListBlobs, nil, &ls); err != nil {
+			return fmt.Errorf("shard %d blobs: %w", i, err)
+		}
+		fmt.Printf("shard %d @ %s: blobs=%d versions=%d published=%d sealed=%d\n",
+			i, addr, st.Blobs, st.Assigned, st.Published, st.Sealed)
+		if len(ls.Blobs) > 0 {
+			fmt.Printf("  ids: %v\n", ls.Blobs)
+		}
+	}
+	return nil
 }
 
 // extractVer strips a "-ver N" pair from args (anywhere in the list)

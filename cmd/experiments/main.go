@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,7 +26,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to run: all,3,4,5,6,filecount,pipeline,shuffle,gc,snapshot,abl-placement,abl-pagesize,abl-lock")
+		fig     = flag.String("fig", "all", "figure to run: all,3,4,5,6,filecount,pipeline,shuffle,gc,snapshot,meta,abl-placement,abl-pagesize,abl-lock")
 		nodes   = flag.Int("nodes", 270, "total simulated machines (paper: 270)")
 		meta    = flag.Int("meta", 20, "metadata providers (paper: 20)")
 		page    = flag.Int("page", 256, "page/chunk size in KiB (paper: 64 MiB, scaled)")
@@ -37,6 +38,8 @@ func main() {
 		shufB   = flag.String("shuffle", "memory", "Map/Reduce shuffle backend for BSFS application figures: memory or blob")
 		retain  = flag.Uint64("retain", 0, "default RetainLatest GC policy for the environment (0 = keep every version)")
 		gcIntv  = flag.Duration("gc-interval", 0, "periodic GC pass cadence (0 = kick-driven only)")
+		shards  = flag.Int("vm-shards", 1, "version-manager shards for the environment (the meta scenario sweeps its own counts)")
+		bench   = flag.String("bench-json", "", "write the meta scenario's machine-readable results to this file (e.g. BENCH_meta.json)")
 		seed    = flag.Int64("seed", 1, "random seed")
 		quick   = flag.Bool("quick", false, "reduced sweeps for a fast run")
 		csv     = flag.Bool("csv", false, "also print CSV data")
@@ -60,6 +63,7 @@ func main() {
 		Shuffle:       shuffleBackend,
 		Retain:        *retain,
 		GCInterval:    *gcIntv,
+		VMShards:      *shards,
 		Seed:          *seed,
 	}
 
@@ -201,6 +205,37 @@ func main() {
 		fmt.Printf("%-34s %d versions collected once pins released; re-open => ErrVersionGone: %v\n",
 			"retention after release", res.VersionsCollected, res.GoneAfterGC)
 		fmt.Printf("%-34s %d versions\n\n", "retained history at end", res.VersionsListed)
+		return nil
+	})
+
+	run("meta", func() error {
+		res, err := experiments.Meta(cfg)
+		if err != nil {
+			return err
+		}
+		scaling := &metrics.Series{Name: "publish ops/s", XLabel: "vm shards", YLabel: "ops/s"}
+		for _, p := range res.Scaling {
+			scaling.Add(float64(p.Shards), p.OpsPerSec, 0)
+		}
+		emit("Metadata plane: aggregate publish throughput vs version-manager shards", scaling)
+		f := res.Failover
+		fmt.Printf("# failover: killed shard %d/%d for %.0f ms mid-workload (%d writers)\n",
+			f.KilledShard, f.Shards, f.OutageMS, f.Writers)
+		fmt.Printf("# failover: %d writes acked before the kill, %d total, %d lost after replay\n",
+			f.AckedBefore, f.AckedTotal, f.LostWrites)
+		r := res.Recovery
+		fmt.Printf("# recovery: cold restart of %d shards replayed %d journal records in %.1f ms; %d blobs / %d versions served\n\n",
+			r.Shards, r.Records, r.ReplayMS, r.Blobs, r.Versions)
+		if *bench != "" {
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*bench, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("[bench results written to %s]\n\n", *bench)
+		}
 		return nil
 	})
 

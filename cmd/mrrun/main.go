@@ -44,6 +44,7 @@ func main() {
 		retain   = flag.Uint64("retain", 0, "BSFS default RetainLatest GC policy (0 = keep every version)")
 		gcIntv   = flag.Duration("gc-interval", 0, "BSFS periodic GC pass cadence (0 = kick-driven only)")
 		keepInt  = flag.Bool("keep-intermediate", false, "keep the blob shuffle backend's intermediate BLOBs after the job (default: retired through GC)")
+		vmShards = flag.Int("vm-shards", 1, "BSFS version-manager shards (metadata plane partitions)")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -57,7 +58,7 @@ func main() {
 		fatal(err)
 	}
 
-	fw, cleanup, err := buildFramework(*fsName, *nodes, uint64(*block)<<10, *depth, *rdepth, blobseer.CacheMiB(*cachemb), *retain, *gcIntv)
+	fw, cleanup, err := buildFramework(*fsName, *nodes, uint64(*block)<<10, *depth, *rdepth, blobseer.CacheMiB(*cachemb), *retain, *gcIntv, *vmShards)
 	if err != nil {
 		fatal(err)
 	}
@@ -123,13 +124,13 @@ func main() {
 	}
 }
 
-func buildFramework(fsName string, nodes int, block uint64, depth, rdepth int, cacheBytes int64, retain uint64, gcInterval time.Duration) (*mapreduce.Framework, func(), error) {
+func buildFramework(fsName string, nodes int, block uint64, depth, rdepth int, cacheBytes int64, retain uint64, gcInterval time.Duration, vmShards int) (*mapreduce.Framework, func(), error) {
 	switch fsName {
 	case "bsfs":
 		cluster, err := blobseer.NewCluster(blobseer.Options{
 			Providers: nodes, MetaProviders: 3, BlockSize: block,
 			WriteDepth: depth, ReadDepth: rdepth, CacheBytes: cacheBytes,
-			Retain: retain, GCInterval: gcInterval,
+			Retain: retain, GCInterval: gcInterval, VMShards: vmShards,
 		})
 		if err != nil {
 			return nil, nil, err

@@ -46,6 +46,19 @@
 // job's input set is immutable under live appenders — the paper's
 // read/append overlap, correct by construction.
 //
+// # The metadata plane
+//
+// The paper's single version manager remains the default topology.
+// Options.VMShards partitions the metadata plane across N shards
+// (BLOB ids consistent-hashed on a fixed ring; every caller routes
+// through one shared mapping), and Options.JournalDir makes the plane
+// durable: shards and the BSFS namespace write-ahead-journal every
+// acknowledged mutation and replay it on restart, so killing a shard
+// mid-workload loses no acknowledged writes — clients retry through
+// the brief outage while a standby reopens the journal at the same
+// address. See the README's "metadata plane" section for the ring
+// layout, journal record formats, and failover semantics.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // reproduced evaluation.
 package blobseer

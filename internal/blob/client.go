@@ -36,6 +36,12 @@ type ClientConfig struct {
 	ProviderManager transport.Addr
 	Metadata        []transport.Addr // metadata providers (DHT members)
 
+	// VersionManagers lists every version-manager shard of a partitioned
+	// metadata plane, in ring-slot order (must match the ShardAddrs the
+	// shards themselves were built with). Empty means the single manager
+	// at VersionManager.
+	VersionManagers []transport.Addr
+
 	// MetaReplicas is the DHT replication factor (default 2, capped at
 	// the metadata membership size).
 	MetaReplicas int
@@ -56,6 +62,7 @@ type ClientConfig struct {
 type Client struct {
 	cfg   ClientConfig
 	pool  *rpc.Pool
+	vm    *VMRouter
 	nodes segtree.NodeStore
 
 	// pages is the process-shared read cache (nil when disabled);
@@ -108,9 +115,14 @@ func NewClient(cfg ClientConfig) *Client {
 	if cfg.CacheBytes >= 0 {
 		pages = cache.New(cfg.CacheBytes, rstats)
 	}
+	shards := cfg.VersionManagers
+	if len(shards) == 0 {
+		shards = []transport.Addr{cfg.VersionManager}
+	}
 	return &Client{
 		cfg:     cfg,
 		pool:    pool,
+		vm:      NewVMRouter(pool, shards, cfg.Host),
 		nodes:   NewNodeStore(meta),
 		pages:   pages,
 		rstats:  rstats,
@@ -131,14 +143,22 @@ func (c *Client) PageCache() *cache.Cache { return c.pages }
 // Close releases the client's connections.
 func (c *Client) Close() error { return c.pool.Close() }
 
+// VMRouter exposes the client's blob→shard router, so co-operating
+// services (GC collector, tools) share the same mapping and retry
+// policy instead of growing their own.
+func (c *Client) VMRouter() *VMRouter { return c.vm }
+
 // NodeStore exposes the metadata store (used by the version manager
 // when co-constructed, and by tools).
 func (c *Client) NodeStore() segtree.NodeStore { return c.nodes }
 
-// Create creates a BLOB with the given page size and opens it.
+// Create creates a BLOB with the given page size and opens it. The
+// router spreads creations across shards round-robin; the allocating
+// shard hands out an id the ring maps back to itself, so every later
+// call routes by pure lookup.
 func (c *Client) Create(ctx context.Context, pageSize uint64) (*Blob, error) {
 	var resp CreateBlobResp
-	err := c.pool.Call(ctx, c.cfg.VersionManager, VMCreateBlob, &CreateBlobReq{PageSize: pageSize}, &resp)
+	err := c.vm.CallAddr(ctx, c.vm.CreateTarget(), VMCreateBlob, &CreateBlobReq{PageSize: pageSize}, &resp)
 	if err != nil {
 		return nil, err
 	}
@@ -148,7 +168,7 @@ func (c *Client) Create(ctx context.Context, pageSize uint64) (*Blob, error) {
 // Open opens an existing BLOB.
 func (c *Client) Open(ctx context.Context, id uint64) (*Blob, error) {
 	var resp OpenBlobResp
-	err := c.pool.Call(ctx, c.cfg.VersionManager, VMOpenBlob, &BlobRef{Blob: id}, &resp)
+	err := c.vm.Call(ctx, id, VMOpenBlob, &BlobRef{Blob: id}, &resp)
 	if err != nil {
 		return nil, err
 	}
@@ -178,14 +198,14 @@ func (b *Blob) PageSize() uint64 { return b.pageSize }
 // Latest returns the latest published version.
 func (b *Blob) Latest(ctx context.Context) (VersionInfo, error) {
 	var info VersionInfo
-	err := b.c.pool.Call(ctx, b.c.cfg.VersionManager, VMLatest, &BlobRef{Blob: b.id}, &info)
+	err := b.c.vm.Call(ctx, b.id, VMLatest, &BlobRef{Blob: b.id}, &info)
 	return info, err
 }
 
 // GetVersion returns metadata for one version.
 func (b *Blob) GetVersion(ctx context.Context, ver uint64) (VersionInfo, error) {
 	var info VersionInfo
-	err := b.c.pool.Call(ctx, b.c.cfg.VersionManager, VMGetVersion, &VersionRef{Blob: b.id, Ver: ver}, &info)
+	err := b.c.vm.Call(ctx, b.id, VMGetVersion, &VersionRef{Blob: b.id, Ver: ver}, &info)
 	return info, err
 }
 
@@ -196,7 +216,7 @@ func (b *Blob) GetVersion(ctx context.Context, ver uint64) (VersionInfo, error) 
 // whole window.
 func (b *Blob) History(ctx context.Context, limit uint64) ([]VersionInfo, error) {
 	var resp HistoryResp
-	err := b.c.pool.Call(ctx, b.c.cfg.VersionManager, VMHistory,
+	err := b.c.vm.Call(ctx, b.id, VMHistory,
 		&HistoryReq{Blob: b.id, Limit: limit}, &resp)
 	if err != nil {
 		return nil, err
@@ -212,7 +232,7 @@ func (b *Blob) History(ctx context.Context, limit uint64) ([]VersionInfo, error)
 func (b *Blob) WaitPublished(ctx context.Context, ver uint64) (VersionInfo, error) {
 	for {
 		var info VersionInfo
-		err := b.c.pool.Call(ctx, b.c.cfg.VersionManager, VMWaitPublished,
+		err := b.c.vm.Call(ctx, b.id, VMWaitPublished,
 			&WaitPublishedReq{Blob: b.id, Ver: ver, TimeoutMillis: 5000}, &info)
 		switch {
 		case err == nil:
@@ -236,14 +256,14 @@ func (b *Blob) WaitPublished(ctx context.Context, ver uint64) (VersionInfo, erro
 // latest `keep` published versions; older ones become collectable by
 // the next GC pass. keep == 0 keeps every version.
 func (b *Blob) SetRetention(ctx context.Context, keep uint64) error {
-	return b.c.pool.Call(ctx, b.c.cfg.VersionManager, VMSetRetention,
+	return b.c.vm.Call(ctx, b.id, VMSetRetention,
 		&SetRetentionReq{Blob: b.id, Retain: keep}, nil)
 }
 
 // TruncateBefore marks every version below ver collectable. The latest
 // published version always survives; use Delete to retire the BLOB.
 func (b *Blob) TruncateBefore(ctx context.Context, ver uint64) error {
-	return b.c.pool.Call(ctx, b.c.cfg.VersionManager, VMTruncateBefore,
+	return b.c.vm.Call(ctx, b.id, VMTruncateBefore,
 		&VersionRef{Blob: b.id, Ver: ver}, nil)
 }
 
@@ -256,7 +276,7 @@ func (b *Blob) Delete(ctx context.Context) error {
 
 // DeleteBlob retires BLOB id (see Blob.Delete).
 func (c *Client) DeleteBlob(ctx context.Context, id uint64) error {
-	err := c.pool.Call(ctx, c.cfg.VersionManager, VMDeleteBlob, &BlobRef{Blob: id}, nil)
+	err := c.vm.Call(ctx, id, VMDeleteBlob, &BlobRef{Blob: id}, nil)
 	if err == nil {
 		c.PurgeBlob(id)
 	}
@@ -269,25 +289,40 @@ func (c *Client) DeleteBlob(ctx context.Context, id uint64) error {
 // Pinning a version the collector already owns fails with
 // ErrVersionCollected.
 func (b *Blob) Pin(ctx context.Context, ver uint64, ttl time.Duration) error {
-	return b.c.pool.Call(ctx, b.c.cfg.VersionManager, VMPin,
+	return b.c.vm.Call(ctx, b.id, VMPin,
 		&PinReq{Blob: b.id, Ver: ver, TTLMillis: uint64(ttl / time.Millisecond)}, nil)
 }
 
 // Unpin releases one reference taken by Pin.
 func (b *Blob) Unpin(ctx context.Context, ver uint64) error {
-	return b.c.pool.Call(ctx, b.c.cfg.VersionManager, VMUnpin,
+	return b.c.vm.Call(ctx, b.id, VMUnpin,
 		&VersionRef{Blob: b.id, Ver: ver}, nil)
 }
 
-// ReclaimScan asks the version manager for every newly dead version
-// (marking them collected in the same step). The garbage collector is
-// the only intended caller.
+// ReclaimScan asks every version-manager shard for its newly dead
+// versions (marking them collected in the same step) and merges the
+// answers. The garbage collector is the only intended caller. A shard
+// that fails mid-scan is skipped — its frontier did not move for the
+// blobs it never reached, so the next pass retries them; the scan
+// errors only when every shard failed.
 func (c *Client) ReclaimScan(ctx context.Context) (*ReclaimScanResp, error) {
-	var resp ReclaimScanResp
-	if err := c.pool.Call(ctx, c.cfg.VersionManager, VMReclaimScan, nil, &resp); err != nil {
-		return nil, err
+	merged := &ReclaimScanResp{}
+	var lastErr error
+	okShards := 0
+	for _, addr := range c.vm.Shards() {
+		var resp ReclaimScanResp
+		if err := c.vm.CallAddr(ctx, addr, VMReclaimScan, nil, &resp); err != nil {
+			lastErr = err
+			continue
+		}
+		okShards++
+		merged.PinsBlocked += resp.PinsBlocked
+		merged.Blobs = append(merged.Blobs, resp.Blobs...)
 	}
-	return &resp, nil
+	if okShards == 0 && lastErr != nil {
+		return nil, lastErr
+	}
+	return merged, nil
 }
 
 // DeletePages sends one provider a batch of reclaimable page keys.
@@ -346,7 +381,7 @@ func (b *Blob) collectedOr(ctx context.Context, ver uint64, err error) error {
 		return err
 	}
 	var info VersionInfo
-	perr := b.c.pool.Call(ctx, b.c.cfg.VersionManager, VMGetVersion, &VersionRef{Blob: b.id, Ver: ver}, &info)
+	perr := b.c.vm.Call(ctx, b.id, VMGetVersion, &VersionRef{Blob: b.id, Ver: ver}, &info)
 	if errors.Is(perr, ErrVersionCollected) {
 		b.c.PurgeVersion(b.id, ver)
 		return fmt.Errorf("%w: blob %d version %d", ErrVersionCollected, b.id, ver)
@@ -356,7 +391,7 @@ func (b *Blob) collectedOr(ctx context.Context, ver uint64, err error) error {
 
 // Abort seals a version this writer no longer intends to complete.
 func (b *Blob) Abort(ctx context.Context, ver uint64) error {
-	return b.c.pool.Call(ctx, b.c.cfg.VersionManager, VMSeal, &VersionRef{Blob: b.id, Ver: ver}, nil)
+	return b.c.vm.Call(ctx, b.id, VMSeal, &VersionRef{Blob: b.id, Ver: ver}, nil)
 }
 
 // abortDetached seals ver in the background, on a context independent
@@ -484,7 +519,7 @@ func (b *Blob) assign(ctx context.Context, kind, off uint64, data []byte) (Assig
 	}
 	c := b.c
 	req := &AssignReq{Blob: b.id, Kind: kind, Off: off, Len: uint64(len(data)), SinceVer: c.knownPrefix(b.id)}
-	if err := c.pool.Call(ctx, c.cfg.VersionManager, VMAssign, req, &a); err != nil {
+	if err := c.vm.Call(ctx, b.id, VMAssign, req, &a); err != nil {
 		return a, nil, fmt.Errorf("blob: assign: %w", err)
 	}
 	history, err := c.mergeHistory(b.id, a.History, a.Record)
@@ -630,7 +665,10 @@ func (b *Blob) finishWrite(ctx context.Context, a AssignResp, history []segtree.
 	}
 
 	// 6. Notify the version manager; publication follows version order.
-	if err := c.pool.Call(ctx, c.cfg.VersionManager, VMComplete, &VersionRef{Blob: b.id, Ver: a.Ver}, nil); err != nil {
+	// The router retries through failover windows; Complete is
+	// idempotent server-side, so a retried call whose first response was
+	// lost cannot fail a durably completed write.
+	if err := c.vm.Call(ctx, b.id, VMComplete, &VersionRef{Blob: b.id, Ver: a.Ver}, nil); err != nil {
 		// An unacknowledged completion leaves the version pending with
 		// its pages and metadata already committed; seal it so the
 		// chain moves on, mirroring the page-write and metadata-commit

@@ -2,6 +2,7 @@ package blob
 
 import (
 	"context"
+	"errors"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -21,13 +22,16 @@ type reqResp[T any] interface {
 
 // flakyVM is an RPC proxy in front of a real version manager that
 // fails VMComplete while completeFails > 0, simulating a writer that
-// loses its completion acknowledgement after committing data.
+// loses its completion acknowledgement after committing data. The
+// error it fails with is configurable: transport-level errors are
+// retried by the client's router, application errors are not.
 type flakyVM struct {
 	srv  *rpc.Server
 	pool *rpc.Pool
 	vm   transport.Addr
 
 	completeFails atomic.Int64
+	completeErr   error
 }
 
 func newFlakyVM(t *testing.T, net transport.Network, vm transport.Addr) *flakyVM {
@@ -52,9 +56,10 @@ func newFlakyVM(t *testing.T, net transport.Network, vm transport.Addr) *flakyVM
 	srv.Handle(VMGetVersion, forward[VersionRef, VersionInfo](f, VMGetVersion))
 	srv.Handle(VMLatest, forward[BlobRef, VersionInfo](f, VMLatest))
 	srv.Handle(VMWaitPublished, forward[WaitPublishedReq, VersionInfo](f, VMWaitPublished))
+	f.completeErr = rpc.ErrConnLost
 	srv.Handle(VMComplete, func(r *wire.Reader) (wire.Marshaler, error) {
 		if f.completeFails.Add(-1) >= 0 {
-			return nil, rpc.ErrConnLost // never reaches the real manager
+			return nil, f.completeErr // never reaches the real manager
 		}
 		return forwardNoResp[VersionRef](f, VMComplete)(r)
 	})
@@ -92,7 +97,10 @@ func forwardNoResp[Req any, PReq reqResp[Req]](f *flakyVM, method uint32) rpc.Ha
 
 func TestFailedCompleteDoesNotWedgeChain(t *testing.T) {
 	// Sealing is disabled: if a failed VMComplete left its version
-	// pending, the publication chain would be wedged forever.
+	// pending, the publication chain would be wedged forever. The
+	// proxy rejects the complete with an application-level error so
+	// the router does not retry it (transport-level failures heal;
+	// see TestCompleteRetriesThroughConnLoss).
 	net := transport.NewMemNet()
 	cluster, err := NewCluster(net, ClusterConfig{Providers: 3, MetaProviders: 2})
 	if err != nil {
@@ -100,6 +108,7 @@ func TestFailedCompleteDoesNotWedgeChain(t *testing.T) {
 	}
 	defer cluster.Close()
 	proxy := newFlakyVM(t, net, cluster.VM.Addr())
+	proxy.completeErr = errors.New("complete rejected")
 	proxy.completeFails.Store(1)
 
 	client := NewClient(ClientConfig{
@@ -142,5 +151,43 @@ func TestFailedCompleteDoesNotWedgeChain(t *testing.T) {
 	}
 	if !v1.Sealed {
 		t.Fatalf("v1 = %+v, want sealed", v1)
+	}
+}
+
+func TestCompleteRetriesThroughConnLoss(t *testing.T) {
+	// A completion acknowledgement lost to a dropped connection is a
+	// transport-level failure: the router retries it (Complete is
+	// idempotent on the manager side), so the append succeeds instead
+	// of orphaning a committed version.
+	net := transport.NewMemNet()
+	cluster, err := NewCluster(net, ClusterConfig{Providers: 3, MetaProviders: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	proxy := newFlakyVM(t, net, cluster.VM.Addr())
+	proxy.completeFails.Store(1) // fails once with rpc.ErrConnLost, then heals
+
+	client := NewClient(ClientConfig{
+		Net:             net,
+		Host:            "flaky-cli",
+		VersionManager:  proxy.srv.Addr(),
+		ProviderManager: cluster.PM.Addr(),
+		Metadata:        cluster.MetaAddrs(),
+	})
+	defer client.Close()
+
+	bl, err := client.Create(ctx, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := bl.Append(ctx, make([]byte, 128))
+	if err != nil {
+		t.Fatalf("append across conn loss: %v", err)
+	}
+	wctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if _, err := bl.WaitPublished(wctx, res.Ver); err != nil {
+		t.Fatalf("version never published: %v", err)
 	}
 }

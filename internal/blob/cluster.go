@@ -2,6 +2,9 @@ package blob
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
 	"time"
 
 	"blobseer/internal/dht"
@@ -32,6 +35,18 @@ type ClusterConfig struct {
 	MetaReplicas  int // DHT replication (default 2)
 	PageReplicas  int // page replication (default 1)
 
+	// VMShards partitions the metadata plane across N version-manager
+	// shards (default 1: the paper's single version manager). BLOB ids
+	// are consistent-hashed across shards; every client routes through
+	// the shared VMRouter ring.
+	VMShards int
+
+	// JournalDir, when non-empty, makes the version-manager shards
+	// durable: shard i journals to <JournalDir>/vmanager-<i>.log and a
+	// restarted (or failed-over) shard replays to its acknowledged
+	// state. Empty keeps the in-memory managers.
+	JournalDir string
+
 	// Retain is the version manager's default RetainLatest policy:
 	// keep only the latest k published versions per BLOB and let the
 	// garbage collector retire the rest. 0 keeps every version.
@@ -51,12 +66,32 @@ type Cluster struct {
 	Net transport.Network
 	Cfg ClusterConfig
 
+	// VM is shard 0, kept for single-shard callers and tests; VMs holds
+	// every shard in ring-slot order.
 	VM        *VersionManager
+	VMs       []*VersionManager
 	PM        *ProviderManager
 	Providers []*Provider
 	Metas     []*dht.Server
 
-	vmPool *rpc.Pool // pool backing the VM's seal-path metadata client
+	vmAddrs []transport.Addr // stable shard endpoints (survive restarts)
+	vmPools []*rpc.Pool      // per-shard pools backing seal-path metadata clients
+
+	// notifyMu guards reclaimNotify, the cluster-level reclaim callback
+	// re-applied to a shard when it restarts after failover.
+	notifyMu      sync.Mutex
+	reclaimNotify func()
+}
+
+// VMShardHost names the host of version-manager shard i. Shard 0
+// keeps the historical "vmanager-host" so single-shard deployments
+// are wire-identical to earlier versions. Exported so shaped
+// environments can give the metadata hosts their own NIC profile.
+func VMShardHost(i int) string {
+	if i == 0 {
+		return "vmanager-host"
+	}
+	return fmt.Sprintf("vmanager-%d-host", i)
 }
 
 // NewCluster starts all services of a BlobSeer deployment on net.
@@ -73,8 +108,16 @@ func NewCluster(net transport.Network, cfg ClusterConfig) (*Cluster, error) {
 	if cfg.PageReplicas <= 0 {
 		cfg.PageReplicas = 1
 	}
+	if cfg.VMShards <= 0 {
+		cfg.VMShards = 1
+	}
 	if cfg.HostPrefix == "" {
 		cfg.HostPrefix = "node"
+	}
+	if cfg.JournalDir != "" {
+		if err := os.MkdirAll(cfg.JournalDir, 0o755); err != nil {
+			return nil, err
+		}
 	}
 	c := &Cluster{Net: net, Cfg: cfg}
 
@@ -89,17 +132,22 @@ func NewCluster(net transport.Network, cfg ClusterConfig) (*Cluster, error) {
 		c.Metas = append(c.Metas, s)
 	}
 
-	// Version manager, with its own metadata client for sealing.
-	c.vmPool = rpc.NewPool(net, transport.MakeAddr("vmanager-host", "client"))
-	ring := dht.NewRing(c.MetaAddrs(), 64)
-	nodes := NewNodeStore(dht.NewClient(ring, c.vmPool, cfg.MetaReplicas))
-	vm, err := NewVersionManager(net, transport.MakeAddr("vmanager-host", SvcVersionManager),
-		VersionManagerConfig{SealTimeout: cfg.SealTimeout, Nodes: nodes, RetainLatest: cfg.Retain})
-	if err != nil {
-		c.Close()
-		return nil, err
+	// Version-manager shards. Addresses are fixed up front: the ring
+	// over them is what every router and every shard's id allocator
+	// hashes against, and failover re-binds an address rather than
+	// changing the set.
+	for i := 0; i < cfg.VMShards; i++ {
+		c.vmAddrs = append(c.vmAddrs, transport.MakeAddr(VMShardHost(i), SvcVersionManager))
 	}
-	c.VM = vm
+	c.VMs = make([]*VersionManager, cfg.VMShards)
+	c.vmPools = make([]*rpc.Pool, cfg.VMShards)
+	for i := 0; i < cfg.VMShards; i++ {
+		if err := c.startVM(i); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	c.VM = c.VMs[0]
 
 	// Provider manager.
 	pm, err := NewProviderManager(net, transport.MakeAddr("pmanager-host", SvcProviderManager), cfg.Strategy)
@@ -128,6 +176,85 @@ func NewCluster(net transport.Network, cfg ClusterConfig) (*Cluster, error) {
 		pm.Register(string(addr))
 	}
 	return c, nil
+}
+
+// startVM boots shard i at its stable address: a fresh pool for the
+// shard's seal-path metadata client, plus the journal path when the
+// cluster is durable. It is both the initial boot and the failover
+// path (RestartVM).
+func (c *Cluster) startVM(i int) error {
+	if c.vmPools[i] != nil {
+		c.vmPools[i].Close()
+	}
+	pool := rpc.NewPool(c.Net, transport.MakeAddr(VMShardHost(i), "client"))
+	ring := dht.NewRing(c.MetaAddrs(), 64)
+	nodes := NewNodeStore(dht.NewClient(ring, pool, c.Cfg.MetaReplicas))
+	vmCfg := VersionManagerConfig{
+		SealTimeout:  c.Cfg.SealTimeout,
+		Nodes:        nodes,
+		RetainLatest: c.Cfg.Retain,
+	}
+	if c.Cfg.VMShards > 1 {
+		vmCfg.ShardIndex = i
+		vmCfg.ShardCount = c.Cfg.VMShards
+		vmCfg.ShardAddrs = c.vmAddrs
+	}
+	if c.Cfg.JournalDir != "" {
+		vmCfg.JournalPath = filepath.Join(c.Cfg.JournalDir, fmt.Sprintf("vmanager-%d.log", i))
+	}
+	vm, err := NewVersionManager(c.Net, c.vmAddrs[i], vmCfg)
+	if err != nil {
+		pool.Close()
+		return err
+	}
+	c.notifyMu.Lock()
+	if c.reclaimNotify != nil {
+		vm.SetReclaimNotify(c.reclaimNotify)
+	}
+	c.notifyMu.Unlock()
+	c.vmPools[i] = pool
+	c.VMs[i] = vm
+	if i == 0 {
+		c.VM = vm
+	}
+	return nil
+}
+
+// KillVM crashes shard i: the endpoint unbinds and the journal closes
+// WITHOUT a final checkpoint, exactly what a process kill leaves
+// behind. Callers' routed RPCs fail over to the retry loop until
+// RestartVM re-binds the address.
+func (c *Cluster) KillVM(i int) error {
+	if c.VMs[i] == nil {
+		return nil
+	}
+	return c.VMs[i].Kill()
+}
+
+// RestartVM brings shard i back at its old address — the standby
+// takeover: open the shard's journal, replay to the acknowledged
+// state, re-bind. Requires JournalDir (an in-memory shard has no state
+// to take over).
+func (c *Cluster) RestartVM(i int) error {
+	return c.startVM(i)
+}
+
+// VMAddrs returns every shard endpoint, in ring-slot order.
+func (c *Cluster) VMAddrs() []transport.Addr {
+	return append([]transport.Addr(nil), c.vmAddrs...)
+}
+
+// SetReclaimNotify registers the reclaim kick on every shard and
+// remembers it so restarted shards are re-wired after failover.
+func (c *Cluster) SetReclaimNotify(fn func()) {
+	c.notifyMu.Lock()
+	c.reclaimNotify = fn
+	c.notifyMu.Unlock()
+	for _, vm := range c.VMs {
+		if vm != nil {
+			vm.SetReclaimNotify(fn)
+		}
+	}
 }
 
 // MetaAddrs returns the metadata provider endpoints.
@@ -164,7 +291,8 @@ func (c *Cluster) Client(host string) *Client {
 	return NewClient(ClientConfig{
 		Net:             c.Net,
 		Host:            host,
-		VersionManager:  c.VM.Addr(),
+		VersionManager:  c.vmAddrs[0],
+		VersionManagers: c.VMAddrs(),
 		ProviderManager: c.PM.Addr(),
 		Metadata:        c.MetaAddrs(),
 		MetaReplicas:    c.Cfg.MetaReplicas,
@@ -175,8 +303,10 @@ func (c *Cluster) Client(host string) *Client {
 
 // Close tears the whole deployment down.
 func (c *Cluster) Close() error {
-	if c.VM != nil {
-		c.VM.Close()
+	for _, vm := range c.VMs {
+		if vm != nil {
+			vm.Close()
+		}
 	}
 	if c.PM != nil {
 		c.PM.Close()
@@ -187,8 +317,10 @@ func (c *Cluster) Close() error {
 	for _, m := range c.Metas {
 		m.Close()
 	}
-	if c.vmPool != nil {
-		c.vmPool.Close()
+	for _, p := range c.vmPools {
+		if p != nil {
+			p.Close()
+		}
 	}
 	return nil
 }

@@ -1,13 +1,28 @@
 package blob
 
+// vmanager.go is the version manager's RPC/service layer. The decided
+// state and every transition over it live in vmstate.go; this file
+// validates requests, journals a vmRecord (vmjournal.go) when the
+// manager is durable, applies the transition, and answers. The
+// write-ahead order — validate, journal, apply, respond — under the
+// per-BLOB lock means the journal's per-BLOB record order equals the
+// apply order, so replay IS apply and recovery needs no special cases.
+//
+// With ShardCount > 1 the manager is one shard of a partitioned
+// metadata plane: a consistent-hash ring over the shard addresses
+// (shared with VMRouter on the client side) decides which shard owns
+// each blob id, and each shard allocates ids only from its own modular
+// stripe, so shards never talk to each other — not even for id
+// allocation.
+
 import (
 	"context"
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"blobseer/internal/dht"
 	"blobseer/internal/rpc"
 	"blobseer/internal/segtree"
 	"blobseer/internal/transport"
@@ -30,100 +45,6 @@ var (
 	ErrVersionCollected = errors.New("blob: version collected")
 )
 
-// Version lifecycle inside the manager.
-type vstatus uint8
-
-const (
-	vsPending vstatus = iota
-	vsCompleted
-	vsSealing
-	vsSealed
-)
-
-// blobState is the version manager's bookkeeping for one BLOB. Each
-// blobState carries its own lock, so writers of different BLOBs never
-// contend on the version manager: assignment is serialized per BLOB
-// (the paper's consistency requirement), not globally.
-type blobState struct {
-	mu       sync.Mutex
-	pageSize uint64
-	// Per assigned version v (index v-1):
-	records    []segtree.WriteRecord
-	sizes      []uint64
-	status     []vstatus
-	assignedAt []time.Time
-	// published is the highest published version (0 = none). Versions
-	// publish strictly in assignment order: v publishes only once v-1
-	// has published and v has completed (or been sealed).
-	published uint64
-	waiters   map[uint64][]chan struct{}
-
-	// Lifecycle state (internal/gc). Versions below truncBefore are
-	// retirable; retain (when retainSet) overrides the manager's default
-	// RetainLatest policy; deleted marks the whole BLOB dead. frontier
-	// is the collection frontier: every version below it has been handed
-	// to the collector — its pages may be gone, so reads must fail with
-	// ErrVersionCollected. The frontier only advances (atomically with
-	// the reclaim scan) and never passes a pinned version, so a pinned
-	// snapshot's pages are never deleted and a pin on an already
-	// collected version is refused — there is no in-between.
-	retain      uint64
-	retainSet   bool
-	truncBefore uint64
-	deleted     bool
-	frontier    uint64 // versions < frontier are collected (0/1 = none)
-	pins        map[uint64]*pinLease
-}
-
-// pinLease aggregates the live pins of one version: a refcount plus
-// the latest lease expiry. Expired leases are pruned by reclaim scans,
-// so a crashed reader delays collection by at most one TTL.
-type pinLease struct {
-	count   int
-	expires time.Time
-}
-
-// collectedGet reports whether ver was handed to the collector.
-// Version 0 (the empty initial snapshot) has no pages and is never
-// collected.
-func (bs *blobState) collectedGet(ver uint64) bool {
-	return ver >= 1 && ver < bs.frontier
-}
-
-func (bs *blobState) info(ver uint64) VersionInfo {
-	if ver == 0 {
-		return VersionInfo{Ver: 0, Published: true}
-	}
-	i := ver - 1
-	return VersionInfo{
-		Ver:       ver,
-		Size:      bs.sizes[i],
-		Pages:     bs.records[i].PagesAfter,
-		Published: ver <= bs.published,
-		Sealed:    bs.status[i] == vsSealed || bs.status[i] == vsSealing,
-	}
-}
-
-// removeWaiterLocked deregisters one waiter channel for ver. Callers
-// whose wait ends without publication (timeout, server shutdown) must
-// deregister, or the waiter list grows without bound while the version
-// stays pending.
-func (bs *blobState) removeWaiterLocked(ver uint64, ch chan struct{}) {
-	chans := bs.waiters[ver]
-	for i, c := range chans {
-		if c == ch {
-			chans[i] = chans[len(chans)-1]
-			chans = chans[:len(chans)-1]
-			break
-		}
-	}
-	if len(chans) == 0 {
-		delete(bs.waiters, ver)
-	} else {
-		bs.waiters[ver] = chans
-	}
-}
-
 // VersionManagerConfig configures a version manager.
 type VersionManagerConfig struct {
 	// SealTimeout is how long an assigned version may stay pending
@@ -142,18 +63,32 @@ type VersionManagerConfig struct {
 	// DefaultPinTTL bounds pin leases whose request carries no TTL
 	// (zero means one minute).
 	DefaultPinTTL time.Duration
-}
 
-// vmShardCount is the number of shards of the blob map. Power of two so
-// the shard index is a mask; sized well above typical core counts to
-// keep the probability of two hot BLOBs colliding low.
-const vmShardCount = 32
+	// ShardIndex/ShardCount/ShardAddrs place this manager in a
+	// partitioned metadata plane: ShardAddrs lists every shard's
+	// endpoint (stable across restarts — a standby takes over the dead
+	// shard's address, not a new one) and ShardIndex is this shard's
+	// slot. The zero value is the classic single-manager layout.
+	ShardIndex int
+	ShardCount int
+	ShardAddrs []transport.Addr
 
-// vmShard holds one slice of the blob map. The shard lock guards only
-// map membership; per-BLOB state is guarded by blobState.mu.
-type vmShard struct {
-	mu    sync.Mutex
-	blobs map[uint64]*blobState
+	// JournalPath, when non-empty, makes the manager durable: every
+	// decided transition is appended to a kvlog store there before it
+	// is acknowledged, and a restart replays the journal to exactly the
+	// acknowledged state. Empty keeps the original in-memory manager
+	// (tests, simnet).
+	JournalPath string
+	// JournalSyncEvery forces an fsync every N journal appends (kvlog
+	// semantics; zero leaves flushing to Close/checkpoints).
+	JournalSyncEvery int
+	// CheckpointEvery bounds journal replay: after N records the
+	// manager snapshots every BLOB and trims the covered journal
+	// prefix. Zero means the default (4096).
+	CheckpointEvery int
+	// CompactThreshold is the dead-bytes threshold past which the
+	// journal store is rewritten. Zero means the default (1 MiB).
+	CompactThreshold int64
 }
 
 // VersionManager is BlobSeer's centralized version manager (§3.1.1):
@@ -162,22 +97,18 @@ type vmShard struct {
 // issued". Assignment is the only serialized step of a write and
 // exchanges O(1) data plus the write-record history delta.
 //
-// Locking is three-level so BLOBs never contend with each other:
-// vm.mu guards only blob-id allocation, each shard's lock guards one
-// slice of the id→state map, and every blobState has its own lock for
-// assign/complete/seal/wait traffic.
+// Locking is three-level so BLOBs never contend with each other: the
+// state's stripe lock guards only blob-id allocation, each map shard's
+// lock guards one slice of the id→state map, and every blobState has
+// its own lock for assign/complete/seal/wait traffic.
 type VersionManager struct {
 	srv *rpc.Server
 	cfg VersionManagerConfig
 
-	mu       sync.Mutex // guards nextBlob
-	nextBlob uint64
+	st      *vmState
+	journal *vmJournal // nil: in-memory manager
 
-	shards [vmShardCount]vmShard
-
-	assigned       atomic.Uint64
-	publishedCount atomic.Uint64
-	sealed         atomic.Uint64
+	recovered int // journal records replayed at startup
 
 	// reclaimNotify, when set, is called after any lifecycle change
 	// that may create garbage (DeleteBlob, TruncateBefore,
@@ -187,24 +118,59 @@ type VersionManager struct {
 	notifyMu      sync.Mutex
 	reclaimNotify func()
 
-	done chan struct{}
-	wg   sync.WaitGroup
+	done     chan struct{}
+	wg       sync.WaitGroup
+	stopOnce sync.Once
+	stopErr  error
 }
 
-// NewVersionManager starts a version manager at addr.
+// NewVersionManager starts a version manager at addr. With a journal
+// path the store is opened and replayed before the endpoint binds, so
+// no request ever observes a partially recovered manager — this is
+// also the failover path: a standby pointed at a dead shard's journal
+// and address replays and takes over.
 func NewVersionManager(net transport.Network, addr transport.Addr, cfg VersionManagerConfig) (*VersionManager, error) {
-	srv, err := rpc.NewServer(net, addr)
-	if err != nil {
-		return nil, err
+	var ownsID func(uint64) bool
+	if cfg.ShardCount > 1 {
+		if len(cfg.ShardAddrs) != cfg.ShardCount {
+			return nil, fmt.Errorf("blob: shard count %d but %d shard addrs", cfg.ShardCount, len(cfg.ShardAddrs))
+		}
+		if cfg.ShardIndex < 0 || cfg.ShardIndex >= cfg.ShardCount {
+			return nil, fmt.Errorf("blob: shard index %d out of range", cfg.ShardIndex)
+		}
+		ring := dht.NewRing(cfg.ShardAddrs, vmRingVnodes)
+		self := cfg.ShardAddrs[cfg.ShardIndex]
+		ownsID = func(id uint64) bool {
+			owners := ring.Lookup(vmRingKey(id), 1)
+			return len(owners) == 1 && owners[0] == self
+		}
 	}
 	vm := &VersionManager{
-		srv:  srv,
 		cfg:  cfg,
+		st:   newVMState(cfg.ShardIndex, cfg.ShardCount, ownsID),
 		done: make(chan struct{}),
 	}
-	for i := range vm.shards {
-		vm.shards[i].blobs = make(map[uint64]*blobState)
+	if cfg.JournalPath != "" {
+		j, err := openVMJournal(cfg.JournalPath, cfg.JournalSyncEvery, cfg.CheckpointEvery, cfg.CompactThreshold)
+		if err != nil {
+			return nil, err
+		}
+		n, err := j.replay(vm.st, time.Now())
+		if err != nil {
+			j.close()
+			return nil, err
+		}
+		vm.journal = j
+		vm.recovered = n
 	}
+	srv, err := rpc.NewServer(net, addr)
+	if err != nil {
+		if vm.journal != nil {
+			vm.journal.close()
+		}
+		return nil, err
+	}
+	vm.srv = srv
 	srv.Handle(VMCreateBlob, vm.handleCreateBlob)
 	srv.Handle(VMOpenBlob, vm.handleOpenBlob)
 	srv.Handle(VMAssign, vm.handleAssign)
@@ -226,35 +192,77 @@ func NewVersionManager(net transport.Network, addr transport.Addr, cfg VersionMa
 		vm.wg.Add(1)
 		go vm.sealLoop()
 	}
+	if vm.journal != nil {
+		vm.wg.Add(1)
+		go vm.checkpointLoop()
+	}
 	return vm, nil
 }
 
 // Addr returns the manager's endpoint.
 func (vm *VersionManager) Addr() transport.Addr { return vm.srv.Addr() }
 
-// Close stops the manager.
-func (vm *VersionManager) Close() error {
-	select {
-	case <-vm.done:
-	default:
+// RecoveredRecords reports how many journal records startup replayed
+// (beyond checkpoint snapshots) — the recovery-cost metric.
+func (vm *VersionManager) RecoveredRecords() int { return vm.recovered }
+
+// Close stops the manager cleanly: the endpoint unbinds, loops drain,
+// and a durable manager writes a final checkpoint so the next open
+// replays (almost) nothing.
+func (vm *VersionManager) Close() error { return vm.stop(true) }
+
+// Kill stops the manager WITHOUT the final checkpoint — the crash
+// path for failover tests and kill-one-shard runs. The journal store
+// closes as-is; the next open replays raw records. In-flight handlers
+// that lose the race fail their journal append against the closed
+// store and never acknowledge, which is exactly the crash semantics:
+// acknowledged implies journaled.
+func (vm *VersionManager) Kill() error { return vm.stop(false) }
+
+func (vm *VersionManager) stop(checkpoint bool) error {
+	vm.stopOnce.Do(func() {
 		close(vm.done)
+		err := vm.srv.Close()
+		vm.wg.Wait()
+		if vm.journal != nil {
+			if checkpoint {
+				if cerr := vm.journal.checkpoint(vm.st); cerr != nil && err == nil {
+					err = cerr
+				}
+			}
+			if cerr := vm.journal.close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+		vm.stopErr = err
+	})
+	return vm.stopErr
+}
+
+// logRecord persists rec when the manager is durable. A nil journal
+// acknowledges immediately (in-memory mode). On error the caller must
+// not mutate state: nothing was promised.
+func (vm *VersionManager) logRecord(rec *vmRecord) error {
+	if vm.journal == nil {
+		return nil
 	}
-	err := vm.srv.Close()
-	vm.wg.Wait()
-	return err
+	return vm.journal.append(rec)
 }
 
-func (vm *VersionManager) shard(blob uint64) *vmShard {
-	return &vm.shards[blob&(vmShardCount-1)]
-}
-
-// lookup resolves a blob id to its state without touching other shards.
-func (vm *VersionManager) lookup(blob uint64) (*blobState, bool) {
-	s := vm.shard(blob)
-	s.mu.Lock()
-	bs, ok := s.blobs[blob]
-	s.mu.Unlock()
-	return bs, ok
+// checkpointLoop writes a checkpoint whenever the journal accumulates
+// CheckpointEvery records since the last one.
+func (vm *VersionManager) checkpointLoop() {
+	defer vm.wg.Done()
+	for {
+		select {
+		case <-vm.done:
+			return
+		case <-vm.journal.kick:
+			// Errors are not fatal: the journal itself is intact, the
+			// next kick (or the final checkpoint on Close) retries.
+			_ = vm.journal.checkpoint(vm.st)
+		}
+	}
 }
 
 func (vm *VersionManager) handleCreateBlob(r *wire.Reader) (wire.Marshaler, error) {
@@ -265,18 +273,15 @@ func (vm *VersionManager) handleCreateBlob(r *wire.Reader) (wire.Marshaler, erro
 	if req.PageSize == 0 {
 		return nil, errors.New("blob: zero page size")
 	}
-	vm.mu.Lock()
-	vm.nextBlob++
-	id := vm.nextBlob
-	vm.mu.Unlock()
-
-	s := vm.shard(id)
-	s.mu.Lock()
-	s.blobs[id] = &blobState{
-		pageSize: req.PageSize,
-		waiters:  make(map[uint64][]chan struct{}),
+	// Skipped stripe candidates (ids the ring maps elsewhere) are never
+	// journaled; replay re-skips them identically. A journal failure
+	// burns the allocated id, which is harmless — ids are not dense.
+	id := vm.st.allocBlobID()
+	rec := vmRecord{Op: vmOpCreate, Blob: id, Val: req.PageSize}
+	if err := vm.logRecord(&rec); err != nil {
+		return nil, err
 	}
-	s.mu.Unlock()
+	vm.st.applyCreate(rec)
 	return &CreateBlobResp{Blob: id}, nil
 }
 
@@ -285,7 +290,7 @@ func (vm *VersionManager) handleOpenBlob(r *wire.Reader) (wire.Marshaler, error)
 	if err := req.DecodeFrom(r); err != nil {
 		return nil, err
 	}
-	bs, ok := vm.lookup(req.Blob)
+	bs, ok := vm.st.lookup(req.Blob)
 	if !ok {
 		return nil, ErrBlobNotFound
 	}
@@ -305,7 +310,10 @@ func (vm *VersionManager) handleAssign(r *wire.Reader) (wire.Marshaler, error) {
 	if req.Len == 0 {
 		return nil, errors.New("blob: zero-length write")
 	}
-	bs, ok := vm.lookup(req.Blob)
+	if req.Kind != KindAppend && req.Kind != KindWrite {
+		return nil, fmt.Errorf("blob: unknown write kind %d", req.Kind)
+	}
+	bs, ok := vm.st.lookup(req.Blob)
 	if !ok {
 		return nil, ErrBlobNotFound
 	}
@@ -314,55 +322,23 @@ func (vm *VersionManager) handleAssign(r *wire.Reader) (wire.Marshaler, error) {
 	if bs.deleted {
 		return nil, ErrBlobNotFound
 	}
-	ps := bs.pageSize
-	var prevSize uint64
-	if n := len(bs.sizes); n > 0 {
-		prevSize = bs.sizes[n-1]
+	rec := vmRecord{Op: vmOpAssign, Blob: req.Blob, Kind: req.Kind, Off: req.Off, Len: req.Len}
+	if err := vm.logRecord(&rec); err != nil {
+		return nil, err
 	}
-
-	var start uint64
-	switch req.Kind {
-	case KindAppend:
-		// §3.1.2: "the offset is implicitly assumed to be the size of
-		// the latest version" — latest *assigned*, so concurrent
-		// appenders receive disjoint consecutive regions.
-		start = prevSize
-	case KindWrite:
-		start = req.Off
-	default:
-		return nil, fmt.Errorf("blob: unknown write kind %d", req.Kind)
-	}
-
-	sizeAfter := start + req.Len
-	if sizeAfter < prevSize {
-		sizeAfter = prevSize
-	}
-	pageOff := start / ps
-	pageEnd := (start + req.Len + ps - 1) / ps
-	ver := uint64(len(bs.records)) + 1
-	rec := segtree.WriteRecord{
-		Ver:        ver,
-		Off:        pageOff,
-		N:          pageEnd - pageOff,
-		PagesAfter: (sizeAfter + ps - 1) / ps,
-	}
-	bs.records = append(bs.records, rec)
-	bs.sizes = append(bs.sizes, sizeAfter)
-	bs.status = append(bs.status, vsPending)
-	bs.assignedAt = append(bs.assignedAt, time.Now())
-	vm.assigned.Add(1)
+	res := vm.st.applyAssignLocked(bs, rec, time.Now())
 
 	// History delta: records in (SinceVer, ver).
 	var hist []segtree.WriteRecord
-	if req.SinceVer < ver-1 {
-		hist = append(hist, bs.records[req.SinceVer:ver-1]...)
+	if req.SinceVer < res.ver-1 {
+		hist = append(hist, bs.records[req.SinceVer:res.ver-1]...)
 	}
 	return &AssignResp{
-		Ver:       ver,
-		Start:     start,
-		PrevSize:  prevSize,
-		SizeAfter: sizeAfter,
-		Record:    rec,
+		Ver:       res.ver,
+		Start:     res.start,
+		PrevSize:  res.prevSize,
+		SizeAfter: res.sizeAfter,
+		Record:    res.rec,
 		History:   hist,
 	}, nil
 }
@@ -372,7 +348,7 @@ func (vm *VersionManager) handleComplete(r *wire.Reader) (wire.Marshaler, error)
 	if err := req.DecodeFrom(r); err != nil {
 		return nil, err
 	}
-	bs, ok := vm.lookup(req.Blob)
+	bs, ok := vm.st.lookup(req.Blob)
 	if !ok {
 		return nil, ErrBlobNotFound
 	}
@@ -386,32 +362,20 @@ func (vm *VersionManager) handleComplete(r *wire.Reader) (wire.Marshaler, error)
 	}
 	switch bs.status[req.Ver-1] {
 	case vsPending:
-		bs.status[req.Ver-1] = vsCompleted
-		vm.advanceLocked(bs)
+		rec := vmRecord{Op: vmOpComplete, Blob: req.Blob, Ver: req.Ver}
+		if err := vm.logRecord(&rec); err != nil {
+			return nil, err
+		}
+		vm.st.applyCompleteLocked(bs, rec)
+		return nil, nil
+	case vsCompleted:
+		// Idempotent: the router retries completes whose response was
+		// lost in a failover window; the durable answer must not change.
 		return nil, nil
 	default:
 		// Sealed while the writer was finishing: the writer must know
 		// its version did not (cleanly) publish.
 		return nil, ErrVersionFinished
-	}
-}
-
-// advanceLocked publishes the longest contiguous prefix of finished
-// versions and wakes the corresponding waiters. Caller holds bs.mu.
-func (vm *VersionManager) advanceLocked(bs *blobState) {
-	for bs.published < uint64(len(bs.status)) {
-		st := bs.status[bs.published]
-		if st != vsCompleted && st != vsSealed {
-			break
-		}
-		bs.published++
-		vm.publishedCount.Add(1)
-		if chans, ok := bs.waiters[bs.published]; ok {
-			for _, ch := range chans {
-				close(ch)
-			}
-			delete(bs.waiters, bs.published)
-		}
 	}
 }
 
@@ -428,9 +392,13 @@ func (vm *VersionManager) handleSeal(r *wire.Reader) (wire.Marshaler, error) {
 
 // seal aborts a pending version: the manager commits hole metadata for
 // its write interval so readers of later versions see zeros there and
-// the publication chain advances past the failed writer.
+// the publication chain advances past the failed writer. The sealed
+// record is journaled only AFTER the hole metadata is durably in the
+// metadata DHT, so replaying vmOpSealed never needs I/O; a crash
+// between commit and journal re-seals on the next timeout, and
+// segtree.Commit is idempotent for identical content.
 func (vm *VersionManager) seal(blob, ver uint64) error {
-	bs, ok := vm.lookup(blob)
+	bs, ok := vm.st.lookup(blob)
 	if !ok {
 		return ErrBlobNotFound
 	}
@@ -468,15 +436,18 @@ func (vm *VersionManager) seal(blob, ver uint64) error {
 
 	bs.mu.Lock()
 	defer bs.mu.Unlock()
-	if commitErr != nil {
-		// Roll back to pending; the seal loop will retry.
-		bs.status[ver-1] = vsPending
-		return fmt.Errorf("blob: seal %d/%d: %w", blob, ver, commitErr)
+	if commitErr == nil {
+		jrec := vmRecord{Op: vmOpSealed, Blob: blob, Ver: ver}
+		commitErr = vm.logRecord(&jrec)
+		if commitErr == nil {
+			bs.status[ver-1] = vsPending // applySealedLocked flips it
+			vm.st.applySealedLocked(bs, jrec)
+			return nil
+		}
 	}
-	bs.status[ver-1] = vsSealed
-	vm.sealed.Add(1)
-	vm.advanceLocked(bs)
-	return nil
+	// Roll back to pending; the seal loop will retry.
+	bs.status[ver-1] = vsPending
+	return fmt.Errorf("blob: seal %d/%d: %w", blob, ver, commitErr)
 }
 
 // sealLoop periodically seals pending versions older than SealTimeout.
@@ -493,29 +464,21 @@ func (vm *VersionManager) sealLoop() {
 		type target struct{ blob, ver uint64 }
 		var targets []target
 		now := time.Now()
-		for i := range vm.shards {
-			s := &vm.shards[i]
-			s.mu.Lock()
-			states := make(map[uint64]*blobState, len(s.blobs))
-			for id, bs := range s.blobs {
-				states[id] = bs
-			}
-			s.mu.Unlock()
-			for id, bs := range states {
-				bs.mu.Lock()
-				if bs.deleted {
-					bs.mu.Unlock()
-					continue
-				}
-				// Only the version blocking publication can stall others;
-				// seal any expired pending version though, oldest first.
-				for v := bs.published + 1; v <= uint64(len(bs.status)); v++ {
-					if bs.status[v-1] == vsPending && now.Sub(bs.assignedAt[v-1]) > vm.cfg.SealTimeout {
-						targets = append(targets, target{id, v})
-					}
-				}
+		for _, e := range vm.st.blobStates() {
+			bs := e.bs
+			bs.mu.Lock()
+			if bs.deleted {
 				bs.mu.Unlock()
+				continue
 			}
+			// Only the version blocking publication can stall others;
+			// seal any expired pending version though, oldest first.
+			for v := bs.published + 1; v <= uint64(len(bs.status)); v++ {
+				if bs.status[v-1] == vsPending && now.Sub(bs.assignedAt[v-1]) > vm.cfg.SealTimeout {
+					targets = append(targets, target{e.id, v})
+				}
+			}
+			bs.mu.Unlock()
 		}
 		for _, t := range targets {
 			// Errors are retried on the next tick.
@@ -529,7 +492,7 @@ func (vm *VersionManager) handleGetVersion(r *wire.Reader) (wire.Marshaler, erro
 	if err := req.DecodeFrom(r); err != nil {
 		return nil, err
 	}
-	bs, ok := vm.lookup(req.Blob)
+	bs, ok := vm.st.lookup(req.Blob)
 	if !ok {
 		return nil, ErrBlobNotFound
 	}
@@ -556,7 +519,7 @@ func (vm *VersionManager) handleLatest(r *wire.Reader) (wire.Marshaler, error) {
 	if err := req.DecodeFrom(r); err != nil {
 		return nil, err
 	}
-	bs, ok := vm.lookup(req.Blob)
+	bs, ok := vm.st.lookup(req.Blob)
 	if !ok {
 		return nil, ErrBlobNotFound
 	}
@@ -574,7 +537,7 @@ func (vm *VersionManager) handleWaitPublished(r *wire.Reader) (wire.Marshaler, e
 	if err := req.DecodeFrom(r); err != nil {
 		return nil, err
 	}
-	bs, ok := vm.lookup(req.Blob)
+	bs, ok := vm.st.lookup(req.Blob)
 	if !ok {
 		return nil, ErrBlobNotFound
 	}
@@ -644,7 +607,7 @@ func (vm *VersionManager) handleWaitPublished(r *wire.Reader) (wire.Marshaler, e
 // waiterCount reports the registered waiter channels for one version of
 // one blob (test hook for the waiter-leak regression test).
 func (vm *VersionManager) waiterCount(blob, ver uint64) int {
-	bs, ok := vm.lookup(blob)
+	bs, ok := vm.st.lookup(blob)
 	if !ok {
 		return 0
 	}
@@ -662,7 +625,7 @@ func (vm *VersionManager) handleHistory(r *wire.Reader) (wire.Marshaler, error) 
 	if err := req.DecodeFrom(r); err != nil {
 		return nil, err
 	}
-	bs, ok := vm.lookup(req.Blob)
+	bs, ok := vm.st.lookup(req.Blob)
 	if !ok {
 		return nil, ErrBlobNotFound
 	}
@@ -686,36 +649,15 @@ func (vm *VersionManager) handleHistory(r *wire.Reader) (wire.Marshaler, error) 
 }
 
 func (vm *VersionManager) handleListBlobs(r *wire.Reader) (wire.Marshaler, error) {
-	vm.mu.Lock()
-	next := vm.nextBlob
-	vm.mu.Unlock()
-	resp := &ListBlobsResp{Blobs: make([]uint64, 0, next)}
-	for id := uint64(1); id <= next; id++ {
-		if bs, ok := vm.lookup(id); ok {
-			bs.mu.Lock()
-			dead := bs.deleted
-			bs.mu.Unlock()
-			if !dead {
-				resp.Blobs = append(resp.Blobs, id)
-			}
-		}
-	}
-	return resp, nil
+	return &ListBlobsResp{Blobs: vm.st.listBlobs()}, nil
 }
 
 func (vm *VersionManager) handleStats(r *wire.Reader) (wire.Marshaler, error) {
-	var blobs uint64
-	for i := range vm.shards {
-		s := &vm.shards[i]
-		s.mu.Lock()
-		blobs += uint64(len(s.blobs))
-		s.mu.Unlock()
-	}
 	return &VMStatsResp{
-		Blobs:     blobs,
-		Assigned:  vm.assigned.Load(),
-		Published: vm.publishedCount.Load(),
-		Sealed:    vm.sealed.Load(),
+		Blobs:     vm.st.blobCount(),
+		Assigned:  vm.st.assigned.Load(),
+		Published: vm.st.publishedCount.Load(),
+		Sealed:    vm.st.sealed.Load(),
 	}, nil
 }
 
@@ -747,7 +689,7 @@ func (vm *VersionManager) handleSetRetention(r *wire.Reader) (wire.Marshaler, er
 	if err := req.DecodeFrom(r); err != nil {
 		return nil, err
 	}
-	bs, ok := vm.lookup(req.Blob)
+	bs, ok := vm.st.lookup(req.Blob)
 	if !ok {
 		return nil, ErrBlobNotFound
 	}
@@ -756,8 +698,12 @@ func (vm *VersionManager) handleSetRetention(r *wire.Reader) (wire.Marshaler, er
 		bs.mu.Unlock()
 		return nil, ErrBlobNotFound
 	}
-	bs.retain = req.Retain
-	bs.retainSet = true
+	rec := vmRecord{Op: vmOpRetain, Blob: req.Blob, Val: req.Retain}
+	if err := vm.logRecord(&rec); err != nil {
+		bs.mu.Unlock()
+		return nil, err
+	}
+	bs.retain, bs.retainSet = req.Retain, true
 	bs.mu.Unlock()
 	vm.reclaimKick()
 	return nil, nil
@@ -768,7 +714,7 @@ func (vm *VersionManager) handleTruncateBefore(r *wire.Reader) (wire.Marshaler, 
 	if err := req.DecodeFrom(r); err != nil {
 		return nil, err
 	}
-	bs, ok := vm.lookup(req.Blob)
+	bs, ok := vm.st.lookup(req.Blob)
 	if !ok {
 		return nil, ErrBlobNotFound
 	}
@@ -778,12 +724,18 @@ func (vm *VersionManager) handleTruncateBefore(r *wire.Reader) (wire.Marshaler, 
 		return nil, ErrBlobNotFound
 	}
 	// The latest published version always survives a truncation; only
-	// DeleteBlob retires a whole BLOB.
+	// DeleteBlob retires a whole BLOB. The clamped value is what gets
+	// journaled, so replay is independent of publication timing.
 	ver := req.Ver
 	if ver > bs.published {
 		ver = bs.published
 	}
 	if ver > bs.truncBefore {
+		rec := vmRecord{Op: vmOpTrunc, Blob: req.Blob, Ver: ver}
+		if err := vm.logRecord(&rec); err != nil {
+			bs.mu.Unlock()
+			return nil, err
+		}
 		bs.truncBefore = ver
 	}
 	bs.mu.Unlock()
@@ -796,20 +748,18 @@ func (vm *VersionManager) handleDeleteBlob(r *wire.Reader) (wire.Marshaler, erro
 	if err := req.DecodeFrom(r); err != nil {
 		return nil, err
 	}
-	bs, ok := vm.lookup(req.Blob)
+	bs, ok := vm.st.lookup(req.Blob)
 	if !ok {
 		return nil, ErrBlobNotFound
 	}
 	bs.mu.Lock()
 	if !bs.deleted {
-		bs.deleted = true
-		// Wake every waiter; they observe deleted and fail cleanly.
-		for ver, chans := range bs.waiters {
-			for _, ch := range chans {
-				close(ch)
-			}
-			delete(bs.waiters, ver)
+		rec := vmRecord{Op: vmOpDelete, Blob: req.Blob}
+		if err := vm.logRecord(&rec); err != nil {
+			bs.mu.Unlock()
+			return nil, err
 		}
+		vm.st.applyDeleteLocked(bs)
 	}
 	bs.mu.Unlock()
 	vm.reclaimKick()
@@ -821,7 +771,7 @@ func (vm *VersionManager) handlePin(r *wire.Reader) (wire.Marshaler, error) {
 	if err := req.DecodeFrom(r); err != nil {
 		return nil, err
 	}
-	bs, ok := vm.lookup(req.Blob)
+	bs, ok := vm.st.lookup(req.Blob)
 	if !ok {
 		return nil, ErrBlobNotFound
 	}
@@ -844,6 +794,9 @@ func (vm *VersionManager) handlePin(r *wire.Reader) (wire.Marshaler, error) {
 	if req.Ver == 0 || req.Ver > uint64(len(bs.records)) {
 		return nil, ErrNoSuchVersion
 	}
+	// Pins are soft state, deliberately not journaled: a manager crash
+	// forgets them, which costs at most one lease TTL of early
+	// collection — the same bound as a crashed pin holder.
 	if bs.pins == nil {
 		bs.pins = make(map[uint64]*pinLease)
 	}
@@ -864,7 +817,7 @@ func (vm *VersionManager) handleUnpin(r *wire.Reader) (wire.Marshaler, error) {
 	if err := req.DecodeFrom(r); err != nil {
 		return nil, err
 	}
-	bs, ok := vm.lookup(req.Blob)
+	bs, ok := vm.st.lookup(req.Blob)
 	if !ok {
 		return nil, ErrBlobNotFound
 	}
@@ -882,130 +835,32 @@ func (vm *VersionManager) handleUnpin(r *wire.Reader) (wire.Marshaler, error) {
 // handleReclaimScan computes, marks, and hands out every newly dead
 // version. Marking happens here, atomically with the scan, so reads of
 // a handed-out version fail with ErrVersionCollected before its pages
-// start disappearing, and no later pin can land on it.
+// start disappearing, and no later pin can land on it. The journaled
+// frontier record carries the computed target (pins already folded
+// in), so replay does not depend on pin state.
 func (vm *VersionManager) handleReclaimScan(r *wire.Reader) (wire.Marshaler, error) {
 	resp := &ReclaimScanResp{}
 	now := time.Now()
-	for i := range vm.shards {
-		s := &vm.shards[i]
-		s.mu.Lock()
-		states := make(map[uint64]*blobState, len(s.blobs))
-		for id, bs := range s.blobs {
-			states[id] = bs
-		}
-		s.mu.Unlock()
-		for id, bs := range states {
-			bs.mu.Lock()
-			br, blocked := bs.reclaimLocked(id, vm.cfg.RetainLatest, now)
-			bs.mu.Unlock()
-			resp.PinsBlocked += blocked
-			if br != nil {
-				resp.Blobs = append(resp.Blobs, *br)
+	for _, e := range vm.st.blobStates() {
+		bs := e.bs
+		bs.mu.Lock()
+		to, blocked, advance := bs.reclaimTargetLocked(vm.cfg.RetainLatest, now)
+		resp.PinsBlocked += blocked
+		if advance {
+			rec := vmRecord{Op: vmOpFrontier, Blob: e.id, Ver: to}
+			if err := vm.logRecord(&rec); err != nil {
+				// Skip this BLOB: the frontier did not move, no pages
+				// are handed out, the next scan retries.
+				bs.mu.Unlock()
+				continue
 			}
+			// Build the work item BEFORE applying: a tombstoning
+			// advance drops the record arrays.
+			br := bs.buildReclaimLocked(e.id, to)
+			vm.st.applyFrontierLocked(bs, rec)
+			resp.Blobs = append(resp.Blobs, *br)
 		}
+		bs.mu.Unlock()
 	}
 	return resp, nil
-}
-
-// reclaimLocked is one BLOB's share of a reclaim scan. Caller holds
-// bs.mu. It prunes expired pins, advances the collection frontier as
-// far as the effective retention policy and the oldest live pin allow,
-// and returns the frontier-advance work item (nil when the frontier
-// did not move). Returns the count of versions a pin held back.
-func (bs *blobState) reclaimLocked(id, defaultRetain uint64, now time.Time) (*BlobReclaim, uint64) {
-
-	// policyDead is the exclusive upper bound the policy wants dead:
-	// everything below it may go. The latest published version always
-	// survives unless the BLOB is deleted.
-	var policyDead uint64
-	if bs.deleted {
-		policyDead = uint64(len(bs.records)) + 1
-	} else {
-		policyDead = bs.truncBefore
-		retain := defaultRetain
-		if bs.retainSet {
-			retain = bs.retain
-		}
-		if retain > 0 && bs.published > retain {
-			if v := bs.published - retain + 1; v > policyDead {
-				policyDead = v
-			}
-		}
-		if policyDead > bs.published {
-			policyDead = bs.published
-		}
-	}
-
-	// The frontier never passes a live pin: a pinned snapshot keeps
-	// every page it can reach, which is exactly "no version >= the pin's
-	// own view boundary dies". Once the pin releases (or its lease
-	// expires), the next scan finishes the advance. Expired leases stop
-	// clamping but keep their entry: deleting it here would let the
-	// stale holder's eventual Unpin steal a reference from a fresh pin
-	// on the same version. Entries are pruned only once the frontier
-	// passes them (new pins below the frontier are refused, so a late
-	// Unpin of a pruned pin is a harmless no-op).
-	effective := policyDead
-	for v, p := range bs.pins {
-		if now.After(p.expires) {
-			continue
-		}
-		if v < effective {
-			effective = v
-		}
-	}
-	var blocked uint64
-	if effective < policyDead {
-		from := effective
-		if bs.frontier > from {
-			from = bs.frontier
-		}
-		if policyDead > from {
-			blocked = policyDead - from
-		}
-	}
-
-	from := bs.frontier
-	if from < 1 {
-		from = 1
-	}
-	if effective <= from {
-		return nil, blocked
-	}
-	bs.frontier = effective
-	for v := range bs.pins {
-		if v < bs.frontier {
-			delete(bs.pins, v)
-		}
-	}
-
-	maxVer := effective
-	if maxVer > uint64(len(bs.records)) {
-		maxVer = uint64(len(bs.records))
-	}
-	br := &BlobReclaim{
-		Blob:     id,
-		PageSize: bs.pageSize,
-		Deleted:  bs.deleted && effective == uint64(len(bs.records))+1,
-		From:     from,
-		To:       effective,
-		// Zero-copy share of the record prefix: write records are
-		// written once at assignment and never mutated, and appends
-		// never touch indices below maxVer, so encoding this slice
-		// outside the lock is race-free — the scan holds bs.mu for
-		// O(1) regardless of history length. The full prefix ships
-		// (rather than just (From, To]) so every scan item is
-		// self-contained: a collector restart — or a scan response
-		// lost to a timeout after the frontier advanced (the one leak
-		// window of the mark-first design) — costs at most the lost
-		// window's pages, never a corrupted reclaim of later windows.
-		Records: bs.records[:maxVer:maxVer],
-	}
-	// A fully collected, unpinned, deleted BLOB needs only a tombstone:
-	// drop the bulk arrays, keep the flags so reads keep failing with
-	// ErrVersionCollected.
-	if br.Deleted {
-		bs.records, bs.sizes, bs.status, bs.assignedAt = nil, nil, nil, nil
-	}
-	return br, blocked
 }

@@ -1,6 +1,7 @@
 package bsfs
 
 import (
+	"path/filepath"
 	"time"
 
 	"blobseer/internal/blob"
@@ -49,17 +50,26 @@ type Deployment struct {
 // created files.
 func Deploy(c *blob.Cluster, blockSize uint64) (*Deployment, error) {
 	nsClient := c.Client("bsfs-ns-host")
-	ns, err := NewNamespaceManager(c.Net, transport.MakeAddr("bsfs-ns-host", SvcNamespace), nsClient)
+	// The namespace manager shares the cluster's durability mode: with a
+	// journal directory it survives restarts alongside the version-
+	// manager shards.
+	nsJournal := ""
+	if c.Cfg.JournalDir != "" {
+		nsJournal = filepath.Join(c.Cfg.JournalDir, "namespace.log")
+	}
+	ns, err := NewDurableNamespaceManager(c.Net, transport.MakeAddr("bsfs-ns-host", SvcNamespace), nsClient, nsJournal)
 	if err != nil {
 		nsClient.Close()
 		return nil, err
 	}
 	// The collector gets its own client (cache purges must not race a
-	// real mount's reads) and a kick from every lifecycle RPC, so
-	// deletions reclaim promptly even with no periodic interval armed.
+	// real mount's reads) and a kick from every lifecycle RPC on every
+	// shard, so deletions reclaim promptly even with no periodic
+	// interval armed; the cluster re-wires the kick when a shard
+	// restarts after failover.
 	gcClient := c.Client("vmanager-host")
 	collector := gc.New(gcClient, gc.Options{})
-	c.VM.SetReclaimNotify(collector.Kick)
+	c.SetReclaimNotify(collector.Kick)
 	return &Deployment{
 		Blob:      c,
 		NS:        ns,
@@ -83,6 +93,7 @@ func (d *Deployment) Mount(host string) *FS {
 		Host:            host,
 		Namespace:       d.NS.Addr(),
 		VersionManager:  d.Blob.VM.Addr(),
+		VersionManagers: d.Blob.VMAddrs(),
 		ProviderManager: d.Blob.PM.Addr(),
 		Metadata:        d.Blob.MetaAddrs(),
 		BlockSize:       d.blockSize,
@@ -98,7 +109,7 @@ func (d *Deployment) Mount(host string) *FS {
 // Close stops the namespace manager and the collector (the BlobSeer
 // cluster is owned by the caller).
 func (d *Deployment) Close() error {
-	d.Blob.VM.SetReclaimNotify(nil)
+	d.Blob.SetReclaimNotify(nil)
 	d.GC.Close()
 	err := d.NS.Close()
 	d.nsClient.Close()

@@ -26,6 +26,11 @@ type Config struct {
 	ProviderManager transport.Addr
 	Metadata        []transport.Addr
 
+	// VersionManagers lists every version-manager shard of a partitioned
+	// metadata plane, in ring-slot order. Empty means the single manager
+	// at VersionManager.
+	VersionManagers []transport.Addr
+
 	// BlockSize is the page size of newly created files and the unit
 	// of client-side buffering/prefetching (the paper uses 64 MB to
 	// match HDFS chunks; tests and experiments scale it down).
@@ -134,6 +139,7 @@ func New(cfg Config) *FS {
 			Net:             cfg.Net,
 			Host:            cfg.Host,
 			VersionManager:  cfg.VersionManager,
+			VersionManagers: cfg.VersionManagers,
 			ProviderManager: cfg.ProviderManager,
 			Metadata:        cfg.Metadata,
 			MetaReplicas:    cfg.MetaReplicas,

@@ -20,6 +20,7 @@ import (
 
 	"blobseer/internal/blob"
 	"blobseer/internal/dfs"
+	"blobseer/internal/kvlog"
 	"blobseer/internal/rpc"
 	"blobseer/internal/transport"
 	"blobseer/internal/wire"
@@ -127,26 +128,71 @@ type nsEntry struct {
 // NamespaceManager is BSFS's centralized namespace manager. It owns the
 // file-system tree and the file→BLOB mapping; BLOBs are created through
 // the version manager on demand.
+//
+// With a journal path the namespace is durable: every entry mutation
+// (create, mkdir, size update, rename, delete) is persisted to a kvlog
+// store — keyed "e/<path>", write-ahead under ns.mu — before it is
+// acknowledged, and a restart replays the store into the map. The store
+// is the live mapping, not an op log, so replay is a plain scan and
+// size-update churn is bounded by compaction.
 type NamespaceManager struct {
 	srv *rpc.Server
 	bc  *blob.Client // for creating BLOBs
 
 	mu      sync.Mutex
 	entries map[string]*nsEntry
+	kv      *kvlog.Store // nil: in-memory namespace
 }
 
-// NewNamespaceManager starts a namespace manager at addr; bc is used to
-// create one BLOB per new file.
+// nsCompactThreshold is the journal dead-bytes bound: every UpdateSize
+// overwrites the file's record, so an append-heavy workload churns the
+// store and a restart should not replay that churn.
+const nsCompactThreshold = 1 << 20
+
+// NewNamespaceManager starts an in-memory namespace manager at addr;
+// bc is used to create one BLOB per new file.
 func NewNamespaceManager(net transport.Network, addr transport.Addr, bc *blob.Client) (*NamespaceManager, error) {
-	srv, err := rpc.NewServer(net, addr)
-	if err != nil {
-		return nil, err
-	}
+	return NewDurableNamespaceManager(net, addr, bc, "")
+}
+
+// NewDurableNamespaceManager starts a namespace manager journaling to
+// journalPath (empty = in-memory). An existing journal is replayed
+// before the endpoint binds.
+func NewDurableNamespaceManager(net transport.Network, addr transport.Addr, bc *blob.Client, journalPath string) (*NamespaceManager, error) {
 	ns := &NamespaceManager{
-		srv:     srv,
 		bc:      bc,
 		entries: map[string]*nsEntry{"/": {isDir: true}},
 	}
+	if journalPath != "" {
+		kv, err := kvlog.Open(journalPath, kvlog.Options{})
+		if err != nil {
+			return nil, err
+		}
+		err = kv.Scan(func(key string, value []byte) error {
+			if !strings.HasPrefix(key, "e/") {
+				return nil
+			}
+			e, err := decodeNSEntry(value)
+			if err != nil {
+				return err
+			}
+			ns.entries[key[2:]] = e
+			return nil
+		})
+		if err != nil {
+			kv.Close()
+			return nil, err
+		}
+		ns.kv = kv
+	}
+	srv, err := rpc.NewServer(net, addr)
+	if err != nil {
+		if ns.kv != nil {
+			ns.kv.Close()
+		}
+		return nil, err
+	}
+	ns.srv = srv
 	srv.Handle(NSCreate, ns.handleCreate)
 	srv.Handle(NSLookup, ns.handleLookup)
 	srv.Handle(NSUpdateSize, ns.handleUpdateSize)
@@ -162,7 +208,70 @@ func NewNamespaceManager(net transport.Network, addr transport.Addr, bc *blob.Cl
 func (ns *NamespaceManager) Addr() transport.Addr { return ns.srv.Addr() }
 
 // Close stops the manager.
-func (ns *NamespaceManager) Close() error { return ns.srv.Close() }
+func (ns *NamespaceManager) Close() error {
+	err := ns.srv.Close()
+	if ns.kv != nil {
+		ns.mu.Lock()
+		cerr := ns.kv.Close()
+		ns.mu.Unlock()
+		if err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+func encodeNSEntry(e *nsEntry) []byte {
+	b := wire.AppendBool(nil, e.isDir)
+	b = wire.AppendUvarint(b, e.blob)
+	b = wire.AppendUvarint(b, e.pageSize)
+	return wire.AppendUvarint(b, e.size)
+}
+
+func decodeNSEntry(data []byte) (*nsEntry, error) {
+	r := wire.NewReader(data)
+	e := &nsEntry{
+		isDir:    r.Bool(),
+		blob:     r.Uvarint(),
+		pageSize: r.Uvarint(),
+		size:     r.Uvarint(),
+	}
+	return e, r.Err()
+}
+
+// logPutLocked persists path→e write-ahead; on error the caller must
+// not mutate the map. Caller holds ns.mu.
+func (ns *NamespaceManager) logPutLocked(path string, e *nsEntry) error {
+	if ns.kv == nil {
+		return nil
+	}
+	if err := ns.kv.Put("e/"+path, encodeNSEntry(e)); err != nil {
+		return err
+	}
+	ns.maybeCompactLocked()
+	return nil
+}
+
+// logDeleteLocked removes path's record write-ahead. Caller holds ns.mu.
+func (ns *NamespaceManager) logDeleteLocked(path string) error {
+	if ns.kv == nil {
+		return nil
+	}
+	if err := ns.kv.Delete("e/" + path); err != nil {
+		return err
+	}
+	ns.maybeCompactLocked()
+	return nil
+}
+
+func (ns *NamespaceManager) maybeCompactLocked() {
+	total, live := ns.kv.Size()
+	if total-live >= nsCompactThreshold {
+		// Best effort: a failed compaction leaves a bigger but intact
+		// journal.
+		_ = ns.kv.Compact()
+	}
+}
 
 // mkdirAllLocked creates dir and its ancestors; fails if a path
 // component is a file.
@@ -173,7 +282,11 @@ func (ns *NamespaceManager) mkdirAllLocked(dir string) error {
 		}
 		e, ok := ns.entries[p]
 		if !ok {
-			ns.entries[p] = &nsEntry{isDir: true}
+			d := &nsEntry{isDir: true}
+			if err := ns.logPutLocked(p, d); err != nil {
+				return err
+			}
+			ns.entries[p] = d
 			continue
 		}
 		if !e.isDir {
@@ -237,7 +350,13 @@ func (ns *NamespaceManager) handleCreate(r *wire.Reader) (wire.Marshaler, error)
 		}
 		return &resp, nil
 	}
-	ns.entries[path] = &nsEntry{blob: bl.ID(), pageSize: req.PageSize}
+	e := &nsEntry{blob: bl.ID(), pageSize: req.PageSize}
+	if err := ns.logPutLocked(path, e); err != nil {
+		ns.mu.Unlock()
+		ns.deleteBlobDetached(bl.ID())
+		return nil, err
+	}
+	ns.entries[path] = e
 	ns.mu.Unlock()
 	return &EntryResp{Blob: bl.ID(), PageSize: req.PageSize}, nil
 }
@@ -289,7 +408,12 @@ func (ns *NamespaceManager) handleUpdateSize(r *wire.Reader) (wire.Marshaler, er
 		return nil, dfs.ErrIsDir
 	}
 	if req.Size > e.size {
+		old := e.size
 		e.size = req.Size
+		if err := ns.logPutLocked(path, e); err != nil {
+			e.size = old
+			return nil, err
+		}
 	}
 	return nil, nil
 }
@@ -364,6 +488,15 @@ func (ns *NamespaceManager) handleRename(r *wire.Reader) (wire.Marshaler, error)
 	if err := ns.mkdirAllLocked(dfs.Parent(dst)); err != nil {
 		return nil, err
 	}
+	// Journal dst before src: a crash between the two leaves both paths
+	// naming the same BLOB (data never lost), and the survivor wins on
+	// the next delete/rename of either path.
+	if err := ns.logPutLocked(dst, e); err != nil {
+		return nil, err
+	}
+	if err := ns.logDeleteLocked(src); err != nil {
+		return nil, err
+	}
 	delete(ns.entries, src)
 	ns.entries[dst] = e
 	return nil, nil
@@ -396,6 +529,10 @@ func (ns *NamespaceManager) handleDelete(r *wire.Reader) (wire.Marshaler, error)
 				return nil, dfs.ErrNotEmpty
 			}
 		}
+		if err := ns.logDeleteLocked(path); err != nil {
+			ns.mu.Unlock()
+			return nil, err
+		}
 		delete(ns.entries, path)
 		ns.mu.Unlock()
 		return nil, nil
@@ -421,6 +558,12 @@ func (ns *NamespaceManager) handleDelete(r *wire.Reader) (wire.Marshaler, error)
 	// a concurrent rename/recreate made a new entry under this path,
 	// and that one's BLOB is untouched.
 	if cur, ok := ns.entries[path]; ok && cur == e {
+		if err := ns.logDeleteLocked(path); err != nil {
+			// The BLOB is already retired; the entry stays and the
+			// caller's retry re-deletes (DeleteBlob is idempotent).
+			ns.mu.Unlock()
+			return nil, err
+		}
 		delete(ns.entries, path)
 	}
 	ns.mu.Unlock()

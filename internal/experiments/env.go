@@ -5,8 +5,9 @@
 //
 // The environment reproduces §4.1 at laptop scale: one simulated
 // cluster of cfg.Nodes machines on a bandwidth/latency-shaped
-// transport; one version manager, one provider manager, one namespace
-// manager and cfg.MetaProviders metadata providers on dedicated
+// transport; cfg.VMShards version-manager shards (default one, the
+// paper's topology), one provider manager, one namespace manager and
+// cfg.MetaProviders metadata providers on dedicated
 // machines; every remaining machine is a data provider, and clients
 // are "launched simultaneously on the same machines as the datanodes
 // (data providers, respectively)". Pages/chunks are scaled from the
@@ -75,6 +76,13 @@ type Config struct {
 	// GCInterval arms periodic garbage-collection passes on the
 	// deployment's collector (0 = kick-driven only).
 	GCInterval time.Duration
+	// VMShards partitions the metadata plane across N version-manager
+	// shards (default 1, the paper's single version manager). The Meta
+	// scenario sweeps its own shard counts regardless.
+	VMShards int
+	// JournalDir, when set, journals version-manager and namespace
+	// state there so killed services can be restarted (Meta failover).
+	JournalDir string
 	// Seed drives all randomness.
 	Seed int64
 }
@@ -154,6 +162,8 @@ func newBSFSEnvStore(cfg Config, store blob.StoreKind) (*bsfsEnv, error) {
 		Store:         store,
 		Strategy:      cfg.Placement,
 		Retain:        cfg.Retain,
+		VMShards:      cfg.VMShards,
+		JournalDir:    cfg.JournalDir,
 	})
 	if err != nil {
 		return nil, err

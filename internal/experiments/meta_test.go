@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"testing"
+
+	"blobseer/internal/blob"
+	"blobseer/internal/transport"
+)
+
+func TestMetaScenarioSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("meta scenario runs a shaped multi-second workload")
+	}
+	res, err := Meta(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scaling) != metaShardSweep {
+		t.Fatalf("scaling points = %d, want %d", len(res.Scaling), metaShardSweep)
+	}
+	for _, p := range res.Scaling {
+		if p.OpsPerSec <= 0 {
+			t.Fatalf("shards=%d: ops/s = %g", p.Shards, p.OpsPerSec)
+		}
+	}
+	// Publish throughput must grow with shard count. Observed margins
+	// are ~1.7x and ~1.6x; the thresholds are generous so shaping noise
+	// on loaded CI hosts does not flake, but flat curves still fail.
+	p1, p2, p4 := res.Scaling[0].OpsPerSec, res.Scaling[1].OpsPerSec, res.Scaling[2].OpsPerSec
+	if p2 < p1*1.15 {
+		t.Errorf("2 shards did not scale: %.0f -> %.0f ops/s", p1, p2)
+	}
+	if p4 < p2*1.05 {
+		t.Errorf("4 shards did not scale past 2: %.0f -> %.0f ops/s", p2, p4)
+	}
+
+	// Failover: every acknowledged write survived the kill.
+	f := res.Failover
+	if f.LostWrites != 0 {
+		t.Errorf("failover lost %d acknowledged writes", f.LostWrites)
+	}
+	if want := failWriters * (failOpsBefore + failOpsAfter); f.AckedTotal != want {
+		t.Errorf("failover acked %d writes, want %d", f.AckedTotal, want)
+	}
+	if want := failWriters * failOpsAfter; f.ResumedAfter != want {
+		t.Errorf("%d writes acked after the kill, want %d", f.ResumedAfter, want)
+	}
+
+	// Cold restart replayed real journal state.
+	r := res.Recovery
+	if r.Records == 0 || r.Blobs == 0 || r.Versions == 0 {
+		t.Errorf("recovery replayed nothing: %+v", r)
+	}
+}
+
+// BenchmarkMetaPublish measures the raw publish pipeline (append +
+// wait-published + two reads of the version metadata) on an unshaped
+// in-memory cluster with two shards — the ops/s ceiling of the
+// metadata plane itself, with no modeled network in the way.
+func BenchmarkMetaPublish(b *testing.B) {
+	cluster, err := blob.NewCluster(transport.NewMemNet(), blob.ClusterConfig{
+		Providers:     8,
+		MetaProviders: 3,
+		VMShards:      2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cluster.Close()
+	c := cluster.Client("bench-cli")
+	defer c.Close()
+	bl, err := c.Create(ctx, metaPageSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := metaOp(c, bl, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

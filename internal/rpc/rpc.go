@@ -208,9 +208,14 @@ func (c *Client) Close() error {
 	c.closed = true
 	conn := c.conn
 	c.conn = nil
+	pend := c.pending
+	c.pending = make(map[uint64]chan callResult)
 	c.mu.Unlock()
 	if conn != nil {
 		conn.Close()
+	}
+	for _, ch := range pend {
+		ch <- callResult{err: ErrConnLost}
 	}
 	return nil
 }
@@ -260,13 +265,18 @@ func (c *Client) recvLoop(conn transport.Conn) {
 }
 
 // failConn fails every pending call and drops the connection so the
-// next call redials.
+// next call redials. It sweeps pending only while conn is still the
+// current connection: both the send path and the receive loop report
+// the same dead conn, and the late report must not fail calls that
+// were already retried over a fresh connection.
 func (c *Client) failConn(conn transport.Conn, err error) {
 	conn.Close()
 	c.mu.Lock()
-	if c.conn == conn {
-		c.conn = nil
+	if c.conn != conn {
+		c.mu.Unlock()
+		return
 	}
+	c.conn = nil
 	pend := c.pending
 	c.pending = make(map[uint64]chan callResult)
 	c.mu.Unlock()
