@@ -17,12 +17,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
 	"blobseer"
 	"blobseer/internal/blob"
 	"blobseer/internal/dfs"
+	"blobseer/internal/metrics"
+	"blobseer/internal/obshttp"
 	"blobseer/internal/workload"
 )
 
@@ -42,6 +45,7 @@ const usage = `commands:
   entries                 namespace metadata entry count
   gcstats                 run a GC pass and print collector counters
   shards                  show ring assignment and per-shard blob/version counts
+  stats                   print the process metrics registry (RPC p99s, op latencies, gauges)
   help                    this text
 `
 
@@ -57,6 +61,7 @@ func main() {
 		gcIntv    = flag.Duration("gc-interval", 0, "periodic GC pass cadence (0 = kick-driven only)")
 		vmShards  = flag.Int("vm-shards", 1, "version-manager shards (metadata plane partitions)")
 		journal   = flag.String("journal", "", "journal directory (empty = in-memory metadata plane)")
+		mAddr     = flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /healthz and /spans on this address while the shell runs")
 		demo      = flag.Bool("demo", false, "run a canned demo script")
 	)
 	flag.Parse()
@@ -80,6 +85,31 @@ func main() {
 	fs := cluster.Mount("node-000")
 	defer fs.Close()
 	ctx := context.Background()
+
+	// The shell's mount is the process's one client: expose its cache
+	// footprint, pipelining depth, and the metadata plane's journal size
+	// as registry gauges so `stats` and /metrics show live state, not
+	// just counters.
+	bc := fs.BlobClient()
+	metrics.Default.SetGauge("client_cache_bytes", func() float64 { return float64(bc.PageCache().Bytes()) })
+	metrics.Default.SetGauge("client_inflight_writes", func() float64 { return float64(bc.InFlight()) })
+	vms := cluster.Blob.VMs
+	metrics.Default.SetGauge("vm_journal_records", func() float64 {
+		var n uint64
+		for _, vm := range vms {
+			n += vm.JournalRecords()
+		}
+		return float64(n)
+	})
+
+	if *mAddr != "" {
+		ms, err := obshttp.ServeMetrics(*mAddr, nil)
+		if err != nil {
+			fatal(err)
+		}
+		defer ms.Close()
+		fmt.Printf("[metrics endpoint on http://%s/metrics]\n", ms.Addr())
+	}
 
 	var in io.Reader = os.Stdin
 	if *demo {
@@ -116,6 +146,10 @@ entries
 				s.BytesReclaimed, s.NodesDeleted, s.PinsBlocked)
 			continue
 		}
+		if line == "stats" {
+			showStats(metrics.Default.Snapshot())
+			continue
+		}
 		if line == "shards" {
 			// Also deployment-level: walks the version-manager ring with
 			// a routed client and queries each shard directly.
@@ -128,6 +162,48 @@ entries
 			fmt.Printf("error: %v\n", err)
 		}
 	}
+}
+
+// showStats pretty-prints the process metrics registry: subsystem
+// counters, live gauges, operation latencies, and per-method RPC
+// latency quantiles for both wire sides.
+func showStats(s metrics.RegistrySnapshot) {
+	fmt.Printf("read:    hits=%d misses=%d readahead=%d evictions=%d fetches=%d failures=%d\n",
+		s.Read.Hits, s.Read.Misses, s.Read.Readahead, s.Read.Evictions,
+		s.Read.ProviderFetches, s.Read.ProviderFailures)
+	fmt.Printf("gc:      passes=%d versions=%d blobs=%d pages=%d bytes=%d\n",
+		s.GC.Passes, s.GC.VersionsCollected, s.GC.BlobsDeleted,
+		s.GC.PagesReclaimed, s.GC.BytesReclaimed)
+	fmt.Printf("shuffle: appended=%d fetched=%d recovered=%d\n",
+		s.Shuffle.SegmentsAppended, s.Shuffle.SegmentsFetched, s.Shuffle.SegmentsRecovered)
+	for _, k := range sortedKeys(s.Gauges) {
+		fmt.Printf("gauge    %-28s %g\n", k, s.Gauges[k])
+	}
+	for _, k := range sortedKeys(s.Ops) {
+		q := s.Ops[k]
+		fmt.Printf("op       %-28s n=%-6d p50=%.3fms p99=%.3fms max=%.3fms\n",
+			k, q.Count, q.P50Ms, q.P99Ms, q.MaxMs)
+	}
+	sides := []struct {
+		name    string
+		methods map[string]metrics.MethodSnapshot
+	}{{"client", s.RPCClient}, {"server", s.RPCServer}}
+	for _, side := range sides {
+		for _, k := range sortedKeys(side.methods) {
+			m := side.methods[k]
+			fmt.Printf("rpc %-6s %-24s calls=%-7d errs=%-4d bytes=%-10d p50=%.3fms p99=%.3fms\n",
+				side.name, k, m.Calls, m.Errors, m.Bytes, m.Latency.P50Ms, m.Latency.P99Ms)
+		}
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // showShards prints the metadata ring: every version-manager shard,

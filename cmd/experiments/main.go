@@ -21,6 +21,7 @@ import (
 	"blobseer"
 	"blobseer/internal/experiments"
 	"blobseer/internal/metrics"
+	"blobseer/internal/obshttp"
 	"blobseer/internal/shuffle"
 )
 
@@ -40,11 +41,24 @@ func main() {
 		gcIntv  = flag.Duration("gc-interval", 0, "periodic GC pass cadence (0 = kick-driven only)")
 		shards  = flag.Int("vm-shards", 1, "version-manager shards for the environment (the meta scenario sweeps its own counts)")
 		bench   = flag.String("bench-json", "", "write the meta scenario's machine-readable results to this file (e.g. BENCH_meta.json)")
+		benchD  = flag.String("bench-dir", "", "write BENCH_<fig>.json reports (throughput + latency percentiles) for the write/read/shuffle/gc scenarios into this directory")
+		mAddr   = flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /healthz and /spans on this address while the experiments run (e.g. 127.0.0.1:9090)")
+		trace   = flag.Bool("trace", false, "with -fig shuffle: sample one traced append and print its causal span tree")
 		seed    = flag.Int64("seed", 1, "random seed")
 		quick   = flag.Bool("quick", false, "reduced sweeps for a fast run")
 		csv     = flag.Bool("csv", false, "also print CSV data")
 	)
 	flag.Parse()
+
+	if *mAddr != "" {
+		ms, err := obshttp.ServeMetrics(*mAddr, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: metrics endpoint:", err)
+			os.Exit(1)
+		}
+		defer ms.Close()
+		fmt.Printf("[metrics endpoint on http://%s/metrics]\n", ms.Addr())
+	}
 
 	shuffleBackend, err := shuffle.ParseBackend(*shufB)
 	if err != nil {
@@ -75,8 +89,32 @@ func main() {
 		cfg.Reps = 2
 	}
 
+	// The scenarios that grew bench reports are addressable by role as
+	// well as figure number: -fig write == -fig 3, -fig read == -fig 4.
+	figSel := *fig
+	switch figSel {
+	case "write":
+		figSel = "3"
+	case "read":
+		figSel = "4"
+	}
+
+	// writeReport emits the scenario's BENCH_<fig>.json when -bench-dir
+	// is set.
+	writeReport := func(rep *experiments.BenchReport) error {
+		if *benchD == "" {
+			return nil
+		}
+		path, err := experiments.WriteBench(*benchD, rep)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("[bench report written to %s]\n\n", path)
+		return nil
+	}
+
 	run := func(name string, fn func() error) {
-		if *fig != "all" && *fig != name {
+		if figSel != "all" && figSel != name {
 			return
 		}
 		start := time.Now()
@@ -95,21 +133,21 @@ func main() {
 	}
 
 	run("3", func() error {
-		s, err := experiments.Fig3(cfg, sweeps.fig3)
+		rep, s, err := experiments.BenchWrite(cfg, sweeps.fig3)
 		if err != nil {
 			return err
 		}
 		emit("Figure 3: concurrent appends to the same file (BSFS)", s)
-		return nil
+		return writeReport(rep)
 	})
 
 	run("4", func() error {
-		s, err := experiments.Fig4(cfg, sweeps.fig45)
+		rep, s, err := experiments.BenchRead(cfg, sweeps.fig45)
 		if err != nil {
 			return err
 		}
 		emit("Figure 4: impact of concurrent appends on concurrent reads (100 readers)", s)
-		return nil
+		return writeReport(rep)
 	})
 
 	run("5", func() error {
@@ -164,7 +202,7 @@ func main() {
 	})
 
 	run("shuffle", func() error {
-		res, err := experiments.Shuffle(cfg)
+		rep, res, err := experiments.BenchShuffle(cfg)
 		if err != nil {
 			return err
 		}
@@ -174,11 +212,18 @@ func main() {
 			res.RerunsMemory, res.RerunsBlob)
 		fmt.Printf("# blob backend: first segment fetched %.3f s before the map phase ended\n", res.BlobOverlapSec)
 		fmt.Printf("# blob backend: %d segments served after their producing tracker died\n\n", res.BlobRecovered)
-		return nil
+		if *trace {
+			tree, err := experiments.TraceAppend(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("# one sampled append, traced across processes:\n%s\n", tree)
+		}
+		return writeReport(rep)
 	})
 
 	run("gc", func() error {
-		res, err := experiments.GC(cfg)
+		rep, res, err := experiments.BenchGC(cfg)
 		if err != nil {
 			return err
 		}
@@ -189,7 +234,7 @@ func main() {
 		fmt.Printf("# collector: %d passes, %d versions collected, %d blobs deleted, %d pages (%d bytes) reclaimed, %d tree nodes deleted\n\n",
 			res.GCStats.Passes, res.GCStats.VersionsCollected, res.GCStats.BlobsDeleted,
 			res.GCStats.PagesReclaimed, res.GCStats.BytesReclaimed, res.GCStats.NodesDeleted)
-		return nil
+		return writeReport(rep)
 	})
 
 	run("snapshot", func() error {

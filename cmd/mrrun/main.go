@@ -22,6 +22,7 @@ import (
 	"blobseer/internal/dfs"
 	"blobseer/internal/hdfs"
 	"blobseer/internal/mapreduce"
+	"blobseer/internal/obshttp"
 	"blobseer/internal/shuffle"
 	"blobseer/internal/transport"
 	"blobseer/internal/workload"
@@ -45,9 +46,19 @@ func main() {
 		gcIntv   = flag.Duration("gc-interval", 0, "BSFS periodic GC pass cadence (0 = kick-driven only)")
 		keepInt  = flag.Bool("keep-intermediate", false, "keep the blob shuffle backend's intermediate BLOBs after the job (default: retired through GC)")
 		vmShards = flag.Int("vm-shards", 1, "BSFS version-manager shards (metadata plane partitions)")
+		mAddr    = flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /healthz and /spans on this address while the job runs")
 	)
 	flag.Parse()
 	ctx := context.Background()
+
+	if *mAddr != "" {
+		ms, err := obshttp.ServeMetrics(*mAddr, nil)
+		if err != nil {
+			fatal(err)
+		}
+		defer ms.Close()
+		fmt.Printf("[metrics endpoint on http://%s/metrics]\n", ms.Addr())
+	}
 
 	outputMode := mapreduce.SharedAppend
 	if *mode == "separate" {

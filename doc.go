@@ -59,6 +59,21 @@
 // address. See the README's "metadata plane" section for the ring
 // layout, journal record formats, and failover semantics.
 //
+// # Observability
+//
+// Every request path reports into one plane. RPC frames carry a
+// two-uvarint trace context, so a traced operation renders as a
+// causal span tree across client, version-manager, and provider
+// processes (internal/obs); both sides of every RPC record into
+// per-method lock-free latency histograms, and the process-wide
+// metrics.Default registry unifies those with operation histograms,
+// read/GC/shuffle counters, and gauges. All three commands expose it
+// over HTTP with -metrics-addr (/metrics Prometheus text,
+// /metrics.json, /spans, /healthz), and each experiments scenario
+// can emit a BENCH_<fig>.json report (figure series plus latency
+// percentiles) so performance is comparable across changes as a
+// file diff.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // reproduced evaluation.
 package blobseer

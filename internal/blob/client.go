@@ -11,6 +11,7 @@ import (
 	"blobseer/internal/cache"
 	"blobseer/internal/dht"
 	"blobseer/internal/metrics"
+	"blobseer/internal/obs"
 	"blobseer/internal/pagestore"
 	"blobseer/internal/rpc"
 	"blobseer/internal/segtree"
@@ -73,6 +74,17 @@ type Client struct {
 	rstats    *metrics.ReadStats
 	replicaRR atomic.Uint32
 
+	// inflight counts writes whose data path is still running — the
+	// AppendAsync pipelining depth, exported as a gauge.
+	inflight atomic.Int64
+
+	// pageWork feeds reusable page-transfer workers (started on first
+	// use); see forEachPage. pageQuit stops them at Close.
+	pageWork  chan pageTask
+	pageQuit  chan struct{}
+	startOnce sync.Once
+	closeOnce sync.Once
+
 	mu      sync.Mutex
 	hist    map[uint64]*blobHistory
 	verinfo map[VersionRef]VersionInfo // published (immutable) versions
@@ -111,6 +123,7 @@ func NewClient(cfg ClientConfig) *Client {
 	ring := dht.NewRing(cfg.Metadata, 64)
 	meta := dht.NewClient(ring, pool, cfg.MetaReplicas)
 	rstats := &metrics.ReadStats{}
+	metrics.Default.AttachReadStats(rstats)
 	var pages *cache.Cache
 	if cfg.CacheBytes >= 0 {
 		pages = cache.New(cfg.CacheBytes, rstats)
@@ -120,15 +133,17 @@ func NewClient(cfg ClientConfig) *Client {
 		shards = []transport.Addr{cfg.VersionManager}
 	}
 	return &Client{
-		cfg:     cfg,
-		pool:    pool,
-		vm:      NewVMRouter(pool, shards, cfg.Host),
-		nodes:   NewNodeStore(meta),
-		pages:   pages,
-		rstats:  rstats,
-		hist:    make(map[uint64]*blobHistory),
-		verinfo: make(map[VersionRef]VersionInfo),
-		slots:   make(map[slotKey]segtree.Slot),
+		cfg:      cfg,
+		pool:     pool,
+		vm:       NewVMRouter(pool, shards, cfg.Host),
+		nodes:    NewNodeStore(meta),
+		pages:    pages,
+		rstats:   rstats,
+		pageWork: make(chan pageTask),
+		pageQuit: make(chan struct{}),
+		hist:     make(map[uint64]*blobHistory),
+		verinfo:  make(map[VersionRef]VersionInfo),
+		slots:    make(map[slotKey]segtree.Slot),
 	}
 }
 
@@ -140,8 +155,15 @@ func (c *Client) ReadStats() *metrics.ReadStats { return c.rstats }
 // tests and tools.
 func (c *Client) PageCache() *cache.Cache { return c.pages }
 
-// Close releases the client's connections.
-func (c *Client) Close() error { return c.pool.Close() }
+// InFlight returns the number of writes whose data path has not yet
+// finished — the effective AppendAsync pipelining depth.
+func (c *Client) InFlight() int64 { return c.inflight.Load() }
+
+// Close releases the client's connections and stops its page workers.
+func (c *Client) Close() error {
+	c.closeOnce.Do(func() { close(c.pageQuit) })
+	return c.pool.Close()
+}
 
 // VMRouter exposes the client's blob→shard router, so co-operating
 // services (GC collector, tools) share the same mapping and retry
@@ -404,7 +426,11 @@ func (b *Blob) abortDetached(ver uint64) {
 	go func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
-		_ = b.Abort(ctx, ver)
+		if err := b.Abort(ctx, ver); err != nil {
+			// The version stays pending until SealTimeout fires (or
+			// forever without sealing) — worth an operator's attention.
+			obs.Log.Warnf("blob %d: detached seal of version %d failed: %v", b.id, ver, err)
+		}
 	}()
 }
 
@@ -467,9 +493,15 @@ func (b *Blob) Append(ctx context.Context, data []byte) (WriteResult, error) {
 // appends in flight while publication still follows assignment order.
 // The caller must not modify data until the pending write finishes.
 func (b *Blob) AppendAsync(ctx context.Context, data []byte) (*PendingWrite, error) {
+	start := time.Now()
+	ctx, sp := obs.StartSpan(ctx, "blob.append")
 	a, history, err := b.assign(ctx, KindAppend, 0, data)
 	if err != nil {
+		sp.End(err)
 		return nil, err
+	}
+	if sp != nil { // guard: varargs boxing allocates even for a nil span
+		sp.Annotate("ver=%d start=%d len=%d", a.Ver, a.Start, len(data))
 	}
 	// Provider allocation stays in the serialized prologue so a
 	// writer's consecutive blocks keep their allocation order (and so
@@ -479,15 +511,20 @@ func (b *Blob) AppendAsync(ctx context.Context, data []byte) (*PendingWrite, err
 	alloc, err := b.allocPages(ctx, a, data)
 	if err != nil {
 		b.abortDetached(a.Ver)
+		sp.End(err)
 		return nil, err
 	}
 	p := &PendingWrite{
 		res:  WriteResult{Ver: a.Ver, Start: a.Start, SizeAfter: a.SizeAfter},
 		done: make(chan struct{}),
 	}
+	b.c.inflight.Add(1)
 	go func() {
 		defer close(p.done)
 		p.err = b.finishWrite(ctx, a, history, data, &alloc)
+		b.c.inflight.Add(-1)
+		sp.End(p.err)
+		metrics.Default.Op("blob.append").RecordDuration(time.Since(start))
 	}()
 	return p, nil
 }
@@ -500,6 +537,21 @@ func (b *Blob) WriteAt(ctx context.Context, data []byte, off uint64) (WriteResul
 
 // write runs the decoupled write pipeline of §3.1.2 synchronously.
 func (b *Blob) write(ctx context.Context, kind uint64, off uint64, data []byte) (WriteResult, error) {
+	start := time.Now()
+	opName := "blob.write"
+	if kind == KindAppend {
+		opName = "blob.append"
+	}
+	ctx, sp := obs.StartSpan(ctx, opName)
+	b.c.inflight.Add(1)
+	res, err := b.writePipeline(ctx, kind, off, data)
+	b.c.inflight.Add(-1)
+	sp.End(err)
+	metrics.Default.Op(opName).RecordDuration(time.Since(start))
+	return res, err
+}
+
+func (b *Blob) writePipeline(ctx context.Context, kind uint64, off uint64, data []byte) (WriteResult, error) {
 	a, history, err := b.assign(ctx, kind, off, data)
 	if err != nil {
 		return WriteResult{}, err
@@ -595,19 +647,21 @@ func (b *Blob) finishWrite(ctx context.Context, a AssignResp, history []segtree.
 	var head, tail []byte
 	var err error
 	if (headHi > pageBase || tailHi > writeEnd) && a.Ver >= 2 {
-		if _, werr := b.WaitPublished(ctx, a.Ver-1); werr != nil {
+		mctx, msp := obs.StartSpan(ctx, "write.merge")
+		if _, werr := b.WaitPublished(mctx, a.Ver-1); werr != nil {
 			err = fmt.Errorf("blob: boundary merge wait: %w", werr)
 		}
 		if err == nil && headHi > pageBase {
-			if head, err = b.ReadAt(ctx, a.Ver-1, pageBase, headHi-pageBase); err != nil {
+			if head, err = b.ReadAt(mctx, a.Ver-1, pageBase, headHi-pageBase); err != nil {
 				err = fmt.Errorf("blob: head merge: %w", err)
 			}
 		}
 		if err == nil && tailHi > writeEnd {
-			if tail, err = b.ReadAt(ctx, a.Ver-1, writeEnd, tailHi-writeEnd); err != nil {
+			if tail, err = b.ReadAt(mctx, a.Ver-1, writeEnd, tailHi-writeEnd); err != nil {
 				err = fmt.Errorf("blob: tail merge: %w", err)
 			}
 		}
+		msp.End(err)
 	}
 	allocErr := <-allocDone
 	if err != nil {
@@ -630,6 +684,10 @@ func (b *Blob) finishWrite(ctx context.Context, a AssignResp, history []segtree.
 	copy(content[writeEnd-pageBase:], tail)
 
 	// 4. Parallel page writes.
+	pctx, psp := obs.StartSpan(ctx, "write.pages")
+	if psp != nil {
+		psp.Annotate("pages=%d replicas=%d", rec.N, r)
+	}
 	refs := make([]segtree.PageRef, rec.N)
 	err = c.forEachPage(rec.N, func(i uint64) error {
 		lo := i * ps
@@ -639,7 +697,7 @@ func (b *Blob) finishWrite(ctx context.Context, a AssignResp, history []segtree.
 		var ok []string
 		var lastErr error
 		for _, addr := range replicas {
-			err := c.pool.Call(ctx, transport.Addr(addr), ProvPutPage, &PutPageReq{Key: key, Data: content[lo:hi]}, nil)
+			err := c.pool.Call(pctx, transport.Addr(addr), ProvPutPage, &PutPageReq{Key: key, Data: content[lo:hi]}, nil)
 			if err != nil {
 				lastErr = err
 				continue
@@ -652,6 +710,7 @@ func (b *Blob) finishWrite(ctx context.Context, a AssignResp, history []segtree.
 		refs[i] = segtree.PageRef{Page: key, Providers: ok}
 		return nil
 	})
+	psp.End(err)
 	if err != nil {
 		// Give up on this version so the publication chain moves on.
 		b.abortDetached(a.Ver)
@@ -659,7 +718,10 @@ func (b *Blob) finishWrite(ctx context.Context, a AssignResp, history []segtree.
 	}
 
 	// 5. Metadata commit: one batched DHT write, no reads.
-	if err := segtree.Commit(ctx, c.nodes, b.id, rec, history, refs); err != nil {
+	cctx, csp := obs.StartSpan(ctx, "write.commit")
+	err = segtree.Commit(cctx, c.nodes, b.id, rec, history, refs)
+	csp.End(err)
+	if err != nil {
 		b.abortDetached(a.Ver)
 		return fmt.Errorf("blob: metadata commit: %w", err)
 	}
@@ -679,28 +741,64 @@ func (b *Blob) finishWrite(ctx context.Context, a AssignResp, history []segtree.
 	return nil
 }
 
+// pageTask is one page-transfer unit handed to a reusable worker.
+type pageTask struct {
+	i   uint64
+	run func(i uint64)
+}
+
+// pageWorkers is how many long-lived transfer goroutines a client
+// keeps warm. Like the rpc server's dispatch pool, reuse keeps worker
+// stacks grown across operations instead of re-paying stack-growth
+// copies on every spawned page goroutine; overflow falls back to
+// spawning, so the pool never reduces available parallelism.
+const pageWorkers = 16
+
+func (c *Client) pageWorker() {
+	for {
+		select {
+		case t := <-c.pageWork:
+			t.run(t.i)
+		case <-c.pageQuit:
+			return
+		}
+	}
+}
+
 // forEachPage runs fn for page indices [0, n) on up to
 // MaxParallelPages goroutines — the transfer scaffolding shared by the
-// write and read paths — and returns the first error.
+// write and read paths — and returns the first error. The per-call
+// concurrency bound is the sem, exactly as if every page spawned its
+// own goroutine; the worker pool only recycles stacks.
 func (c *Client) forEachPage(n uint64, fn func(i uint64) error) error {
+	c.startOnce.Do(func() {
+		for i := 0; i < pageWorkers; i++ {
+			go c.pageWorker()
+		}
+	})
 	sem := make(chan struct{}, c.cfg.MaxParallelPages)
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
+	run := func(i uint64) {
+		defer wg.Done()
+		defer func() { <-sem }()
+		if err := fn(i); err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}
+	}
 	for i := uint64(0); i < n; i++ {
 		wg.Add(1)
 		sem <- struct{}{}
-		go func(i uint64) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			if err := fn(i); err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-			}
-		}(i)
+		select {
+		case c.pageWork <- pageTask{i: i, run: run}:
+		default:
+			go run(i)
+		}
 	}
 	wg.Wait()
 	return firstErr
@@ -731,6 +829,15 @@ func (b *Blob) ReadAt(ctx context.Context, ver uint64, off, n uint64) ([]byte, e
 // into p with no intermediate buffer, so a reader streaming through a
 // warm cache moves each byte exactly once.
 func (b *Blob) ReadAtInto(ctx context.Context, ver uint64, off uint64, p []byte) (int, error) {
+	start := time.Now()
+	ctx, sp := obs.StartSpan(ctx, "blob.read")
+	n, err := b.readAtInto(ctx, ver, off, p)
+	sp.End(err)
+	metrics.Default.Op("blob.read").RecordDuration(time.Since(start))
+	return n, err
+}
+
+func (b *Blob) readAtInto(ctx context.Context, ver uint64, off uint64, p []byte) (int, error) {
 	info, err := b.resolveVersion(ctx, ver)
 	if err != nil {
 		return 0, err
@@ -782,6 +889,10 @@ func (b *Blob) ReadAtInto(ctx context.Context, ver uint64, off uint64, p []byte)
 // caller); holes come back as freshly zeroed slices. Callers MUST NOT
 // modify the returned bytes.
 func (b *Blob) PageView(ctx context.Context, ver, page uint64) ([]byte, error) {
+	// The BSFS read path is built on PageView, so this histogram (not
+	// blob.read) is where file-system read latency lands.
+	start := time.Now()
+	defer func() { metrics.Default.Op("blob.pageview").RecordDuration(time.Since(start)) }()
 	info, err := b.resolveVersion(ctx, ver)
 	if err != nil {
 		return nil, err

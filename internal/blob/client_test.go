@@ -67,7 +67,7 @@ func newFlakyVM(t *testing.T, net transport.Network, vm transport.Addr) *flakyVM
 }
 
 // forward relays one proxied method with a response body.
-func forward[Req, Resp any, PReq reqResp[Req], PResp reqResp[Resp]](f *flakyVM, method uint32) rpc.HandlerFunc {
+func forward[Req, Resp any, PReq reqResp[Req], PResp reqResp[Resp]](f *flakyVM, method rpc.Method) rpc.HandlerFunc {
 	return func(r *wire.Reader) (wire.Marshaler, error) {
 		req := PReq(new(Req))
 		if err := req.DecodeFrom(r); err != nil {
@@ -82,7 +82,7 @@ func forward[Req, Resp any, PReq reqResp[Req], PResp reqResp[Resp]](f *flakyVM, 
 }
 
 // forwardNoResp relays one proxied method without a response body.
-func forwardNoResp[Req any, PReq reqResp[Req]](f *flakyVM, method uint32) rpc.HandlerFunc {
+func forwardNoResp[Req any, PReq reqResp[Req]](f *flakyVM, method rpc.Method) rpc.HandlerFunc {
 	return func(r *wire.Reader) (wire.Marshaler, error) {
 		req := PReq(new(Req))
 		if err := req.DecodeFrom(r); err != nil {

@@ -100,7 +100,7 @@ func (r *VMRouter) CreateTarget() transport.Addr {
 }
 
 // Call routes one RPC to blob's shard with failover retry.
-func (r *VMRouter) Call(ctx context.Context, blob uint64, method uint32, req wire.Marshaler, resp wire.Unmarshaler) error {
+func (r *VMRouter) Call(ctx context.Context, blob uint64, method rpc.Method, req wire.Marshaler, resp wire.Unmarshaler) error {
 	return r.CallAddr(ctx, r.Shard(blob), method, req, resp)
 }
 
@@ -109,7 +109,7 @@ func (r *VMRouter) Call(ctx context.Context, blob uint64, method uint32, req wir
 // redial, so a shard being killed and taken over within the budget
 // costs latency, not an error. Application errors (not-found, version
 // conflicts) are never retried.
-func (r *VMRouter) CallAddr(ctx context.Context, addr transport.Addr, method uint32, req wire.Marshaler, resp wire.Unmarshaler) error {
+func (r *VMRouter) CallAddr(ctx context.Context, addr transport.Addr, method rpc.Method, req wire.Marshaler, resp wire.Unmarshaler) error {
 	backoff := vmRetryBase
 	var err error
 	for attempt := 0; attempt < vmRetryAttempts; attempt++ {

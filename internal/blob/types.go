@@ -23,6 +23,7 @@ package blob
 
 import (
 	"blobseer/internal/pagestore"
+	"blobseer/internal/rpc"
 	"blobseer/internal/segtree"
 	"blobseer/internal/wire"
 )
@@ -36,39 +37,39 @@ const (
 )
 
 // Version manager methods.
-const (
-	VMCreateBlob uint32 = iota + 1
-	VMOpenBlob
-	VMAssign
-	VMComplete
-	VMSeal
-	VMGetVersion
-	VMLatest
-	VMWaitPublished
-	VMListBlobs
-	VMStats
-	VMSetRetention
-	VMTruncateBefore
-	VMDeleteBlob
-	VMPin
-	VMUnpin
-	VMReclaimScan
-	VMHistory
+var (
+	VMCreateBlob     = rpc.M(1, "vm.CreateBlob")
+	VMOpenBlob       = rpc.M(2, "vm.OpenBlob")
+	VMAssign         = rpc.M(3, "vm.Assign")
+	VMComplete       = rpc.M(4, "vm.Complete")
+	VMSeal           = rpc.M(5, "vm.Seal")
+	VMGetVersion     = rpc.M(6, "vm.GetVersion")
+	VMLatest         = rpc.M(7, "vm.Latest")
+	VMWaitPublished  = rpc.M(8, "vm.WaitPublished")
+	VMListBlobs      = rpc.M(9, "vm.ListBlobs")
+	VMStats          = rpc.M(10, "vm.Stats")
+	VMSetRetention   = rpc.M(11, "vm.SetRetention")
+	VMTruncateBefore = rpc.M(12, "vm.TruncateBefore")
+	VMDeleteBlob     = rpc.M(13, "vm.DeleteBlob")
+	VMPin            = rpc.M(14, "vm.Pin")
+	VMUnpin          = rpc.M(15, "vm.Unpin")
+	VMReclaimScan    = rpc.M(16, "vm.ReclaimScan")
+	VMHistory        = rpc.M(17, "vm.History")
 )
 
 // Provider manager methods.
-const (
-	PMRegister uint32 = iota + 1
-	PMAlloc
-	PMProviders
+var (
+	PMRegister  = rpc.M(1, "pm.Register")
+	PMAlloc     = rpc.M(2, "pm.Alloc")
+	PMProviders = rpc.M(3, "pm.Providers")
 )
 
 // Provider methods.
-const (
-	ProvPutPage uint32 = iota + 1
-	ProvGetPage
-	ProvStats
-	ProvDeletePages
+var (
+	ProvPutPage     = rpc.M(1, "prov.PutPage")
+	ProvGetPage     = rpc.M(2, "prov.GetPage")
+	ProvStats       = rpc.M(3, "prov.Stats")
+	ProvDeletePages = rpc.M(4, "prov.DeletePages")
 )
 
 // Write kinds for AssignReq.

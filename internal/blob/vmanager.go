@@ -206,6 +206,16 @@ func (vm *VersionManager) Addr() transport.Addr { return vm.srv.Addr() }
 // (beyond checkpoint snapshots) — the recovery-cost metric.
 func (vm *VersionManager) RecoveredRecords() int { return vm.recovered }
 
+// JournalRecords reports the journal's record sequence number — the
+// total records ever appended (not trimmed by checkpoints), 0 for an
+// in-memory manager. Deployments export it as the journal-size gauge.
+func (vm *VersionManager) JournalRecords() uint64 {
+	if vm.journal == nil {
+		return 0
+	}
+	return vm.journal.seqNow()
+}
+
 // Close stops the manager cleanly: the endpoint unbinds, loops drain,
 // and a durable manager writes a final checkpoint so the next open
 // replays (almost) nothing.

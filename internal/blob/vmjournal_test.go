@@ -76,7 +76,7 @@ func (p *vmPair) crash() {
 
 // call hits the journaled manager directly (the pool redials after a
 // crash because the dead connection surfaces ErrConnLost exactly once).
-func (p *vmPair) call(addr transport.Addr, method uint32, req wire.Marshaler, resp wire.Unmarshaler) error {
+func (p *vmPair) call(addr transport.Addr, method rpc.Method, req wire.Marshaler, resp wire.Unmarshaler) error {
 	err := p.pool.Call(ctx, addr, method, req, resp)
 	if retryableVMErr(err) {
 		err = p.pool.Call(ctx, addr, method, req, resp)
@@ -87,7 +87,7 @@ func (p *vmPair) call(addr transport.Addr, method uint32, req wire.Marshaler, re
 // check issues the same request to both managers and fails the test on
 // any divergence in response or error. newResp may be nil for methods
 // without a response body.
-func (p *vmPair) check(op string, method uint32, req wire.Marshaler, newResp func() wire.Unmarshaler) {
+func (p *vmPair) check(op string, method rpc.Method, req wire.Marshaler, newResp func() wire.Unmarshaler) {
 	p.t.Helper()
 	var dresp, rresp wire.Unmarshaler
 	if newResp != nil {

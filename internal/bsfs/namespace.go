@@ -30,15 +30,15 @@ import (
 const SvcNamespace = "bsfs-ns"
 
 // Namespace manager methods.
-const (
-	NSCreate uint32 = iota + 1
-	NSLookup
-	NSUpdateSize
-	NSList
-	NSRename
-	NSDelete
-	NSMkdir
-	NSEntries
+var (
+	NSCreate     = rpc.M(1, "ns.Create")
+	NSLookup     = rpc.M(2, "ns.Lookup")
+	NSUpdateSize = rpc.M(3, "ns.UpdateSize")
+	NSList       = rpc.M(4, "ns.List")
+	NSRename     = rpc.M(5, "ns.Rename")
+	NSDelete     = rpc.M(6, "ns.Delete")
+	NSMkdir      = rpc.M(7, "ns.Mkdir")
+	NSEntries    = rpc.M(8, "ns.Entries")
 )
 
 //

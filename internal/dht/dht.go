@@ -25,15 +25,15 @@ import (
 	"blobseer/internal/wire"
 )
 
-// RPC method ids served by a metadata provider.
-const (
-	MethodGet uint32 = iota + 1
-	MethodPut
-	MethodDelete
-	MethodGetBatch
-	MethodPutBatch
-	MethodStats
-	MethodDeleteBatch
+// RPC methods served by a metadata provider.
+var (
+	MethodGet         = rpc.M(1, "meta.Get")
+	MethodPut         = rpc.M(2, "meta.Put")
+	MethodDelete      = rpc.M(3, "meta.Delete")
+	MethodGetBatch    = rpc.M(4, "meta.GetBatch")
+	MethodPutBatch    = rpc.M(5, "meta.PutBatch")
+	MethodStats       = rpc.M(6, "meta.Stats")
+	MethodDeleteBatch = rpc.M(7, "meta.DeleteBatch")
 )
 
 // ErrNotFound is returned when no replica holds the key.

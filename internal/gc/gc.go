@@ -41,6 +41,7 @@ import (
 
 	"blobseer/internal/blob"
 	"blobseer/internal/metrics"
+	"blobseer/internal/obs"
 	"blobseer/internal/pagestore"
 	"blobseer/internal/segtree"
 )
@@ -128,6 +129,7 @@ func New(c *blob.Client, opts Options) *Collector {
 	if opts.Stats == nil {
 		opts.Stats = &metrics.GCStats{}
 	}
+	metrics.Default.AttachGCStats(opts.Stats)
 	g := &Collector{
 		c:       c,
 		opts:    opts,
@@ -217,7 +219,11 @@ func (g *Collector) loop() {
 		}
 		if fired {
 			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
-			_, _ = g.RunOnce(ctx)
+			if _, err := g.RunOnce(ctx); err != nil {
+				// The next pass retries; surface the failure instead of
+				// silently skipping a reclaim cycle.
+				obs.Log.Warnf("gc: reclaim pass failed: %v", err)
+			}
 			cancel()
 		}
 	}
@@ -239,8 +245,20 @@ func (g *Collector) RunOnce(ctx context.Context) (Report, error) {
 		return rep, nil
 	}
 
+	start := time.Now()
+	ctx, sp := obs.StartSpan(ctx, "gc.pass")
+	var passErr error
+	defer func() {
+		g.stats.ObservePassLatency(time.Since(start))
+		if sp != nil { // guard: varargs boxing allocates even for a nil span
+			sp.Annotate("pages=%d bytes=%d", rep.PagesReclaimed, rep.BytesReclaimed)
+		}
+		sp.End(passErr)
+	}()
+
 	scan, err := g.c.ReclaimScan(ctx)
 	if err != nil {
+		passErr = err
 		return rep, err
 	}
 	rep.PinsBlocked = scan.PinsBlocked
@@ -458,6 +476,7 @@ func (g *Collector) flush(ctx context.Context, rep *Report) {
 			resp, err := g.c.DeletePages(ctx, addr, keys[off:end])
 			if err != nil {
 				rep.ProviderFailures++
+				obs.Log.Infof("gc: delete batch to %s failed (requeued %d keys): %v", addr, len(keys)-off, err)
 				g.mu.Lock()
 				g.queues[addr] = append(g.queues[addr], keys[off:]...)
 				g.mu.Unlock()

@@ -27,25 +27,25 @@ const (
 )
 
 // Namenode methods.
-const (
-	NNCreate uint32 = iota + 1
-	NNAddBlock
-	NNComplete
-	NNGetBlocks
-	NNLookup
-	NNList
-	NNRename
-	NNDelete
-	NNMkdir
-	NNEntries
-	NNRegister
+var (
+	NNCreate    = rpc.M(1, "nn.Create")
+	NNAddBlock  = rpc.M(2, "nn.AddBlock")
+	NNComplete  = rpc.M(3, "nn.Complete")
+	NNGetBlocks = rpc.M(4, "nn.GetBlocks")
+	NNLookup    = rpc.M(5, "nn.Lookup")
+	NNList      = rpc.M(6, "nn.List")
+	NNRename    = rpc.M(7, "nn.Rename")
+	NNDelete    = rpc.M(8, "nn.Delete")
+	NNMkdir     = rpc.M(9, "nn.Mkdir")
+	NNEntries   = rpc.M(10, "nn.Entries")
+	NNRegister  = rpc.M(11, "nn.Register")
 )
 
 // Datanode methods.
-const (
-	DNPutBlock uint32 = iota + 1
-	DNGetBlock
-	DNStats
+var (
+	DNPutBlock = rpc.M(1, "dn.PutBlock")
+	DNGetBlock = rpc.M(2, "dn.GetBlock")
+	DNStats    = rpc.M(3, "dn.Stats")
 )
 
 //

@@ -17,8 +17,8 @@ import (
 const SvcShuffle = "shuffle"
 
 // Shuffle methods.
-const (
-	ShuffleGet uint32 = iota + 1
+var (
+	ShuffleGet = rpc.M(1, "shuffle.Get")
 )
 
 // ErrOutputLost is returned when a reducer asks for a map output the

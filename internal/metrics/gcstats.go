@@ -1,6 +1,9 @@
 package metrics
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // GCStats aggregates the garbage collector's counters: how many
 // versions have been retired, how much page data and metadata was
@@ -15,10 +18,14 @@ type GCStats struct {
 	nodesDeleted      atomic.Uint64
 	pinsBlocked       atomic.Uint64
 	compactions       atomic.Uint64
+	passLat           Histogram
 }
 
 // AddPass counts one completed reclaim pass.
 func (s *GCStats) AddPass() { s.passes.Add(1) }
+
+// ObservePassLatency records one reclaim pass's wall duration.
+func (s *GCStats) ObservePassLatency(d time.Duration) { s.passLat.RecordDuration(d) }
 
 // AddVersionsCollected counts n versions retired by a pass.
 func (s *GCStats) AddVersionsCollected(n uint64) { s.versionsCollected.Add(n) }
@@ -45,14 +52,16 @@ func (s *GCStats) AddCompaction() { s.compactions.Add(1) }
 
 // GCSnapshot is a point-in-time copy of GCStats.
 type GCSnapshot struct {
-	Passes            uint64
-	VersionsCollected uint64
-	BlobsDeleted      uint64
-	PagesReclaimed    uint64
-	BytesReclaimed    uint64
-	NodesDeleted      uint64
-	PinsBlocked       uint64
-	Compactions       uint64
+	Passes            uint64 `json:"passes"`
+	VersionsCollected uint64 `json:"versions_collected"`
+	BlobsDeleted      uint64 `json:"blobs_deleted"`
+	PagesReclaimed    uint64 `json:"pages_reclaimed"`
+	BytesReclaimed    uint64 `json:"bytes_reclaimed"`
+	NodesDeleted      uint64 `json:"nodes_deleted"`
+	PinsBlocked       uint64 `json:"pins_blocked"`
+	Compactions       uint64 `json:"compactions"`
+	// PassLatency summarizes reclaim pass wall durations.
+	PassLatency LatencyQuantiles `json:"pass_latency"`
 }
 
 // Snapshot returns a copy of the counters. Counters are read
@@ -68,5 +77,6 @@ func (s *GCStats) Snapshot() GCSnapshot {
 		NodesDeleted:      s.nodesDeleted.Load(),
 		PinsBlocked:       s.pinsBlocked.Load(),
 		Compactions:       s.compactions.Load(),
+		PassLatency:       s.passLat.Snapshot().Latency(),
 	}
 }

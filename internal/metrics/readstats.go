@@ -22,6 +22,15 @@ type ReadStats struct {
 	failed map[string]uint64 // provider endpoint -> failed fetch count
 }
 
+// FailedOverflowKey is the bucket absorbing failures from endpoints
+// beyond the per-endpoint tracking cap, so the failure map stays
+// bounded under a long-lived client watching a churning provider set.
+const FailedOverflowKey = "other"
+
+// maxFailedEndpoints bounds the distinct endpoints tracked
+// individually; the cap includes the overflow bucket.
+const maxFailedEndpoints = 64
+
 // AddHit counts one page served from the cache (including requests
 // de-duplicated onto an in-flight fetch).
 func (s *ReadStats) AddHit() { s.hits.Add(1) }
@@ -41,12 +50,17 @@ func (s *ReadStats) AddProviderFetch() { s.providerFetches.Add(1) }
 
 // NoteProviderFailure records one failed page fetch against the
 // provider endpoint that served it, so operators can spot sick
-// replicas.
+// replicas. At most maxFailedEndpoints distinct endpoints are tracked;
+// failures from further endpoints land in the FailedOverflowKey bucket
+// so the map cannot grow without bound under provider churn.
 func (s *ReadStats) NoteProviderFailure(addr string) {
 	s.providerFailures.Add(1)
 	s.mu.Lock()
 	if s.failed == nil {
 		s.failed = make(map[string]uint64)
+	}
+	if _, known := s.failed[addr]; !known && len(s.failed) >= maxFailedEndpoints-1 {
+		addr = FailedOverflowKey
 	}
 	s.failed[addr]++
 	s.mu.Unlock()
@@ -54,15 +68,15 @@ func (s *ReadStats) NoteProviderFailure(addr string) {
 
 // ReadSnapshot is a point-in-time copy of ReadStats.
 type ReadSnapshot struct {
-	Hits             uint64
-	Misses           uint64
-	Readahead        uint64
-	Evictions        uint64
-	ProviderFetches  uint64
-	ProviderFailures uint64
+	Hits             uint64 `json:"hits"`
+	Misses           uint64 `json:"misses"`
+	Readahead        uint64 `json:"readahead"`
+	Evictions        uint64 `json:"evictions"`
+	ProviderFetches  uint64 `json:"provider_fetches"`
+	ProviderFailures uint64 `json:"provider_failures"`
 	// FailedProviders maps provider endpoints to their failed fetch
 	// counts (nil when no fetch ever failed).
-	FailedProviders map[string]uint64
+	FailedProviders map[string]uint64 `json:"failed_providers,omitempty"`
 }
 
 // Snapshot returns a consistent-enough copy of the counters for tests

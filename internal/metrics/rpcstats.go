@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RPCStats aggregates per-method RPC statistics for one side of the
+// wire (a process's client calls or a server's dispatches): call and
+// error counts, bytes moved, and a latency histogram per method name.
+// The hot path is one sync.Map load plus atomic adds, so both the rpc
+// client and server record every call.
+type RPCStats struct {
+	methods sync.Map // method name -> *MethodStats
+}
+
+// MethodStats is the per-method slot of an RPCStats. The call count is
+// the latency histogram's count — every Observe records exactly one
+// latency sample — so the counters here are only the bytes moved and
+// the rarely-touched error count.
+type MethodStats struct {
+	errors  atomic.Uint64
+	bytes   atomic.Uint64
+	Latency Histogram
+}
+
+// Method returns the stats slot for a method name, creating it on
+// first use.
+func (s *RPCStats) Method(name string) *MethodStats {
+	if v, ok := s.methods.Load(name); ok {
+		return v.(*MethodStats)
+	}
+	v, _ := s.methods.LoadOrStore(name, &MethodStats{})
+	return v.(*MethodStats)
+}
+
+// Observe records one call: its latency, the bytes moved in both
+// directions, and whether it failed.
+func (m *MethodStats) Observe(d time.Duration, bytes int, err error) {
+	if bytes > 0 {
+		m.bytes.Add(uint64(bytes))
+	}
+	if err != nil {
+		m.errors.Add(1)
+	}
+	m.Latency.RecordDuration(d)
+}
+
+// MethodSnapshot is a point-in-time copy of one method's stats.
+type MethodSnapshot struct {
+	Calls   uint64           `json:"calls"`
+	Errors  uint64           `json:"errors"`
+	Bytes   uint64           `json:"bytes"`
+	Latency LatencyQuantiles `json:"latency"`
+}
+
+// Snapshot copies every method's counters and latency summary.
+func (s *RPCStats) Snapshot() map[string]MethodSnapshot {
+	out := make(map[string]MethodSnapshot)
+	s.methods.Range(func(k, v any) bool {
+		m := v.(*MethodStats)
+		lat := m.Latency.Snapshot()
+		out[k.(string)] = MethodSnapshot{
+			Calls:   lat.Count,
+			Errors:  m.errors.Load(),
+			Bytes:   m.bytes.Load(),
+			Latency: lat.Latency(),
+		}
+		return true
+	})
+	return out
+}

@@ -1,6 +1,9 @@
 package metrics
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // ShuffleStats aggregates the intermediate-data counters of one job's
 // shuffle store: segments appended to the per-partition BLOBs, segments
@@ -14,7 +17,16 @@ type ShuffleStats struct {
 	segmentsFetched   atomic.Uint64
 	bytesFetched      atomic.Uint64
 	segmentsRecovered atomic.Uint64
+	appendLat         Histogram
+	fetchLat          Histogram
 }
+
+// ObserveAppendLatency records one map append's end-to-end latency
+// (all partitions durably appended).
+func (s *ShuffleStats) ObserveAppendLatency(d time.Duration) { s.appendLat.RecordDuration(d) }
+
+// ObserveFetchLatency records one reducer segment fetch's latency.
+func (s *ShuffleStats) ObserveFetchLatency(d time.Duration) { s.fetchLat.RecordDuration(d) }
 
 // AddAppended counts one segment of n payload bytes appended to an
 // intermediate BLOB and published.
@@ -37,11 +49,15 @@ func (s *ShuffleStats) AddRecovered() { s.segmentsRecovered.Add(1) }
 
 // ShuffleSnapshot is a point-in-time copy of ShuffleStats.
 type ShuffleSnapshot struct {
-	SegmentsAppended  uint64
-	BytesAppended     uint64
-	SegmentsFetched   uint64
-	BytesFetched      uint64
-	SegmentsRecovered uint64
+	SegmentsAppended  uint64 `json:"segments_appended"`
+	BytesAppended     uint64 `json:"bytes_appended"`
+	SegmentsFetched   uint64 `json:"segments_fetched"`
+	BytesFetched      uint64 `json:"bytes_fetched"`
+	SegmentsRecovered uint64 `json:"segments_recovered"`
+	// AppendLatency and FetchLatency summarize per-operation latency
+	// (map appends across all partitions, reducer segment fetches).
+	AppendLatency LatencyQuantiles `json:"append_latency"`
+	FetchLatency  LatencyQuantiles `json:"fetch_latency"`
 }
 
 // Snapshot returns a copy of the counters. They are read individually,
@@ -54,5 +70,7 @@ func (s *ShuffleStats) Snapshot() ShuffleSnapshot {
 		SegmentsFetched:   s.segmentsFetched.Load(),
 		BytesFetched:      s.bytesFetched.Load(),
 		SegmentsRecovered: s.segmentsRecovered.Load(),
+		AppendLatency:     s.appendLat.Snapshot().Latency(),
+		FetchLatency:      s.fetchLat.Snapshot().Latency(),
 	}
 }

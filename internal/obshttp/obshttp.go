@@ -1,0 +1,106 @@
+// Package obshttp is the opt-in HTTP export endpoint for the
+// observability plane. It lives apart from internal/obs so that only
+// the binaries that actually serve metrics link net/http — obs is
+// imported by every hot package, and carrying the HTTP stack there
+// measurably bloats (and slows) every test and benchmark binary.
+package obshttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"blobseer/internal/metrics"
+	"blobseer/internal/obs"
+)
+
+// MetricsServer is the opt-in HTTP export endpoint. Routes:
+//
+//	/metrics       Prometheus text exposition of the registry snapshot
+//	/metrics.json  the same snapshot as JSON
+//	/healthz       liveness probe ("ok")
+//	/spans         recent trace ids, or one trace's causal tree (?trace=N)
+type MetricsServer struct {
+	lis  net.Listener
+	srv  *http.Server
+	reg  *metrics.Registry
+	coll *obs.Collector
+}
+
+// ServeMetrics starts the export endpoint on addr (":0" picks a free
+// port) serving reg and the default span collector. nil reg means
+// metrics.Default.
+func ServeMetrics(addr string, reg *metrics.Registry) (*MetricsServer, error) {
+	if reg == nil {
+		reg = metrics.Default
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: metrics listen %s: %w", addr, err)
+	}
+	m := &MetricsServer{lis: lis, reg: reg, coll: obs.Spans}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", m.handleMetrics)
+	mux.HandleFunc("/metrics.json", m.handleMetricsJSON)
+	mux.HandleFunc("/healthz", m.handleHealthz)
+	mux.HandleFunc("/spans", m.handleSpans)
+	m.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+
+	go func() {
+		if err := m.srv.Serve(lis); err != nil && err != http.ErrServerClosed {
+			obs.Log.Errorf("metrics endpoint: %v", err)
+		}
+	}()
+	return m, nil
+}
+
+// Addr returns the bound listen address.
+func (m *MetricsServer) Addr() string { return m.lis.Addr().String() }
+
+// Close stops the endpoint.
+func (m *MetricsServer) Close() error { return m.srv.Close() }
+
+func (m *MetricsServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	m.reg.Snapshot().WritePrometheus(w)
+}
+
+func (m *MetricsServer) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m.reg.Snapshot()); err != nil {
+		obs.Log.Debugf("metrics endpoint: encode snapshot: %v", err)
+	}
+}
+
+func (m *MetricsServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (m *MetricsServer) handleSpans(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if q := r.URL.Query().Get("trace"); q != "" {
+		id, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			http.Error(w, "bad trace id", http.StatusBadRequest)
+			return
+		}
+		fmt.Fprint(w, m.coll.Tree(id))
+		return
+	}
+	ids := m.coll.TraceIDs(32)
+	if len(ids) == 0 {
+		fmt.Fprintln(w, "no traces retained")
+		return
+	}
+	fmt.Fprintln(w, "recent traces (newest first); fetch one with /spans?trace=<id>")
+	for _, id := range ids {
+		fmt.Fprintf(w, "  trace %d: %d spans\n", id, len(m.coll.Trace(id)))
+	}
+}

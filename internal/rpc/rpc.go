@@ -8,6 +8,11 @@
 // the persistent peer connections of the original BlobSeer service.
 // A Server dispatches each inbound request to a registered handler in
 // its own goroutine, so slow page transfers never block metadata calls.
+//
+// The layer is also the system's instrumentation choke point: every
+// request frame carries a wire.TraceContext, and both sides of every
+// call record per-method latency/bytes/error counters into the default
+// metrics registry, keyed by the Method's registered name.
 package rpc
 
 import (
@@ -15,7 +20,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
+	"blobseer/internal/metrics"
+	"blobseer/internal/obs"
 	"blobseer/internal/transport"
 	"blobseer/internal/wire"
 )
@@ -33,6 +41,38 @@ var (
 	ErrConnLost      = errors.New("rpc: connection lost")
 )
 
+// Method identifies an RPC method: the compact id that goes on the
+// wire plus the human-readable name that keys metrics and span labels.
+// Services declare their method tables as Method values so the id
+// space stays explicit while every histogram and trace is legible.
+type Method struct {
+	ID   uint32
+	Name string
+
+	// spanLabel ("rpc:"+Name) and stats (the client-side slot in the
+	// default registry) are resolved once at table-construction time so
+	// the per-call path does no concatenation or map lookup.
+	spanLabel string
+	stats     *metrics.MethodStats
+}
+
+func (m Method) String() string {
+	if m.Name != "" {
+		return m.Name
+	}
+	return fmt.Sprintf("method(%d)", m.ID)
+}
+
+// M is shorthand for constructing a Method.
+func M(id uint32, name string) Method {
+	return Method{
+		ID:        id,
+		Name:      name,
+		spanLabel: "rpc:" + name,
+		stats:     metrics.Default.RPCClient.Method(name),
+	}
+}
+
 // HandlerFunc serves one request. The Reader is positioned at the
 // request body; the returned Marshaler is the response body. A non-nil
 // error is transmitted to the caller instead of the body.
@@ -43,12 +83,35 @@ type Server struct {
 	addr     transport.Addr
 	listener transport.Listener
 
+	reqCh chan request
+	quit  chan struct{}
+
 	mu       sync.Mutex
-	handlers map[uint32]HandlerFunc
+	handlers map[uint32]handlerEntry
 	conns    map[transport.Conn]struct{}
 	closed   bool
 	wg       sync.WaitGroup
 }
+
+// request is one decoded frame handed from a connection reader to a
+// dispatch worker.
+type request struct {
+	c      transport.Conn
+	id     uint64
+	method uint32
+	tc     wire.TraceContext
+	reqLen int
+	r      *wire.Reader
+}
+
+// dispatchWorkers is how many long-lived dispatch goroutines a server
+// keeps. Reusing workers keeps their stacks grown across requests —
+// spawning a fresh goroutine per request makes every handler chain
+// re-pay stack-growth copies, which profiles as runtime.newstack on
+// the busiest servers. Requests beyond the pool overflow to a spawned
+// goroutine, so a full pool degrades to the old behavior instead of
+// queueing behind a blocked handler.
+const dispatchWorkers = 8
 
 // NewServer binds addr on net and starts accepting. Handlers may be
 // registered before or after; requests for unregistered methods fail
@@ -61,22 +124,54 @@ func NewServer(net transport.Network, addr transport.Addr) (*Server, error) {
 	s := &Server{
 		addr:     addr,
 		listener: l,
-		handlers: make(map[uint32]HandlerFunc),
+		reqCh:    make(chan request),
+		quit:     make(chan struct{}),
+		handlers: make(map[uint32]handlerEntry),
 		conns:    make(map[transport.Conn]struct{}),
 	}
-	s.wg.Add(1)
+	s.wg.Add(1 + dispatchWorkers)
 	go s.acceptLoop()
+	for i := 0; i < dispatchWorkers; i++ {
+		go s.dispatchWorker()
+	}
 	return s, nil
+}
+
+func (s *Server) dispatchWorker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case req := <-s.reqCh:
+			s.dispatch(req.c, req.id, req.method, req.tc, req.reqLen, req.r)
+		case <-s.quit:
+			return
+		}
+	}
 }
 
 // Addr returns the server's endpoint address.
 func (s *Server) Addr() transport.Addr { return s.addr }
 
-// Handle registers h for the given method id.
-func (s *Server) Handle(method uint32, h HandlerFunc) {
+// handlerEntry pairs a handler with its method's display strings and
+// stats slot, all resolved once at registration so dispatch does no
+// string building or map probing beyond the one id lookup.
+type handlerEntry struct {
+	h         HandlerFunc
+	name      string
+	spanLabel string // "serve:"+name
+	stats     *metrics.MethodStats
+}
+
+// Handle registers h for the given method.
+func (s *Server) Handle(method Method, h HandlerFunc) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.handlers[method] = h
+	s.handlers[method.ID] = handlerEntry{
+		h:         h,
+		name:      method.Name,
+		spanLabel: "serve:" + method.Name,
+		stats:     metrics.Default.RPCServer.Method(method.Name),
+	}
 }
 
 // Close stops the server and tears down live connections.
@@ -93,6 +188,7 @@ func (s *Server) Close() error {
 	}
 	s.mu.Unlock()
 
+	close(s.quit)
 	s.listener.Close()
 	for _, c := range conns {
 		c.Close()
@@ -138,24 +234,56 @@ func (s *Server) serveConn(c transport.Conn) {
 		kind := r.Uvarint()
 		id := r.Uvarint()
 		method := r.Uvarint()
-		if r.Err() != nil || kind != kindRequest {
-			return // corrupt stream; drop the connection
+		var tc wire.TraceContext
+		if err := tc.DecodeFrom(r); err != nil || kind != kindRequest {
+			// Corrupt stream: drop the connection, and say so — a
+			// silent teardown here looks like a network fault upstream.
+			obs.Log.Warnf("rpc %s: corrupt request frame (%d bytes), dropping connection", s.addr, len(frame))
+			return
 		}
-		go s.dispatch(c, id, uint32(method), r)
+		req := request{c: c, id: id, method: uint32(method), tc: tc, reqLen: len(frame), r: r}
+		select {
+		case s.reqCh <- req:
+		default:
+			// Every worker is busy (or blocked in a handler): spawn
+			// rather than queue, so one slow handler can never stall
+			// the requests behind it.
+			go s.dispatch(c, id, uint32(method), tc, len(frame), r)
+		}
 	}
 }
 
-func (s *Server) dispatch(c transport.Conn, id uint64, method uint32, r *wire.Reader) {
+// unknownEntry builds the stats/label entry for an unregistered method
+// id. Kept out of dispatch so the cold Sprintf path doesn't widen the
+// frame of every per-request goroutine.
+//
+//go:noinline
+func unknownEntry(method uint32) handlerEntry {
+	name := fmt.Sprintf("method(%d)", method)
+	return handlerEntry{
+		name:      name,
+		spanLabel: "serve:" + name,
+		stats:     metrics.Default.RPCServer.Method(name),
+	}
+}
+
+func (s *Server) dispatch(c transport.Conn, id uint64, method uint32, tc wire.TraceContext, reqLen int, r *wire.Reader) {
 	s.mu.Lock()
-	h := s.handlers[method]
+	ent, known := s.handlers[method]
 	s.mu.Unlock()
+	if !known {
+		ent = unknownEntry(method)
+	}
+
+	span := obs.StartRemote(tc.Trace, tc.Span, ent.spanLabel, string(s.addr))
+	start := time.Now()
 
 	var body wire.Marshaler
 	var err error
-	if h == nil {
+	if ent.h == nil {
 		err = fmt.Errorf("%w: %d at %s", ErrUnknownMethod, method, s.addr)
 	} else {
-		body, err = h(r)
+		body, err = ent.h(r)
 	}
 
 	resp := wire.AppendUvarint(nil, kindResponse)
@@ -164,8 +292,15 @@ func (s *Server) dispatch(c transport.Conn, id uint64, method uint32, r *wire.Re
 	if err == nil && body != nil {
 		resp = body.AppendTo(resp)
 	}
-	// A failed send means the peer went away; nothing to do.
-	_ = c.Send(resp)
+
+	ent.stats.Observe(time.Since(start), reqLen+len(resp), err)
+	span.End(err)
+
+	if serr := c.Send(resp); serr != nil {
+		// The peer went away mid-response; the caller will observe a
+		// lost connection, but record that the reply was dropped.
+		obs.Log.Debugf("rpc %s: drop response for %s: %v", s.addr, ent.name, serr)
+	}
 }
 
 // Client issues calls to one remote endpoint. It is safe for concurrent
@@ -287,8 +422,31 @@ func (c *Client) failConn(conn transport.Conn, err error) {
 
 // Call invokes method with request body req and decodes the response
 // into resp (which may be nil when no body is expected). It respects
-// ctx cancellation and deadlines.
-func (c *Client) Call(ctx context.Context, method uint32, req wire.Marshaler, resp wire.Unmarshaler) error {
+// ctx cancellation and deadlines. When ctx carries an active trace the
+// call becomes a child span and its identity rides the request frame.
+//
+// The instrumentation is folded into this one function rather than a
+// wrapper: a wrapper frame would sit on every in-flight call's stack
+// for the whole wait, and the per-request goroutines here are exactly
+// the stacks the runtime is busiest copying.
+func (c *Client) Call(ctx context.Context, method Method, req wire.Marshaler, resp wire.Unmarshaler) (err error) {
+	start := time.Now()
+	if method.stats == nil { // Method literal built without M()
+		method.spanLabel = "rpc:" + method.Name
+		method.stats = metrics.Default.RPCClient.Method(method.Name)
+	}
+	span := obs.StartChild(ctx, method.spanLabel)
+	var tc wire.TraceContext
+	if span != nil {
+		tc = wire.TraceContext{Trace: span.Trace, Span: span.ID}
+		span.Annotate("-> %s", c.remote)
+	}
+	nbytes := 0
+	defer func() {
+		method.stats.Observe(time.Since(start), nbytes, err)
+		span.End(err)
+	}()
+
 	conn, err := c.ensureConn()
 	if err != nil {
 		return err
@@ -303,21 +461,24 @@ func (c *Client) Call(ctx context.Context, method uint32, req wire.Marshaler, re
 
 	frame := wire.AppendUvarint(nil, kindRequest)
 	frame = wire.AppendUvarint(frame, id)
-	frame = wire.AppendUvarint(frame, uint64(method))
+	frame = wire.AppendUvarint(frame, uint64(method.ID))
+	frame = tc.AppendTo(frame)
 	if req != nil {
 		frame = req.AppendTo(frame)
 	}
+	nbytes = len(frame)
 
 	if err := conn.Send(frame); err != nil {
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
 		c.failConn(conn, ErrConnLost)
-		return fmt.Errorf("rpc call %s/%d: %w", c.remote, method, ErrConnLost)
+		return fmt.Errorf("rpc call %s/%s: %w", c.remote, method, ErrConnLost)
 	}
 
 	select {
 	case res := <-ch:
+		nbytes += len(res.frame)
 		if res.err != nil {
 			return res.err
 		}
@@ -325,7 +486,7 @@ func (c *Client) Call(ctx context.Context, method uint32, req wire.Marshaler, re
 			return nil
 		}
 		if err := resp.DecodeFrom(res.body); err != nil {
-			return fmt.Errorf("rpc call %s/%d: decode response: %w", c.remote, method, err)
+			return fmt.Errorf("rpc call %s/%s: decode response: %w", c.remote, method, err)
 		}
 		return nil
 	case <-ctx.Done():
@@ -366,7 +527,7 @@ func (p *Pool) Get(remote transport.Addr) *Client {
 }
 
 // Call is shorthand for Get(remote).Call(...).
-func (p *Pool) Call(ctx context.Context, remote transport.Addr, method uint32, req wire.Marshaler, resp wire.Unmarshaler) error {
+func (p *Pool) Call(ctx context.Context, remote transport.Addr, method Method, req wire.Marshaler, resp wire.Unmarshaler) error {
 	return p.Get(remote).Call(ctx, method, req, resp)
 }
 

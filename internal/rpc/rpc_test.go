@@ -9,6 +9,8 @@ import (
 	"testing"
 	"time"
 
+	"blobseer/internal/metrics"
+	"blobseer/internal/obs"
 	"blobseer/internal/transport"
 	"blobseer/internal/wire"
 )
@@ -31,11 +33,11 @@ func (m *echoMsg) DecodeFrom(r *wire.Reader) error {
 	return r.Err()
 }
 
-const (
-	methodEcho   = 1
-	methodFail   = 2
-	methodSlow   = 3
-	methodNobody = 4
+var (
+	methodEcho   = M(1, "test.Echo")
+	methodFail   = M(2, "test.Fail")
+	methodSlow   = M(3, "test.Slow")
+	methodNobody = M(4, "test.Nobody")
 )
 
 func newEchoServer(t *testing.T, net transport.Network, addr transport.Addr) *Server {
@@ -102,7 +104,7 @@ func TestUnknownMethod(t *testing.T) {
 	newEchoServer(t, net, "srv/echo")
 	c := NewClient(net, "cli/x", "srv/echo")
 	defer c.Close()
-	err := c.Call(context.Background(), 999, &echoMsg{}, nil)
+	err := c.Call(context.Background(), M(999, "test.Unregistered"), &echoMsg{}, nil)
 	if err == nil || !strings.Contains(err.Error(), "unknown method") {
 		t.Fatalf("err = %v", err)
 	}
@@ -257,6 +259,105 @@ func TestPool(t *testing.T) {
 	}
 }
 
+func TestCallRecordsMethodStats(t *testing.T) {
+	net := transport.NewMemNet()
+	newEchoServer(t, net, "srv/echo")
+	c := NewClient(net, "cli/x", "srv/echo")
+	defer c.Close()
+
+	before := metrics.Default.RPCClient.Snapshot()["test.Echo"]
+	beforeSrv := metrics.Default.RPCServer.Snapshot()["test.Echo"]
+	var resp echoMsg
+	if err := c.Call(context.Background(), methodEcho, &echoMsg{Text: "hi", N: 1}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Call(context.Background(), methodFail, &echoMsg{}, nil); err == nil {
+		t.Fatal("want error from methodFail")
+	}
+
+	after := metrics.Default.RPCClient.Snapshot()["test.Echo"]
+	if after.Calls != before.Calls+1 {
+		t.Errorf("client calls = %d, want %d", after.Calls, before.Calls+1)
+	}
+	if after.Bytes <= before.Bytes {
+		t.Errorf("client bytes did not grow: %d -> %d", before.Bytes, after.Bytes)
+	}
+	if after.Latency.Count != before.Latency.Count+1 {
+		t.Errorf("latency count = %d, want %d", after.Latency.Count, before.Latency.Count+1)
+	}
+	afterSrv := metrics.Default.RPCServer.Snapshot()["test.Echo"]
+	if afterSrv.Calls != beforeSrv.Calls+1 {
+		t.Errorf("server calls = %d, want %d", afterSrv.Calls, beforeSrv.Calls+1)
+	}
+	failSnap := metrics.Default.RPCClient.Snapshot()["test.Fail"]
+	if failSnap.Errors == 0 {
+		t.Error("methodFail recorded no client-side errors")
+	}
+}
+
+func TestTracePropagatesAcrossWire(t *testing.T) {
+	net := transport.NewMemNet()
+	newEchoServer(t, net, "srv/echo")
+	c := NewClient(net, "cli/x", "srv/echo")
+	defer c.Close()
+
+	ctx, root := obs.StartTrace(context.Background(), "test.op")
+	var resp echoMsg
+	if err := c.Call(ctx, methodEcho, &echoMsg{Text: "hi", N: 1}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	root.End(nil)
+
+	spans := obs.Spans.Trace(root.Trace)
+	byName := make(map[string]obs.SpanInfo)
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	call, ok := byName["rpc:test.Echo"]
+	if !ok {
+		t.Fatalf("no client call span in trace; got %d spans", len(spans))
+	}
+	if call.Parent != root.ID {
+		t.Errorf("call span parent = %d, want root %d", call.Parent, root.ID)
+	}
+	serve, ok := byName["serve:test.Echo"]
+	if !ok {
+		t.Fatalf("no server dispatch span in trace")
+	}
+	if serve.Parent != call.ID {
+		t.Errorf("server span parent = %d, want client call span %d", serve.Parent, call.ID)
+	}
+	if serve.Where != "srv/echo" {
+		t.Errorf("server span where = %q, want srv/echo", serve.Where)
+	}
+	tree := obs.Spans.Tree(root.Trace)
+	if !strings.Contains(tree, "serve:test.Echo") {
+		t.Errorf("rendered tree missing server span:\n%s", tree)
+	}
+}
+
+func TestUntracedCallSendsNoSpans(t *testing.T) {
+	net := transport.NewMemNet()
+	newEchoServer(t, net, "srv/echo")
+	c := NewClient(net, "cli/x", "srv/echo")
+	defer c.Close()
+
+	ids := obs.Spans.TraceIDs(0)
+	seen := make(map[uint64]bool, len(ids))
+	for _, id := range ids {
+		seen[id] = true
+	}
+	var resp echoMsg
+	if err := c.Call(context.Background(), methodEcho, &echoMsg{N: 1}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range obs.Spans.TraceIDs(0) {
+		if !seen[id] {
+			t.Fatalf("untraced call created trace %d", id)
+		}
+	}
+}
+
 func BenchmarkCall(b *testing.B) {
 	net := transport.NewMemNet()
 	s, err := NewServer(net, "srv/echo")
@@ -281,4 +382,47 @@ func BenchmarkCall(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkRPCLatency measures the fully instrumented call path (frame
+// trace context + per-method histograms on both sides), with and
+// without an active trace — the difference is the tracing plane's cost.
+func BenchmarkRPCLatency(b *testing.B) {
+	net := transport.NewMemNet()
+	s, err := NewServer(net, "srv/echo")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	s.Handle(methodEcho, func(r *wire.Reader) (wire.Marshaler, error) {
+		var req echoMsg
+		if err := req.DecodeFrom(r); err != nil {
+			return nil, err
+		}
+		return &req, nil
+	})
+	c := NewClient(net, "cli/x", "srv/echo")
+	defer c.Close()
+
+	b.Run("untraced", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var resp echoMsg
+			if err := c.Call(context.Background(), methodEcho, &echoMsg{Text: "x", N: 1}, &resp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("traced", func(b *testing.B) {
+		ctx, root := obs.StartTrace(context.Background(), "bench")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var resp echoMsg
+			if err := c.Call(ctx, methodEcho, &echoMsg{Text: "x", N: 1}, &resp); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		root.End(nil)
+	})
 }

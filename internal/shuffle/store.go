@@ -9,6 +9,7 @@ import (
 
 	"blobseer/internal/blob"
 	"blobseer/internal/metrics"
+	"blobseer/internal/obs"
 )
 
 // Index is the concurrent segment directory of one job: map tasks
@@ -180,6 +181,7 @@ func NewBlobStore(ctx context.Context, c *blob.Client, jobID uint64, partitions 
 		fetched:   make(map[segKey]bool),
 		recovered: make(map[segKey]bool),
 	}
+	metrics.Default.AttachShuffleStats(st.stats)
 	for p := 0; p < partitions; p++ {
 		b, err := c.Create(ctx, pageSize)
 		if err != nil {
@@ -234,6 +236,13 @@ func (st *Store) AppendMap(ctx context.Context, c *blob.Client, mapID uint64, pa
 	if len(parts) != len(st.blobs) {
 		return fmt.Errorf("shuffle: map %d produced %d partitions, store has %d", mapID, len(parts), len(st.blobs))
 	}
+	start := time.Now()
+	defer func() { st.stats.ObserveAppendLatency(time.Since(start)) }()
+	ctx, sp := obs.StartSpan(ctx, "shuffle.appendMap")
+	if sp != nil { // guard: varargs boxing allocates even for a nil span
+		sp.Annotate("map=%d parts=%d", mapID, len(parts))
+	}
+	defer func() { sp.End(nil) }()
 	segs := make([]Segment, len(parts))
 	pending := make([]*blob.PendingWrite, len(parts))
 	for p, data := range parts {
@@ -276,6 +285,13 @@ func (st *Store) AppendMap(ctx context.Context, c *blob.Client, mapID uint64, pa
 // attempts re-read their whole partition, and those re-reads must not
 // inflate the counters.
 func (st *Store) Fetch(ctx context.Context, c *blob.Client, seg Segment) ([]byte, error) {
+	start := time.Now()
+	defer func() { st.stats.ObserveFetchLatency(time.Since(start)) }()
+	ctx, sp := obs.StartSpan(ctx, "shuffle.fetch")
+	if sp != nil {
+		sp.Annotate("map=%d part=%d len=%d", seg.Map, seg.Part, seg.Len)
+	}
+	defer func() { sp.End(nil) }()
 	b := c.Handle(st.blobs[seg.Part], st.pageSize)
 	// Pin the segment's version for the duration of the fetch so the
 	// garbage collector can never reclaim intermediate data under an
@@ -293,7 +309,11 @@ func (st *Store) Fetch(ctx context.Context, c *blob.Client, seg Segment) ([]byte
 	defer func() {
 		uctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		_ = b.Unpin(uctx, seg.Ver)
+		if err := b.Unpin(uctx, seg.Ver); err != nil {
+			// The pin's lease expiry still unblocks GC eventually; log
+			// so a stuck-reclaim investigation can see the leak.
+			obs.Log.Infof("shuffle: unpin map %d part %d ver %d: %v", seg.Map, seg.Part, seg.Ver, err)
+		}
 	}()
 	if _, err := b.WaitPublished(ctx, seg.Ver); err != nil {
 		return nil, fmt.Errorf("shuffle: segment map %d part %d not published: %w", seg.Map, seg.Part, err)

@@ -1,0 +1,23 @@
+package wire
+
+// TraceContext is the compact trace context every RPC request frame
+// carries: the trace id and the caller's span id, each a uvarint. An
+// untraced call encodes as two zero bytes, so the steady-state cost of
+// the tracing plane on the wire is two bytes per request.
+type TraceContext struct {
+	Trace uint64 // 0 = untraced
+	Span  uint64 // caller's span id (the remote span's parent)
+}
+
+// AppendTo implements Marshaler.
+func (t TraceContext) AppendTo(b []byte) []byte {
+	b = AppendUvarint(b, t.Trace)
+	return AppendUvarint(b, t.Span)
+}
+
+// DecodeFrom implements Unmarshaler.
+func (t *TraceContext) DecodeFrom(r *Reader) error {
+	t.Trace = r.Uvarint()
+	t.Span = r.Uvarint()
+	return r.Err()
+}
