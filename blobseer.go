@@ -93,6 +93,11 @@ type Options struct {
 	// collector kick-driven: file deletion still reclaims storage, but
 	// retention policies only make progress when something kicks it.
 	GCInterval time.Duration
+	// MonitorInterval arms the cluster monitor's periodic collection
+	// passes (per-component rates, utilization, journal lag). 0 leaves
+	// the monitor collect-on-demand: /cluster and `bsfsctl top` still
+	// work, each poll collecting once.
+	MonitorInterval time.Duration
 	// VMShards partitions the metadata plane across N version-manager
 	// shards (default 1, the paper's single version manager). BLOB ids
 	// are consistent-hashed across shards and every client routes
@@ -159,6 +164,9 @@ func NewCluster(opts Options) (*Cluster, error) {
 	d.CacheBytes = opts.CacheBytes
 	if opts.GCInterval > 0 {
 		d.SetGCInterval(opts.GCInterval)
+	}
+	if opts.MonitorInterval > 0 {
+		d.SetMonitorInterval(opts.MonitorInterval)
 	}
 	return &Cluster{Blob: bc, FS: d}, nil
 }

@@ -21,10 +21,13 @@ import (
 	"strconv"
 	"strings"
 
+	"time"
+
 	"blobseer"
 	"blobseer/internal/blob"
 	"blobseer/internal/dfs"
 	"blobseer/internal/metrics"
+	"blobseer/internal/monitor"
 	"blobseer/internal/obshttp"
 	"blobseer/internal/workload"
 )
@@ -46,6 +49,9 @@ const usage = `commands:
   gcstats                 run a GC pass and print collector counters
   shards                  show ring assignment and per-shard blob/version counts
   stats                   print the process metrics registry (RPC p99s, op latencies, gauges)
+  top [-watch [n]]        cluster monitor: per-provider utilization, shard journal lag,
+                          and the hot page set (-watch refreshes n times, default 5)
+  health                  per-component health (namespace journal, shard pings, collector)
   help                    this text
 `
 
@@ -103,7 +109,10 @@ func main() {
 	})
 
 	if *mAddr != "" {
-		ms, err := obshttp.ServeMetrics(*mAddr, nil)
+		ms, err := obshttp.Serve(*mAddr, obshttp.Options{
+			Monitor: cluster.FS.Monitor,
+			Health:  cluster.FS.Health,
+		})
 		if err != nil {
 			fatal(err)
 		}
@@ -150,6 +159,16 @@ entries
 			showStats(metrics.Default.Snapshot())
 			continue
 		}
+		if line == "top" || strings.HasPrefix(line, "top ") {
+			if err := showTop(cluster, strings.Fields(line)[1:]); err != nil {
+				fmt.Printf("error: %v\n", err)
+			}
+			continue
+		}
+		if line == "health" {
+			showHealth(ctx, cluster)
+			continue
+		}
 		if line == "shards" {
 			// Also deployment-level: walks the version-manager ring with
 			// a routed client and queries each shard directly.
@@ -193,6 +212,106 @@ func showStats(s metrics.RegistrySnapshot) {
 			m := side.methods[k]
 			fmt.Printf("rpc %-6s %-24s calls=%-7d errs=%-4d bytes=%-10d p50=%.3fms p99=%.3fms\n",
 				side.name, k, m.Calls, m.Errors, m.Bytes, m.Latency.P50Ms, m.Latency.P99Ms)
+		}
+	}
+}
+
+// showTop renders the cluster monitor's snapshot: per-provider
+// utilization bars, per-shard journal lag, client cache state, and the
+// hot page sets. With -watch it refreshes once a second, n times
+// (default 5), so rates and heat sharpen across frames.
+func showTop(cluster *blobseer.Cluster, args []string) error {
+	frames := 1
+	if len(args) > 0 {
+		if args[0] != "-watch" {
+			return fmt.Errorf("usage: top [-watch [n]]")
+		}
+		frames = 5
+		if len(args) > 1 {
+			n, err := strconv.Atoi(args[1])
+			if err != nil || n <= 0 {
+				return fmt.Errorf("usage: top [-watch [n]]")
+			}
+			frames = n
+		}
+	}
+	mon := cluster.FS.Monitor
+	for frame := 0; frame < frames; frame++ {
+		if frame > 0 {
+			time.Sleep(time.Second)
+			fmt.Println()
+		}
+		mon.CollectOnce()
+		renderTop(mon.Snapshot(10))
+	}
+	return nil
+}
+
+// utilBar renders a 10-cell utilization bar.
+func utilBar(u float64) string {
+	filled := int(u * 10)
+	if filled > 10 {
+		filled = 10
+	}
+	if filled < 0 {
+		filled = 0
+	}
+	return "[" + strings.Repeat("#", filled) + strings.Repeat(".", 10-filled) + "]"
+}
+
+func renderTop(snap monitor.ClusterSnapshot) {
+	fmt.Printf("cluster: collections=%d imbalance=%.2f max-journal-lag=%.0f\n",
+		snap.Collections, snap.ReplicaImbalance, snap.MaxJournalLag)
+	for _, c := range snap.Components {
+		switch c.Kind {
+		case monitor.KindProvider:
+			fmt.Printf("  prov %-12s %s %5.1f%%  r=%8.0f B/s w=%8.0f B/s pages=%.0f\n",
+				c.Name, utilBar(c.Utilization), c.Utilization*100,
+				c.Rates["read_bytes_per_sec"], c.Rates["write_bytes_per_sec"], c.Gauges["pages"])
+		case monitor.KindVMShard:
+			fmt.Printf("  shard %-11s blobs=%-5.0f pub/s=%-8.2f lag=%.0f journal=%.0fB\n",
+				c.Name, c.Gauges["blobs"], c.Rates["published_per_sec"],
+				c.Gauges["journal_pending"], c.Gauges["journal_bytes"])
+		case monitor.KindNamespace:
+			fmt.Printf("  ns    %-11s entries=%.0f\n", c.Name, c.Gauges["entries"])
+		case monitor.KindClient:
+			fmt.Printf("  mount %-11s cache=%.0fB hit/s=%-8.2f fetch/s=%.2f\n",
+				c.Name, c.Gauges["cache_bytes"], c.Rates["cache_hits_per_sec"],
+				c.Rates["provider_fetches_per_sec"])
+		}
+	}
+	showHeat("hot reads", snap.HotReads)
+	showHeat("hot writes", snap.HotWrites)
+}
+
+func showHeat(title string, entries []metrics.HeatEntry) {
+	if len(entries) == 0 {
+		return
+	}
+	fmt.Printf("  %s:\n", title)
+	for _, e := range entries {
+		fmt.Printf("    blob=%-6d page=%-8d weight=%-10.2f touches=%d\n",
+			e.Blob, e.Page, e.Weight, e.Touches)
+	}
+}
+
+// showHealth prints the deployment's per-component health report.
+func showHealth(ctx context.Context, cluster *blobseer.Cluster) {
+	rep := cluster.FS.Health(ctx)
+	status := "healthy"
+	if !rep.Healthy {
+		status = "DEGRADED"
+	}
+	fmt.Printf("cluster %s\n", status)
+	for _, c := range rep.Components {
+		mark := "ok"
+		if !c.Healthy {
+			mark = "FAIL"
+		}
+		if c.Detail != "" {
+			fmt.Printf("  %-4s %-12s %s\n", mark, c.Component, c.Detail)
+		} else {
+			fmt.Printf("  %-4s %s\n", mark, c.Component)
 		}
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"blobseer"
@@ -27,7 +28,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to run: all,3,4,5,6,filecount,pipeline,shuffle,gc,snapshot,meta,abl-placement,abl-pagesize,abl-lock")
+		fig     = flag.String("fig", "all", "figure to run: all,3,4,5,6,filecount,pipeline,shuffle,gc,snapshot,meta,hotspot,abl-placement,abl-pagesize,abl-lock")
 		nodes   = flag.Int("nodes", 270, "total simulated machines (paper: 270)")
 		meta    = flag.Int("meta", 20, "metadata providers (paper: 20)")
 		page    = flag.Int("page", 256, "page/chunk size in KiB (paper: 64 MiB, scaled)")
@@ -41,7 +42,9 @@ func main() {
 		gcIntv  = flag.Duration("gc-interval", 0, "periodic GC pass cadence (0 = kick-driven only)")
 		shards  = flag.Int("vm-shards", 1, "version-manager shards for the environment (the meta scenario sweeps its own counts)")
 		bench   = flag.String("bench-json", "", "write the meta scenario's machine-readable results to this file (e.g. BENCH_meta.json)")
-		benchD  = flag.String("bench-dir", "", "write BENCH_<fig>.json reports (throughput + latency percentiles) for the write/read/shuffle/gc scenarios into this directory")
+		benchD  = flag.String("bench-dir", "", "write BENCH_<fig>.json reports (throughput + latency percentiles) for the write/read/shuffle/gc/hotspot scenarios into this directory")
+		cmpD    = flag.String("compare", "", "diff each scenario's fresh report against the baseline BENCH_<fig>.json in this directory; drift beyond -tolerance prints warnings (GitHub annotations under GITHUB_ACTIONS) but never fails the run")
+		tolPct  = flag.Float64("tolerance", experiments.DefaultTolerancePct, "drift tolerance band for -compare, in percent")
 		mAddr   = flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /healthz and /spans on this address while the experiments run (e.g. 127.0.0.1:9090)")
 		trace   = flag.Bool("trace", false, "with -fig shuffle: sample one traced append and print its causal span tree")
 		seed    = flag.Int64("seed", 1, "random seed")
@@ -100,16 +103,29 @@ func main() {
 	}
 
 	// writeReport emits the scenario's BENCH_<fig>.json when -bench-dir
-	// is set.
+	// is set, and diffs the fresh report against the committed baseline
+	// when -compare is set.
 	writeReport := func(rep *experiments.BenchReport) error {
-		if *benchD == "" {
-			return nil
+		if *benchD != "" {
+			path, err := experiments.WriteBench(*benchD, rep)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("[bench report written to %s]\n\n", path)
 		}
-		path, err := experiments.WriteBench(*benchD, rep)
-		if err != nil {
-			return err
+		if *cmpD != "" {
+			base, err := experiments.LoadBench(filepath.Join(*cmpD, "BENCH_"+rep.Fig+".json"))
+			if os.IsNotExist(err) {
+				fmt.Printf("[no baseline for %s in %s; skipping compare]\n\n", rep.Fig, *cmpD)
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			drifts := experiments.CompareBench(base, rep, *tolPct)
+			annotate := os.Getenv("GITHUB_ACTIONS") == "true"
+			fmt.Printf("# bench drift vs %s baseline:\n%s\n", rep.Fig, experiments.FormatDrift(drifts, *tolPct, annotate))
 		}
-		fmt.Printf("[bench report written to %s]\n\n", path)
 		return nil
 	}
 
@@ -237,6 +253,23 @@ func main() {
 		return writeReport(rep)
 	})
 
+	run("hotspot", func() error {
+		rep, res, series, err := experiments.BenchHotspot(cfg)
+		if err != nil {
+			return err
+		}
+		emit("Hotspot: monitor heat sketch vs ground-truth Zipf hot set", series...)
+		fmt.Printf("# hotspot: %d Zipf(s=1.2) reads over %d pages (sketch capacity %d), %d readers\n",
+			res.Accesses, res.Pages, res.Pages/2, res.Readers)
+		fmt.Printf("# sketch top-10 precision %.2f (acceptance >= 0.90)\n", res.Precision)
+		fmt.Printf("# provider read-rate imbalance %.1fx; hottest provider %s (%.0f%% NIC), holds a hot page: %v\n\n",
+			res.ReplicaImbalance, res.HotProvider, 100*res.MaxUtilization, res.HotProviderIsHolder)
+		if res.Precision < 0.9 {
+			return fmt.Errorf("heat sketch precision %.2f below the 0.90 acceptance bar", res.Precision)
+		}
+		return writeReport(rep)
+	})
+
 	run("snapshot", func() error {
 		res, err := experiments.Snapshot(cfg)
 		if err != nil {
@@ -254,7 +287,7 @@ func main() {
 	})
 
 	run("meta", func() error {
-		res, err := experiments.Meta(cfg)
+		rep, res, err := experiments.BenchMeta(cfg)
 		if err != nil {
 			return err
 		}
@@ -281,7 +314,7 @@ func main() {
 			}
 			fmt.Printf("[bench results written to %s]\n\n", *bench)
 		}
-		return nil
+		return writeReport(rep)
 	})
 
 	run("abl-placement", func() error {

@@ -57,6 +57,12 @@ type ClientConfig struct {
 	// map tasks on a tracker share it. Versioned pages are immutable,
 	// so cached pages never go stale.
 	CacheBytes int64
+
+	// ReadHeat, when set, is called once per page access on the unified
+	// fetch path (cache hits and provider fetches alike) with the
+	// page's (blob, index) — the cluster monitor's read-heat sketch
+	// plugs in here.
+	ReadHeat PageTouch
 }
 
 // Client talks to a BlobSeer deployment. It is safe for concurrent use.
@@ -1032,6 +1038,9 @@ func (b *Blob) resolveVersion(ctx context.Context, ver uint64) (VersionInfo, err
 // missing page fold into one provider fetch. The returned slice is
 // shared and read-only.
 func (c *Client) fetchPage(ctx context.Context, ref segtree.PageRef, want uint64) ([]byte, error) {
+	if t := c.cfg.ReadHeat; t != nil {
+		t(ref.Page.Blob, ref.Page.Index)
+	}
 	if c.pages == nil {
 		return c.fetchPageDirect(ctx, ref, want)
 	}

@@ -59,6 +59,12 @@ type ClusterConfig struct {
 	// HostPrefix names provider hosts ("<prefix>-<i>"); defaults to
 	// "node". Clients co-locate with providers by using these hosts.
 	HostPrefix string
+
+	// NICBandwidth is the modeled per-host NIC capacity in bytes/s of
+	// the underlying transport (simnet's Bandwidth). Purely descriptive
+	// at this layer: the cluster monitor computes provider utilization
+	// against it. 0 means unknown.
+	NICBandwidth float64
 }
 
 // Cluster is an in-process BlobSeer deployment on one transport.
@@ -81,6 +87,16 @@ type Cluster struct {
 	// re-applied to a shard when it restarts after failover.
 	notifyMu      sync.Mutex
 	reclaimNotify func()
+
+	// vmMu guards VMs slot replacement: failover (startVM) swaps a
+	// shard pointer while the cluster monitor samples through ShardVM.
+	vmMu sync.RWMutex
+
+	// heatMu guards the heat hooks; readHeat flows into clients created
+	// after SetHeat, writeHeat is (re-)applied to every provider.
+	heatMu    sync.Mutex
+	readHeat  PageTouch
+	writeHeat PageTouch
 }
 
 // VMShardHost names the host of version-manager shard i. Shard 0
@@ -213,11 +229,38 @@ func (c *Cluster) startVM(i int) error {
 	}
 	c.notifyMu.Unlock()
 	c.vmPools[i] = pool
+	c.vmMu.Lock()
 	c.VMs[i] = vm
 	if i == 0 {
 		c.VM = vm
 	}
+	c.vmMu.Unlock()
 	return nil
+}
+
+// ShardVM returns the current version-manager shard in slot i. Unlike
+// reading VMs[i] directly, it is safe against a concurrent failover
+// restart swapping the slot (the cluster monitor samples through it).
+func (c *Cluster) ShardVM(i int) *VersionManager {
+	c.vmMu.RLock()
+	defer c.vmMu.RUnlock()
+	if i < 0 || i >= len(c.VMs) {
+		return nil
+	}
+	return c.VMs[i]
+}
+
+// SetHeat installs the page-access heat hooks: write heat on every
+// provider (applied immediately) and read heat on every client created
+// afterwards. Either may be nil.
+func (c *Cluster) SetHeat(read, write PageTouch) {
+	c.heatMu.Lock()
+	c.readHeat = read
+	c.writeHeat = write
+	c.heatMu.Unlock()
+	for _, p := range c.Providers {
+		p.SetWriteHeat(write)
+	}
 }
 
 // KillVM crashes shard i: the endpoint unbinds and the journal closes
@@ -288,7 +331,11 @@ func (c *Cluster) ProviderBytes() int64 {
 
 // Client returns a client for this deployment running on host.
 func (c *Cluster) Client(host string) *Client {
+	c.heatMu.Lock()
+	readHeat := c.readHeat
+	c.heatMu.Unlock()
 	return NewClient(ClientConfig{
+		ReadHeat:        readHeat,
 		Net:             c.Net,
 		Host:            host,
 		VersionManager:  c.vmAddrs[0],

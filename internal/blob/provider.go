@@ -9,12 +9,25 @@ import (
 	"blobseer/internal/wire"
 )
 
+// PageTouch is a per-page access hook: the monitor's heat sketches
+// plug in here without the blob layer importing them.
+type PageTouch func(blob, page uint64)
+
 // Provider is one BlobSeer data provider: it "stores the pages, as
 // assigned by the provider manager" (§3.1.1). The storage engine is
 // pluggable (memory / durable kvlog / synthesize — see pagestore).
 type Provider struct {
 	srv   *rpc.Server
 	store pagestore.Store
+
+	// Page traffic counters sampled by the cluster monitor.
+	pagesRead    atomic.Uint64
+	bytesRead    atomic.Uint64
+	pagesWritten atomic.Uint64
+	bytesWritten atomic.Uint64
+
+	// writeHeat, when set, is touched on every stored page.
+	writeHeat atomic.Pointer[PageTouch]
 
 	// failPuts simulates a failed node for fault-injection tests: puts
 	// are rejected while it is non-zero; gets still succeed.
@@ -44,6 +57,29 @@ func (p *Provider) Store() pagestore.Store { return p.store }
 // SetFailPuts toggles write-failure injection.
 func (p *Provider) SetFailPuts(fail bool) { p.failPuts.Store(fail) }
 
+// SetWriteHeat installs (or, with nil, removes) the page write-heat
+// hook, called once per stored page with the page's (blob, index).
+func (p *Provider) SetWriteHeat(t PageTouch) {
+	if t == nil {
+		p.writeHeat.Store(nil)
+		return
+	}
+	p.writeHeat.Store(&t)
+}
+
+// MonitorSample reports the provider's live stats in the cluster
+// monitor's sample shape ("_total" keys are counters, others gauges).
+func (p *Provider) MonitorSample() map[string]float64 {
+	return map[string]float64{
+		"pages":             float64(p.store.Len()),
+		"bytes_used":        float64(p.store.BytesUsed()),
+		"read_pages_total":  float64(p.pagesRead.Load()),
+		"read_bytes_total":  float64(p.bytesRead.Load()),
+		"write_pages_total": float64(p.pagesWritten.Load()),
+		"write_bytes_total": float64(p.bytesWritten.Load()),
+	}
+}
+
 // Close stops the provider and its store.
 func (p *Provider) Close() error {
 	err := p.srv.Close()
@@ -64,6 +100,11 @@ func (p *Provider) handlePutPage(r *wire.Reader) (wire.Marshaler, error) {
 	if err := p.store.Put(req.Key, req.Data); err != nil {
 		return nil, err
 	}
+	p.pagesWritten.Add(1)
+	p.bytesWritten.Add(uint64(len(req.Data)))
+	if t := p.writeHeat.Load(); t != nil {
+		(*t)(req.Key.Blob, req.Key.Index)
+	}
 	return nil, nil
 }
 
@@ -76,6 +117,8 @@ func (p *Provider) handleGetPage(r *wire.Reader) (wire.Marshaler, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.pagesRead.Add(1)
+	p.bytesRead.Add(uint64(len(data)))
 	return &GetPageResp{Data: data}, nil
 }
 

@@ -216,6 +216,40 @@ func (vm *VersionManager) JournalRecords() uint64 {
 	return vm.journal.seqNow()
 }
 
+// JournalPending reports records appended since the last checkpoint
+// kick — the shard's journal lag (replay debt), 0 for in-memory.
+func (vm *VersionManager) JournalPending() int {
+	if vm.journal == nil {
+		return 0
+	}
+	return vm.journal.pending()
+}
+
+// JournalBytes reports the journal store's on-disk footprint, 0 for
+// an in-memory manager.
+func (vm *VersionManager) JournalBytes() int64 {
+	if vm.journal == nil {
+		return 0
+	}
+	return vm.journal.bytes()
+}
+
+// MonitorSample reports the shard's live stats in the cluster
+// monitor's sample shape ("_total" keys are counters, others gauges).
+// Returned as a plain map so the blob layer stays free of a monitor
+// dependency.
+func (vm *VersionManager) MonitorSample() map[string]float64 {
+	return map[string]float64{
+		"blobs":                 float64(vm.st.blobCount()),
+		"assigned_total":        float64(vm.st.assigned.Load()),
+		"published_total":       float64(vm.st.publishedCount.Load()),
+		"sealed_total":          float64(vm.st.sealed.Load()),
+		"journal_records_total": float64(vm.JournalRecords()),
+		"journal_pending":       float64(vm.JournalPending()),
+		"journal_bytes":         float64(vm.JournalBytes()),
+	}
+}
+
 // Close stops the manager cleanly: the endpoint unbinds, loops drain,
 // and a durable manager writes a final checkpoint so the next open
 // replays (almost) nothing.

@@ -108,6 +108,21 @@ func (j *vmJournal) seqNow() uint64 {
 	return j.seq
 }
 
+// pending reports records appended since the last checkpoint kick —
+// the replay debt a crash right now would leave behind (the cluster
+// monitor's journal-lag gauge).
+func (j *vmJournal) pending() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.n
+}
+
+// bytes reports the journal store's total on-disk footprint.
+func (j *vmJournal) bytes() int64 {
+	total, _ := j.kv.Size()
+	return total
+}
+
 // replay rebuilds st from the store: snapshots first, then every
 // record newer than the owning BLOB's snapshot, in sequence order.
 // It returns the number of records replayed (for recovery metrics).

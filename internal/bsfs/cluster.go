@@ -1,11 +1,15 @@
 package bsfs
 
 import (
+	"context"
+	"fmt"
 	"path/filepath"
 	"time"
 
 	"blobseer/internal/blob"
 	"blobseer/internal/gc"
+	"blobseer/internal/metrics"
+	"blobseer/internal/monitor"
 	"blobseer/internal/transport"
 )
 
@@ -20,6 +24,13 @@ type Deployment struct {
 	// and runs kick-driven until SetGCInterval arms periodic passes
 	// (which retention policies need to make progress without deletes).
 	GC *gc.Collector
+
+	// Monitor is the deployment's cluster monitor: every provider, VM
+	// shard, the namespace manager, and each Mount register stats
+	// sources on it, and its heat sketches watch the page access paths.
+	// Like GC it is collect-on-demand until SetMonitorInterval arms the
+	// periodic collector.
+	Monitor *monitor.Monitor
 
 	// WriteDepth is the writer pipeline depth handed to mounts (how
 	// many blocks one writer keeps in flight); 0 means
@@ -70,10 +81,40 @@ func Deploy(c *blob.Cluster, blockSize uint64) (*Deployment, error) {
 	gcClient := c.Client("vmanager-host")
 	collector := gc.New(gcClient, gc.Options{})
 	c.SetReclaimNotify(collector.Kick)
+
+	// Cluster monitor: heat hooks go in AFTER the internal ns/gc clients
+	// were created, so their metadata traffic never pollutes the
+	// read-heat sketch — only real mounts (created later) feed it.
+	mon := monitor.New(monitor.Config{NICBandwidth: c.Cfg.NICBandwidth})
+	c.SetHeat(mon.ReadHeat().TouchPage, mon.WriteHeat().TouchPage)
+	metrics.Default.AttachHeat("read", mon.ReadHeat())
+	metrics.Default.AttachHeat("write", mon.WriteHeat())
+	for _, p := range c.Providers {
+		p := p
+		mon.Register(monitor.KindProvider, p.Addr().Host(), func() monitor.Sample {
+			return p.MonitorSample()
+		})
+	}
+	for i := range c.VMAddrs() {
+		i := i
+		mon.Register(monitor.KindVMShard, fmt.Sprintf("shard-%d", i), func() monitor.Sample {
+			// ShardVM, not VMs[i]: failover swaps the slot concurrently.
+			vm := c.ShardVM(i)
+			if vm == nil {
+				return nil
+			}
+			return vm.MonitorSample()
+		})
+	}
+	mon.Register(monitor.KindNamespace, "namespace", func() monitor.Sample {
+		return ns.MonitorSample()
+	})
+
 	return &Deployment{
 		Blob:      c,
 		NS:        ns,
 		GC:        collector,
+		Monitor:   mon,
 		nsClient:  nsClient,
 		gcClient:  gcClient,
 		blockSize: blockSize,
@@ -86,9 +127,62 @@ func (d *Deployment) SetGCInterval(interval time.Duration) {
 	d.GC.SetInterval(interval)
 }
 
-// Mount returns a BSFS client mount running on host.
+// SetMonitorInterval arms the cluster monitor's periodic collection
+// (0 keeps it collect-on-demand only).
+func (d *Deployment) SetMonitorInterval(interval time.Duration) {
+	d.Monitor.SetInterval(interval)
+}
+
+// healthPingTimeout bounds each VM-shard health ping; the router's
+// failover retry would otherwise mask a dead shard for the caller's
+// whole deadline.
+const healthPingTimeout = 2 * time.Second
+
+// Health checks every component and reports per-component verdicts:
+// the namespace journal is open, every VM shard answers a cheap stats
+// ping through the router, and (when armed) the monitor's collector has
+// run within two intervals. The /healthz endpoint serves this with a
+// 503 on degradation.
+func (d *Deployment) Health(ctx context.Context) monitor.HealthReport {
+	rep := monitor.HealthReport{Healthy: true, CheckedAt: time.Now()}
+
+	if d.NS.JournalOpen() {
+		rep.Add("namespace", true, "")
+	} else {
+		rep.Add("namespace", false, "journal closed")
+	}
+
+	router := d.nsClient.VMRouter()
+	for i, addr := range d.Blob.VMAddrs() {
+		name := fmt.Sprintf("vmshard-%d", i)
+		cctx, cancel := context.WithTimeout(ctx, healthPingTimeout)
+		var resp blob.VMStatsResp
+		err := router.CallAddr(cctx, addr, blob.VMStats, nil, &resp)
+		cancel()
+		if err != nil {
+			rep.Add(name, false, fmt.Sprintf("ping: %v", err))
+		} else {
+			rep.Add(name, true, "")
+		}
+	}
+
+	if iv, armed := d.Monitor.Armed(); armed {
+		if d.Monitor.Fresh(2 * iv) {
+			rep.Add("monitor", true, "")
+		} else {
+			rep.Add("monitor", false, fmt.Sprintf("collector stale (no pass within %v)", 2*iv))
+		}
+	} else {
+		rep.Add("monitor", true, "collector unarmed (collect-on-demand)")
+	}
+	return rep
+}
+
+// Mount returns a BSFS client mount running on host. The mount feeds
+// the monitor's read-heat sketch and reports as a client stats source
+// until it closes.
 func (d *Deployment) Mount(host string) *FS {
-	return New(Config{
+	fs := New(Config{
 		Net:             d.Blob.Net,
 		Host:            host,
 		Namespace:       d.NS.Addr(),
@@ -103,13 +197,32 @@ func (d *Deployment) Mount(host string) *FS {
 		PinTTL:          d.PinTTL,
 		MetaReplicas:    d.Blob.Cfg.MetaReplicas,
 		PageReplicas:    d.Blob.Cfg.PageReplicas,
+		ReadHeat:        d.Monitor.ReadHeat().TouchPage,
 	})
+	bc := fs.BlobClient()
+	src := d.Monitor.Register(monitor.KindClient, host, func() monitor.Sample {
+		rs := bc.ReadStats().Snapshot()
+		s := monitor.Sample{
+			"cache_hits_total":        float64(rs.Hits),
+			"cache_misses_total":      float64(rs.Misses),
+			"provider_fetches_total":  float64(rs.ProviderFetches),
+			"provider_failures_total": float64(rs.ProviderFailures),
+			"inflight_writes":         float64(bc.InFlight()),
+		}
+		if pc := bc.PageCache(); pc != nil {
+			s["cache_bytes"] = float64(pc.Bytes())
+		}
+		return s
+	})
+	fs.onClose = src.Unregister
+	return fs
 }
 
 // Close stops the namespace manager and the collector (the BlobSeer
 // cluster is owned by the caller).
 func (d *Deployment) Close() error {
 	d.Blob.SetReclaimNotify(nil)
+	d.Monitor.Close()
 	d.GC.Close()
 	err := d.NS.Close()
 	d.nsClient.Close()

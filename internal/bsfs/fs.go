@@ -66,6 +66,10 @@ type Config struct {
 
 	MetaReplicas int
 	PageReplicas int
+
+	// ReadHeat, when set, observes every page access this mount makes
+	// (the cluster monitor's read-heat sketch plugs in here).
+	ReadHeat blob.PageTouch
 }
 
 // DefaultWriteDepth is the writer pipeline depth used when Config
@@ -85,6 +89,10 @@ type FS struct {
 	cfg  Config
 	pool *rpc.Pool
 	bc   *blob.Client
+
+	// onClose, when set by the deployment, runs once on Close — it
+	// unregisters the mount's monitor source.
+	onClose func()
 }
 
 var (
@@ -145,12 +153,17 @@ func New(cfg Config) *FS {
 			MetaReplicas:    cfg.MetaReplicas,
 			PageReplicas:    cfg.PageReplicas,
 			CacheBytes:      cfg.CacheBytes,
+			ReadHeat:        cfg.ReadHeat,
 		}),
 	}
 }
 
 // Close releases the mount's connections.
 func (fs *FS) Close() error {
+	if fs.onClose != nil {
+		fs.onClose()
+		fs.onClose = nil
+	}
 	fs.pool.Close()
 	return fs.bc.Close()
 }

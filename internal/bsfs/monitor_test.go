@@ -1,0 +1,130 @@
+package bsfs
+
+import (
+	"testing"
+	"time"
+
+	"blobseer/internal/dfs"
+	"blobseer/internal/monitor"
+)
+
+// TestDeploymentMonitorWiring pins what Deploy registers on the
+// monitor: one source per provider, per VM shard, and the namespace
+// manager — and that reads and writes through a mount feed the heat
+// sketches and the provider counters.
+func TestDeploymentMonitorWiring(t *testing.T) {
+	d := newDeployment(t, 1024)
+	fs := mount(t, d, "cli")
+
+	data := pattern(3, 6*1024) // six pages
+	if err := dfs.WriteFile(ctx, fs, "/m/f", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dfs.ReadAll(ctx, fs, "/m/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(data) {
+		t.Fatalf("read %d bytes", len(got))
+	}
+
+	d.Monitor.CollectOnce()
+	snap := d.Monitor.Snapshot(10)
+	kinds := make(map[string]int)
+	for _, c := range snap.Components {
+		kinds[c.Kind]++
+	}
+	if kinds[monitor.KindProvider] != 6 || kinds[monitor.KindVMShard] != 1 || kinds[monitor.KindNamespace] != 1 {
+		t.Fatalf("component kinds = %v", kinds)
+	}
+	if kinds[monitor.KindClient] != 1 {
+		t.Fatalf("mount did not register a client source: %v", kinds)
+	}
+
+	if len(snap.HotWrites) == 0 {
+		t.Error("write heat empty after writing pages")
+	}
+	if len(snap.HotReads) == 0 {
+		t.Error("read heat empty after reading pages")
+	}
+
+	var pages float64
+	for _, c := range snap.Components {
+		if c.Kind == monitor.KindProvider {
+			pages += c.Gauges["pages"]
+		}
+	}
+	if pages < 6 {
+		t.Errorf("providers report %v pages total, want >= 6", pages)
+	}
+
+	// Closing the mount unregisters its source.
+	fs.Close()
+	d.Monitor.CollectOnce()
+	kinds = make(map[string]int)
+	for _, c := range d.Monitor.Snapshot(0).Components {
+		kinds[c.Kind]++
+	}
+	if kinds[monitor.KindClient] != 0 {
+		t.Errorf("client source leaked after mount close: %v", kinds)
+	}
+}
+
+// TestDeploymentHealth pins the component health checks: a fresh
+// deployment is healthy with an unarmed-collector note; arming the
+// monitor makes the collector check real; killing a VM shard degrades
+// the report and names the shard.
+func TestDeploymentHealth(t *testing.T) {
+	d := newDeployment(t, 1024)
+
+	rep := d.Health(ctx)
+	if !rep.Healthy {
+		t.Fatalf("fresh deployment unhealthy: %+v", rep)
+	}
+	byName := make(map[string]monitor.ComponentHealth)
+	for _, c := range rep.Components {
+		byName[c.Component] = c
+	}
+	if !byName["namespace"].Healthy || !byName["vmshard-0"].Healthy {
+		t.Fatalf("components = %+v", rep.Components)
+	}
+	mon := byName["monitor"]
+	if !mon.Healthy || mon.Detail == "" {
+		t.Fatalf("unarmed monitor health = %+v (want healthy with a detail note)", mon)
+	}
+
+	// Armed and collecting: the freshness check passes for real.
+	d.SetMonitorInterval(20 * time.Millisecond)
+	deadline := time.Now().Add(5 * time.Second)
+	for d.Monitor.Collections() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	rep = d.Health(ctx)
+	for _, c := range rep.Components {
+		if c.Component == "monitor" && (!c.Healthy || c.Detail != "") {
+			t.Fatalf("armed monitor health = %+v", c)
+		}
+	}
+
+	// Kill the only VM shard: the stats ping times out and the report
+	// degrades, naming the shard.
+	if err := d.Blob.KillVM(0); err != nil {
+		t.Fatal(err)
+	}
+	rep = d.Health(ctx)
+	if rep.Healthy {
+		t.Fatal("report healthy with a killed VM shard")
+	}
+	found := false
+	for _, c := range rep.Components {
+		if c.Component == "vmshard-0" {
+			found = true
+			if c.Healthy || c.Detail == "" {
+				t.Fatalf("killed shard health = %+v", c)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no vmshard-0 verdict in degraded report")
+	}
+}

@@ -207,6 +207,39 @@ func NewDurableNamespaceManager(net transport.Network, addr transport.Addr, bc *
 // Addr returns the manager's endpoint.
 func (ns *NamespaceManager) Addr() transport.Addr { return ns.srv.Addr() }
 
+// Durable reports whether this manager journals entries to disk.
+func (ns *NamespaceManager) Durable() bool { return ns.kv != nil }
+
+// JournalOpen reports whether the durable journal still accepts
+// operations; an in-memory manager has no journal to lose and reports
+// true. The /healthz namespace check watches it.
+func (ns *NamespaceManager) JournalOpen() bool {
+	if ns.kv == nil {
+		return true
+	}
+	return ns.kv.Open()
+}
+
+// EntryCount reports how many namespace records the manager holds.
+func (ns *NamespaceManager) EntryCount() int {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return len(ns.entries)
+}
+
+// MonitorSample reports the manager's live stats in the cluster
+// monitor's sample shape.
+func (ns *NamespaceManager) MonitorSample() map[string]float64 {
+	s := map[string]float64{
+		"entries": float64(ns.EntryCount()),
+	}
+	if ns.kv != nil {
+		total, _ := ns.kv.Size()
+		s["journal_bytes"] = float64(total)
+	}
+	return s
+}
+
 // Close stops the manager.
 func (ns *NamespaceManager) Close() error {
 	err := ns.srv.Close()

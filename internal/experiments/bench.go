@@ -226,6 +226,65 @@ func BenchGC(cfg Config) (*BenchReport, *GCResult, error) {
 	}, res, nil
 }
 
+// BenchMeta runs the metadata-plane scenario (shard scaling, failover,
+// cold recovery) and flattens its headline numbers into a comparable
+// report, alongside the raw MetaResult the scenario already emits.
+func BenchMeta(cfg Config) (*BenchReport, *MetaResult, error) {
+	run := startBenchRun("blob.append")
+	res, err := Meta(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	scaling := &metrics.Series{Name: "publish ops/s", XLabel: "vm shards", YLabel: "ops/s"}
+	for _, p := range res.Scaling {
+		scaling.Add(float64(p.Shards), p.OpsPerSec, 0)
+	}
+	return &BenchReport{
+		Fig:    "meta",
+		Config: benchConfig(cfg.withDefaults()),
+		Series: benchSeries(scaling),
+		Extra: map[string]float64{
+			"failover_lost_writes":     float64(res.Failover.LostWrites),
+			"failover_acked_total":     float64(res.Failover.AckedTotal),
+			"recovery_records":         float64(res.Recovery.Records),
+			"recovery_replay_ms":       res.Recovery.ReplayMS,
+			"recovery_versions_served": float64(res.Recovery.Versions),
+		},
+		Latency: run.latencies(),
+	}, res, nil
+}
+
+// BenchHotspot runs the skewed-read heat-tracking scenario and
+// packages the sketch-vs-ground-truth scores with the read latency
+// distribution; the acceptance bar (precision >= 0.9 on the top 10)
+// is asserted by the caller from HotspotResult.Precision.
+func BenchHotspot(cfg Config) (*BenchReport, *HotspotResult, []*metrics.Series, error) {
+	run := startBenchRun("blob.pageview", "blob.read")
+	res, series, err := Hotspot(cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	holder := 0.0
+	if res.HotProviderIsHolder {
+		holder = 1.0
+	}
+	rep := &BenchReport{
+		Fig:    "hotspot",
+		Config: benchConfig(cfg.withDefaults()),
+		Series: benchSeries(series...),
+		Extra: map[string]float64{
+			"precision_top10":        res.Precision,
+			"replica_imbalance":      res.ReplicaImbalance,
+			"max_utilization":        res.MaxUtilization,
+			"hot_provider_is_holder": holder,
+			"pages":                  float64(res.Pages),
+			"accesses":               float64(res.Accesses),
+		},
+		Latency: run.latencies(),
+	}
+	return rep, res, series, nil
+}
+
 // TraceAppend boots a fresh deployment, runs ONE traced append and
 // read-back against it, and returns the rendered causal span tree:
 // the client's blob.append with its merge/pages/commit stages, each

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Bench comparison: the repo commits BENCH_<fig>.json baselines from
+// -quick runs, and CI re-runs the same scenarios against them. Drift
+// beyond the tolerance band is a warning, never a failure — these are
+// shaped-simulation numbers on shared runners, so the trajectory is
+// the signal, not any single run.
+
+// DefaultTolerancePct is the drift band (relative, percent) inside
+// which a metric counts as unchanged.
+const DefaultTolerancePct = 25
+
+// BenchDrift is one metric compared between a baseline report and a
+// fresh run of the same scenario.
+type BenchDrift struct {
+	// Fig names the scenario both reports came from.
+	Fig string `json:"fig"`
+	// Metric addresses the compared value, e.g.
+	// "series[appenders]/BSFS read throughput @ x=30",
+	// "latency/blob.append/p99_ms" or "extra/precision_top10".
+	Metric string `json:"metric"`
+	// Baseline and Current are the two values; DeltaPct is the signed
+	// relative change from baseline, in percent.
+	Baseline float64 `json:"baseline"`
+	Current  float64 `json:"current"`
+	DeltaPct float64 `json:"delta_pct"`
+	// Over marks drift beyond the tolerance band.
+	Over bool `json:"over,omitempty"`
+}
+
+// LoadBench reads a BENCH_<fig>.json report.
+func LoadBench(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep BenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if rep.Fig == "" {
+		return nil, fmt.Errorf("parse %s: no fig name", path)
+	}
+	return &rep, nil
+}
+
+// CompareBench diffs a fresh report against its baseline: every series
+// point matched by (series name, x), every latency quantile matched by
+// (op, quantile), every extra scalar matched by key. tolerancePct <= 0
+// means DefaultTolerancePct. Metrics present on only one side are
+// skipped — scenarios may grow curves across PRs — but a config
+// mismatch yields a single incomparable-config drift entry instead of
+// point-by-point noise.
+func CompareBench(baseline, current *BenchReport, tolerancePct float64) []BenchDrift {
+	if tolerancePct <= 0 {
+		tolerancePct = DefaultTolerancePct
+	}
+	if baseline.Config != current.Config {
+		return []BenchDrift{{
+			Fig:    baseline.Fig,
+			Metric: "config",
+			Over:   true,
+		}}
+	}
+	var out []BenchDrift
+	add := func(metric string, base, cur float64) {
+		if base == 0 {
+			return // no relative scale to drift against
+		}
+		pct := 100 * (cur - base) / math.Abs(base)
+		out = append(out, BenchDrift{
+			Fig:      baseline.Fig,
+			Metric:   metric,
+			Baseline: base,
+			Current:  cur,
+			DeltaPct: pct,
+			Over:     math.Abs(pct) > tolerancePct,
+		})
+	}
+
+	cur := make(map[string]BenchSeries, len(current.Series))
+	for _, s := range current.Series {
+		cur[s.Name] = s
+	}
+	for _, bs := range baseline.Series {
+		cs, ok := cur[bs.Name]
+		if !ok {
+			continue
+		}
+		at := make(map[float64]float64, len(cs.Points))
+		for _, p := range cs.Points {
+			at[p.X] = p.Y
+		}
+		for _, p := range bs.Points {
+			if y, ok := at[p.X]; ok {
+				add(fmt.Sprintf("series/%s @ %s=%g", bs.Name, orDefault(bs.XLabel, "x"), p.X), p.Y, y)
+			}
+		}
+	}
+
+	ops := make([]string, 0, len(baseline.Latency))
+	for op := range baseline.Latency {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		b := baseline.Latency[op]
+		c, ok := current.Latency[op]
+		if !ok {
+			continue
+		}
+		add("latency/"+op+"/p50_ms", b.P50Ms, c.P50Ms)
+		add("latency/"+op+"/p99_ms", b.P99Ms, c.P99Ms)
+	}
+
+	keys := make([]string, 0, len(baseline.Extra))
+	for k := range baseline.Extra {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if v, ok := current.Extra[k]; ok {
+			add("extra/"+k, baseline.Extra[k], v)
+		}
+	}
+	return out
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+// FormatDrift renders a comparison for humans (and, with annotate set,
+// for GitHub Actions: over-tolerance lines become ::warning
+// annotations the run summary surfaces without failing the job).
+func FormatDrift(drifts []BenchDrift, tolerancePct float64, annotate bool) string {
+	if tolerancePct <= 0 {
+		tolerancePct = DefaultTolerancePct
+	}
+	var b strings.Builder
+	over := 0
+	for _, d := range drifts {
+		if d.Metric == "config" {
+			fmt.Fprintf(&b, "%s: baseline config differs from this run; not comparable\n", d.Fig)
+			over++
+			continue
+		}
+		if !d.Over {
+			continue
+		}
+		over++
+		line := fmt.Sprintf("%s: %s drifted %+.1f%% (baseline %.4g, now %.4g, band ±%.0f%%)",
+			d.Fig, d.Metric, d.DeltaPct, d.Baseline, d.Current, tolerancePct)
+		if annotate {
+			line = "::warning title=bench drift::" + line
+		}
+		b.WriteString(line + "\n")
+	}
+	if over == 0 {
+		fmt.Fprintf(&b, "%d metrics compared, all within ±%.0f%% of baseline\n", len(drifts), tolerancePct)
+	}
+	return b.String()
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"blobseer/internal/metrics"
+)
+
+func twinReports() (*BenchReport, *BenchReport) {
+	mk := func() *BenchReport {
+		return &BenchReport{
+			Fig:    "write",
+			Config: BenchConfig{Nodes: 64, MetaProviders: 8, PageSize: 256 << 10, BandwidthMBps: 12.5, Reps: 2},
+			Series: []BenchSeries{{
+				Name: "BSFS append throughput", XLabel: "clients", YLabel: "MB/s",
+				Points: []BenchPoint{{X: 1, Y: 10}, {X: 8, Y: 80}},
+			}},
+			Latency: map[string]metrics.LatencyQuantiles{
+				"blob.append": {Count: 100, P50Ms: 4, P99Ms: 12},
+			},
+			Extra: map[string]float64{"precision_top10": 1.0},
+		}
+	}
+	return mk(), mk()
+}
+
+func TestCompareBenchWithinBand(t *testing.T) {
+	base, cur := twinReports()
+	cur.Series[0].Points[1].Y = 88 // +10%: inside the 25% band
+	drifts := CompareBench(base, cur, 0)
+	if len(drifts) == 0 {
+		t.Fatal("no metrics compared")
+	}
+	for _, d := range drifts {
+		if d.Over {
+			t.Errorf("drift flagged inside the band: %+v", d)
+		}
+	}
+	out := FormatDrift(drifts, 0, false)
+	if !strings.Contains(out, "all within") {
+		t.Errorf("clean comparison output = %q", out)
+	}
+}
+
+func TestCompareBenchFlagsDrift(t *testing.T) {
+	base, cur := twinReports()
+	cur.Series[0].Points[1].Y = 40                                                         // -50% throughput
+	cur.Latency["blob.append"] = metrics.LatencyQuantiles{Count: 100, P50Ms: 4, P99Ms: 30} // p99 2.5x
+	drifts := CompareBench(base, cur, 25)
+	over := make(map[string]float64)
+	for _, d := range drifts {
+		if d.Over {
+			over[d.Metric] = d.DeltaPct
+		}
+	}
+	if len(over) != 2 {
+		t.Fatalf("flagged drifts = %v", over)
+	}
+	if pct := over["series/BSFS append throughput @ clients=8"]; pct > -49 || pct < -51 {
+		t.Errorf("throughput drift = %v, want ~-50", pct)
+	}
+	if pct := over["latency/blob.append/p99_ms"]; pct < 149 || pct > 151 {
+		t.Errorf("latency drift = %v, want ~+150", pct)
+	}
+
+	out := FormatDrift(drifts, 25, true)
+	if !strings.Contains(out, "::warning title=bench drift::") {
+		t.Errorf("no GitHub annotation in %q", out)
+	}
+	if !strings.Contains(out, "drifted -50.0%") {
+		t.Errorf("drift line missing from %q", out)
+	}
+}
+
+func TestCompareBenchConfigMismatch(t *testing.T) {
+	base, cur := twinReports()
+	cur.Config.Nodes = 270
+	drifts := CompareBench(base, cur, 0)
+	if len(drifts) != 1 || drifts[0].Metric != "config" || !drifts[0].Over {
+		t.Fatalf("config mismatch drifts = %+v", drifts)
+	}
+	if out := FormatDrift(drifts, 0, false); !strings.Contains(out, "not comparable") {
+		t.Errorf("mismatch output = %q", out)
+	}
+}
+
+func TestCompareBenchSkipsUnmatched(t *testing.T) {
+	base, cur := twinReports()
+	base.Series = append(base.Series, BenchSeries{Name: "old curve", Points: []BenchPoint{{X: 1, Y: 1}}})
+	cur.Extra["new_scalar"] = 5
+	base.Extra["zero_scalar"], cur.Extra["zero_scalar"] = 0, 3 // no relative scale
+	for _, d := range CompareBench(base, cur, 0) {
+		if strings.Contains(d.Metric, "old curve") || strings.Contains(d.Metric, "new_scalar") || strings.Contains(d.Metric, "zero_scalar") {
+			t.Errorf("unmatchable metric compared: %+v", d)
+		}
+	}
+}
+
+func TestLoadBenchRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadBench(dir + "/missing.json"); err == nil {
+		t.Error("missing file loaded")
+	}
+}

@@ -164,6 +164,7 @@ func newBSFSEnvStore(cfg Config, store blob.StoreKind) (*bsfsEnv, error) {
 		Retain:        cfg.Retain,
 		VMShards:      cfg.VMShards,
 		JournalDir:    cfg.JournalDir,
+		NICBandwidth:  cfg.Bandwidth,
 	})
 	if err != nil {
 		return nil, err

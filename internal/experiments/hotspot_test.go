@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestHotspotSketchPrecision is the tentpole acceptance test: a
+// Zipf-skewed read workload over twice as many pages as the heat
+// sketch tracks, scored against exact ground truth. The sketch's
+// top-10 must hit precision >= 0.9, the read load must be visibly
+// imbalanced, and the provider the monitor ranks hottest must actually
+// hold a hot page.
+func TestHotspotSketchPrecision(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second shaped workload")
+	}
+	res, series, err := Hotspot(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Precision < 0.9 {
+		t.Errorf("sketch top-10 precision = %.2f, want >= 0.9\ntrue  %v\nsketch %v",
+			res.Precision, res.TrueTop, res.SketchTop)
+	}
+	if res.ReplicaImbalance <= 1 {
+		t.Errorf("replica imbalance = %.2f, want > 1 under a Zipf hot set", res.ReplicaImbalance)
+	}
+	if !res.HotProviderIsHolder {
+		t.Errorf("hottest provider %q holds no true top-10 page", res.HotProvider)
+	}
+	if res.MaxUtilization <= 0 {
+		t.Errorf("max utilization = %v, want > 0 with a modeled NIC", res.MaxUtilization)
+	}
+	if len(series) != 2 || len(series[0].Points) == 0 || len(series[1].Points) == 0 {
+		t.Fatalf("series = %+v", series)
+	}
+}
+
+// TestBenchHotspotReport checks the BENCH_hotspot.json artifact shape.
+func TestBenchHotspotReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second shaped workload")
+	}
+	rep, res, _, err := BenchHotspot(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fig != "hotspot" {
+		t.Errorf("fig = %q", rep.Fig)
+	}
+	if rep.Extra["precision_top10"] != res.Precision {
+		t.Errorf("extra precision = %v, result %v", rep.Extra["precision_top10"], res.Precision)
+	}
+	dir := t.TempDir()
+	path, err := WriteBench(dir, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(path, "BENCH_hotspot.json") {
+		t.Errorf("path = %s", path)
+	}
+	back, err := LoadBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Extra["precision_top10"] != res.Precision {
+		t.Errorf("round-trip precision = %v", back.Extra["precision_top10"])
+	}
+	if _, err := os.Stat(filepath.Join(dir, "BENCH_hotspot.json")); err != nil {
+		t.Fatal(err)
+	}
+}

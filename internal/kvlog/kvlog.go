@@ -395,6 +395,15 @@ func (s *Store) Size() (total, live int64) {
 	return s.end, s.liveBytes
 }
 
+// Open reports whether the store is still accepting operations
+// (Close has not been called). Health checks use it to verify a
+// durable journal has not been torn down under a live service.
+func (s *Store) Open() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return !s.closed
+}
+
 // Sync flushes the log to stable storage.
 func (s *Store) Sync() error {
 	s.mu.Lock()

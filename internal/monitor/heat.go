@@ -1,0 +1,173 @@
+package monitor
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"blobseer/internal/metrics"
+)
+
+// HeatSketch is a decaying top-K heavy-hitter sketch over (blob, page)
+// keys: a space-saving summary (Metwally et al.) whose counts decay
+// exponentially with a configurable half-life, so "hot" means hot
+// *now*, not hot since boot. Memory is bounded by the capacity K no
+// matter how many distinct pages the workload touches — when the sketch
+// is full, a new key evicts the minimum-weight entry and inherits its
+// weight as the classic space-saving over-estimate, which keeps the
+// guarantee that any key with true (decayed) weight above the minimum
+// is present.
+//
+// Decay is O(1) per touch, not O(K): weights are stored scaled by
+// 2^(t/halfLife) at touch time, so an entry untouched for one half-life
+// is worth half as much relative to fresh touches without ever being
+// rewritten. The growing scale factor is rebased before it can
+// overflow a float64.
+//
+// Touch is a mutex plus a map operation (plus an O(K) minimum scan only
+// when inserting into a full sketch), cheap enough for the client page
+// fetch path and the provider put path. The zero half-life disables
+// decay (pure space-saving counts).
+type HeatSketch struct {
+	mu  sync.Mutex
+	cap int
+	// invHL is 1/halfLife in seconds (0 = no decay).
+	invHL float64
+	// now is injectable for deterministic decay tests.
+	now func() time.Time
+
+	t0      time.Time
+	exp     float64 // rebasing offset: scale = 2^(elapsed/halfLife - exp)
+	entries map[HeatKey]*heatEntry
+}
+
+// HeatKey identifies one page of one BLOB.
+type HeatKey struct {
+	Blob uint64
+	Page uint64
+}
+
+type heatEntry struct {
+	score float64 // decayed-coordinate weight: weight * scale(touch time)
+	count uint64  // raw touches (not decayed; diagnostic only)
+}
+
+// DefaultHeatCapacity is the tracked-key bound used when NewHeatSketch
+// gets a non-positive capacity.
+const DefaultHeatCapacity = 512
+
+// heatRebaseExp is the scale exponent past which the sketch renormalizes
+// all scores. Far below the ~1023 overflow exponent of float64 but high
+// enough that rebases are rare (one per ~500 half-lives).
+const heatRebaseExp = 512
+
+// NewHeatSketch returns a sketch tracking at most cap keys whose
+// weights halve every halfLife (0 disables decay).
+func NewHeatSketch(cap int, halfLife time.Duration) *HeatSketch {
+	if cap <= 0 {
+		cap = DefaultHeatCapacity
+	}
+	s := &HeatSketch{
+		cap:     cap,
+		now:     time.Now,
+		entries: make(map[HeatKey]*heatEntry, cap),
+	}
+	if halfLife > 0 {
+		s.invHL = 1 / halfLife.Seconds()
+	}
+	s.t0 = s.now()
+	return s
+}
+
+// scaleLocked returns the current scale factor, rebasing every score
+// when the exponent has grown large enough to threaten precision.
+func (s *HeatSketch) scaleLocked() float64 {
+	if s.invHL == 0 {
+		return 1
+	}
+	e := s.now().Sub(s.t0).Seconds()*s.invHL - s.exp
+	if e > heatRebaseExp {
+		down := math.Exp2(e)
+		for _, ent := range s.entries {
+			ent.score /= down
+		}
+		s.exp += e
+		e = 0
+	}
+	return math.Exp2(e)
+}
+
+// Touch records one access with weight w (use 1 for "one page read").
+func (s *HeatSketch) Touch(blob, page uint64, w float64) {
+	if w <= 0 {
+		return
+	}
+	k := HeatKey{Blob: blob, Page: page}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	add := w * s.scaleLocked()
+	if e, ok := s.entries[k]; ok {
+		e.score += add
+		e.count++
+		return
+	}
+	if len(s.entries) < s.cap {
+		s.entries[k] = &heatEntry{score: add, count: 1}
+		return
+	}
+	// Full: evict the minimum and inherit its weight (space-saving).
+	var minKey HeatKey
+	minScore := math.Inf(1)
+	for key, e := range s.entries {
+		if e.score < minScore {
+			minScore, minKey = e.score, key
+		}
+	}
+	delete(s.entries, minKey)
+	s.entries[k] = &heatEntry{score: minScore + add, count: 1}
+}
+
+// TouchPage is Touch with weight 1, shaped for the blob layer's
+// per-page access hooks.
+func (s *HeatSketch) TouchPage(blob, page uint64) { s.Touch(blob, page, 1) }
+
+// Len reports the tracked-key count (bounded by the capacity).
+func (s *HeatSketch) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// HotPages returns the n heaviest keys, heaviest first, with weights
+// decayed to now. It implements metrics.HeatSource, so a sketch
+// attached to the registry shows up in /metrics.json and /metrics.
+func (s *HeatSketch) HotPages(n int) []metrics.HeatEntry {
+	s.mu.Lock()
+	scale := s.scaleLocked()
+	out := make([]metrics.HeatEntry, 0, len(s.entries))
+	for k, e := range s.entries {
+		out = append(out, metrics.HeatEntry{
+			Blob:    k.Blob,
+			Page:    k.Page,
+			Weight:  e.score / scale,
+			Touches: e.count,
+		})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		if out[i].Blob != out[j].Blob {
+			return out[i].Blob < out[j].Blob
+		}
+		return out[i].Page < out[j].Page
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+var _ metrics.HeatSource = (*HeatSketch)(nil)

@@ -1,0 +1,171 @@
+package monitor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestHeatSketchTopKZipf pins the sketch's ranking quality on a fixed
+// Zipf stream: far more distinct keys than capacity, single goroutine,
+// fixed seed — the result is deterministic, so this either always
+// passes or flags a real regression in the eviction policy.
+func TestHeatSketchTopKZipf(t *testing.T) {
+	const (
+		capacity = 64
+		pages    = 512
+		draws    = 20000
+		topK     = 10
+	)
+	s := NewHeatSketch(capacity, 0) // no decay: pure space-saving
+	rng := rand.New(rand.NewSource(42))
+	zipf := rand.NewZipf(rng, 1.3, 1, pages-1)
+	counts := make(map[uint64]uint64)
+	for i := 0; i < draws; i++ {
+		p := zipf.Uint64()
+		counts[p]++
+		s.TouchPage(7, p)
+	}
+	if got := s.Len(); got > capacity {
+		t.Fatalf("sketch tracks %d keys, capacity %d", got, capacity)
+	}
+
+	trueTop := make(map[uint64]bool)
+	for k := 0; k < topK; k++ {
+		var best uint64
+		bestN := uint64(0)
+		for p, n := range counts {
+			if trueTop[p] {
+				continue
+			}
+			if n > bestN || (n == bestN && p < best) {
+				best, bestN = p, n
+			}
+		}
+		trueTop[best] = true
+	}
+
+	hot := s.HotPages(topK)
+	if len(hot) != topK {
+		t.Fatalf("HotPages returned %d entries", len(hot))
+	}
+	hits := 0
+	for _, e := range hot {
+		if e.Blob != 7 {
+			t.Errorf("entry carries blob %d, want 7", e.Blob)
+		}
+		if trueTop[e.Page] {
+			hits++
+		}
+	}
+	if precision := float64(hits) / topK; precision < 0.9 {
+		t.Errorf("top-%d precision = %.2f, want >= 0.9", topK, precision)
+	}
+	for i := 1; i < len(hot); i++ {
+		if hot[i].Weight > hot[i-1].Weight {
+			t.Fatalf("HotPages not sorted: %v", hot)
+		}
+	}
+	// Space-saving never under-counts: the top entry's weight is at
+	// least its true count.
+	if top := hot[0]; top.Weight < float64(counts[top.Page]) {
+		t.Errorf("top weight %.0f under-counts true %d", top.Weight, counts[top.Page])
+	}
+}
+
+// TestHeatSketchDecay pins the half-life semantics with an injected
+// clock: after two half-lives an old burst is worth a quarter of its
+// raw count, so a smaller fresh burst outranks it.
+func TestHeatSketchDecay(t *testing.T) {
+	now := time.Unix(1000, 0)
+	s := NewHeatSketch(8, 10*time.Second)
+	s.now = func() time.Time { return now }
+	s.t0 = now
+
+	for i := 0; i < 100; i++ {
+		s.TouchPage(1, 100) // old burst: 100 touches at t=0
+	}
+	now = now.Add(20 * time.Second) // two half-lives
+	for i := 0; i < 30; i++ {
+		s.TouchPage(1, 200) // fresh burst: 30 touches
+	}
+
+	hot := s.HotPages(2)
+	if len(hot) != 2 {
+		t.Fatalf("HotPages = %v", hot)
+	}
+	if hot[0].Page != 200 {
+		t.Fatalf("fresh burst did not outrank decayed one: %v", hot)
+	}
+	// The old burst reads 100 * 2^-2 = 25 in current weight.
+	if got := hot[1].Weight; math.Abs(got-25) > 0.5 {
+		t.Errorf("decayed weight = %.2f, want ~25", got)
+	}
+	if got := hot[0].Weight; math.Abs(got-30) > 0.5 {
+		t.Errorf("fresh weight = %.2f, want ~30", got)
+	}
+}
+
+// TestHeatSketchBoundedChurn drives an adversarial stream of distinct
+// keys (every touch a new page) and checks memory stays bounded and no
+// score turns non-finite.
+func TestHeatSketchBoundedChurn(t *testing.T) {
+	const capacity = 32
+	s := NewHeatSketch(capacity, time.Second)
+	for i := uint64(0); i < 100000; i++ {
+		s.TouchPage(i%3, i)
+	}
+	if got := s.Len(); got != capacity {
+		t.Fatalf("Len = %d, want %d", got, capacity)
+	}
+	for _, e := range s.HotPages(0) {
+		if math.IsInf(e.Weight, 0) || math.IsNaN(e.Weight) || e.Weight < 0 {
+			t.Fatalf("bad weight %v in %+v", e.Weight, e)
+		}
+	}
+}
+
+// TestHeatSketchRebase forces the scale exponent past heatRebaseExp and
+// checks scores renormalize instead of overflowing: ordering holds and
+// weights stay finite after ~600 half-lives of clock advance.
+func TestHeatSketchRebase(t *testing.T) {
+	now := time.Unix(1000, 0)
+	s := NewHeatSketch(8, time.Second)
+	s.now = func() time.Time { return now }
+	s.t0 = now
+
+	s.Touch(1, 1, 4) // ancient entry
+	now = now.Add(600 * time.Second)
+	s.TouchPage(1, 2) // triggers the rebase; fresh weight 1
+
+	hot := s.HotPages(0)
+	if len(hot) != 2 {
+		t.Fatalf("HotPages = %v", hot)
+	}
+	if hot[0].Page != 2 {
+		t.Fatalf("fresh touch should dominate after 600 half-lives: %v", hot)
+	}
+	for _, e := range hot {
+		if math.IsInf(e.Weight, 0) || math.IsNaN(e.Weight) {
+			t.Fatalf("non-finite weight after rebase: %+v", e)
+		}
+	}
+	if s.exp == 0 {
+		t.Error("rebase did not advance the exponent offset")
+	}
+}
+
+func BenchmarkHeatTouch(b *testing.B) {
+	s := NewHeatSketch(DefaultHeatCapacity, DefaultHeatHalfLife)
+	rng := rand.New(rand.NewSource(1))
+	zipf := rand.NewZipf(rng, 1.2, 1, 4096)
+	pages := make([]uint64, 8192)
+	for i := range pages {
+		pages[i] = zipf.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.TouchPage(1, pages[i%len(pages)])
+	}
+}

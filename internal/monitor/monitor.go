@@ -1,0 +1,321 @@
+// Package monitor is the cluster-scope introspection plane: where
+// internal/metrics counts what one process did, monitor watches what
+// the *deployment* is doing right now. Every component registers a
+// stats source — data providers (bytes used, page read/write traffic),
+// version-manager shards (journal growth, publish rates), the
+// namespace manager, and client mounts (cache + read stats) — and a
+// collector samples them on an interval into fixed-size time-series
+// rings, deriving EWMA byte/IOPS rates, per-provider utilization
+// against the modeled NIC, per-shard journal lag, and a
+// replica-imbalance score across providers.
+//
+// The monitor also owns the deployment's page-heat sketches: decaying
+// top-K heavy-hitter summaries (see HeatSketch) fed by the client page
+// fetch path (read heat) and the provider put path (write heat). The
+// live hot-set is exported through metrics.Registry, the /cluster
+// endpoint on internal/obshttp, and `bsfsctl top` — and it is the
+// observability contract the heat-adaptive replication work consumes:
+// a rebalancer can only raise replica counts on pages it can see are
+// hot.
+//
+// Collection is pull-based and cheap (reading atomic counters), so an
+// unarmed monitor costs nothing and an armed one costs a few map walks
+// per interval. All methods are safe for concurrent use.
+package monitor
+
+import (
+	"strings"
+	"sync"
+	"time"
+)
+
+// Sample is one point-in-time reading of a source's stats. Keys ending
+// in "_total" are treated as monotonic counters and reduced to EWMA
+// per-second rates; every other key is a gauge reported as-is.
+type Sample map[string]float64
+
+// Component kinds with derivation rules the collector knows about.
+const (
+	KindProvider  = "provider"  // read/write rates + NIC utilization
+	KindVMShard   = "vmshard"   // journal growth + publish rates
+	KindNamespace = "namespace" // entry counts + journal size
+	KindClient    = "client"    // cache + read-path counters
+)
+
+// Well-known sample keys the collector derives from.
+const (
+	// KeyReadBytes / KeyWriteBytes are the provider byte counters that
+	// drive utilization and the replica-imbalance score.
+	KeyReadBytes  = "read_bytes_total"
+	KeyWriteBytes = "write_bytes_total"
+	// KeyJournalPending is the vmshard gauge reported as journal lag:
+	// journal records not yet covered by a checkpoint.
+	KeyJournalPending = "journal_pending"
+)
+
+// Defaults.
+const (
+	DefaultInterval = time.Second
+	DefaultRingSize = 120
+	// DefaultHalfLife smooths rates: a burst fully registers within a
+	// few collections and an idle source's rate halves every half-life.
+	DefaultHalfLife = 5 * time.Second
+	// DefaultHeatHalfLife decays the page-heat sketches.
+	DefaultHeatHalfLife = 30 * time.Second
+)
+
+// Config sizes a Monitor.
+type Config struct {
+	// Interval is the collection cadence used by SetInterval(0)...Start
+	// and the freshness unit of Fresh (default 1s).
+	Interval time.Duration
+	// RingSize bounds each source's retained time series (default 120
+	// samples — 2 minutes at the default interval).
+	RingSize int
+	// HalfLife smooths the EWMA rates (default 5s).
+	HalfLife time.Duration
+	// NICBandwidth is the modeled per-host NIC capacity in bytes/s that
+	// provider utilization is computed against (0 = unknown; utilization
+	// reads 0). Deployments on a simnet-shaped transport pass the
+	// simnet bandwidth here.
+	NICBandwidth float64
+	// HeatCapacity bounds each heat sketch's tracked keys (default
+	// DefaultHeatCapacity).
+	HeatCapacity int
+	// HeatHalfLife decays the heat sketches (default 30s; negative
+	// disables decay).
+	HeatHalfLife time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = DefaultInterval
+	}
+	if c.RingSize <= 0 {
+		c.RingSize = DefaultRingSize
+	}
+	if c.HalfLife <= 0 {
+		c.HalfLife = DefaultHalfLife
+	}
+	if c.HeatHalfLife == 0 {
+		c.HeatHalfLife = DefaultHeatHalfLife
+	} else if c.HeatHalfLife < 0 {
+		c.HeatHalfLife = 0
+	}
+	return c
+}
+
+// Source is one registered component. Unregister removes it (mount
+// close); the handle is otherwise opaque.
+type Source struct {
+	m    *Monitor
+	kind string
+	name string
+	fn   func() Sample
+
+	// Collector-owned state, guarded by m.mu.
+	ring  *Ring
+	rates map[string]*ewma
+	last  Sample
+	lastT time.Time
+}
+
+// Unregister removes the source from its monitor; safe to call twice.
+func (s *Source) Unregister() {
+	if s == nil || s.m == nil {
+		return
+	}
+	m := s.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, have := range m.sources {
+		if have == s {
+			m.sources = append(m.sources[:i], m.sources[i+1:]...)
+			break
+		}
+	}
+	s.m = nil
+}
+
+// Monitor collects registered sources and owns the heat sketches.
+type Monitor struct {
+	cfg       Config
+	readHeat  *HeatSketch
+	writeHeat *HeatSketch
+
+	// now is injectable for deterministic rate/freshness tests.
+	now func() time.Time
+
+	mu          sync.Mutex
+	sources     []*Source
+	collections uint64
+	lastCollect time.Time
+
+	runMu   sync.Mutex
+	stop    chan struct{}
+	stopped chan struct{}
+}
+
+// New returns an idle monitor: sources can register and CollectOnce
+// works immediately; SetInterval arms periodic collection.
+func New(cfg Config) *Monitor {
+	cfg = cfg.withDefaults()
+	return &Monitor{
+		cfg:       cfg,
+		readHeat:  NewHeatSketch(cfg.HeatCapacity, cfg.HeatHalfLife),
+		writeHeat: NewHeatSketch(cfg.HeatCapacity, cfg.HeatHalfLife),
+		now:       time.Now,
+	}
+}
+
+// ReadHeat is the page read-heat sketch (fed by client page fetches).
+func (m *Monitor) ReadHeat() *HeatSketch { return m.readHeat }
+
+// WriteHeat is the page write-heat sketch (fed by provider page puts).
+func (m *Monitor) WriteHeat() *HeatSketch { return m.writeHeat }
+
+// Interval returns the configured collection cadence.
+func (m *Monitor) Interval() time.Duration { return m.cfg.Interval }
+
+// Register adds a stats source under a component kind and name and
+// returns its handle (Unregister on component shutdown). Sources must
+// be safe to call concurrently with the component's own operation.
+func (m *Monitor) Register(kind, name string, fn func() Sample) *Source {
+	s := &Source{
+		m:     m,
+		kind:  kind,
+		name:  name,
+		fn:    fn,
+		ring:  newRing(m.cfg.RingSize),
+		rates: make(map[string]*ewma),
+	}
+	m.mu.Lock()
+	m.sources = append(m.sources, s)
+	m.mu.Unlock()
+	return s
+}
+
+// SetInterval arms periodic collection every d (rounded up to the
+// configured interval's floor of 10ms); 0 or negative stops it.
+func (m *Monitor) SetInterval(d time.Duration) {
+	m.runMu.Lock()
+	defer m.runMu.Unlock()
+	if m.stop != nil {
+		close(m.stop)
+		<-m.stopped
+		m.stop, m.stopped = nil, nil
+	}
+	if d <= 0 {
+		return
+	}
+	if d < 10*time.Millisecond {
+		d = 10 * time.Millisecond
+	}
+	m.cfg.Interval = d
+	stop := make(chan struct{})
+	stopped := make(chan struct{})
+	m.stop, m.stopped = stop, stopped
+	go func() {
+		defer close(stopped)
+		t := time.NewTicker(d)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				m.CollectOnce()
+			}
+		}
+	}()
+}
+
+// Close stops periodic collection.
+func (m *Monitor) Close() { m.SetInterval(0) }
+
+// Armed reports the periodic collection interval, false when no
+// collector goroutine is running (CollectOnce-only operation).
+func (m *Monitor) Armed() (time.Duration, bool) {
+	m.runMu.Lock()
+	defer m.runMu.Unlock()
+	if m.stop == nil {
+		return 0, false
+	}
+	return m.cfg.Interval, true
+}
+
+// CollectOnce samples every source now: the sample lands in the
+// source's ring and its "_total" counters update their EWMA rates.
+// Callable directly (tools, tests) whether or not the periodic
+// collector is armed.
+func (m *Monitor) CollectOnce() {
+	now := m.now()
+	m.mu.Lock()
+	sources := append([]*Source(nil), m.sources...)
+	m.mu.Unlock()
+
+	type collected struct {
+		s      *Source
+		sample Sample
+	}
+	got := make([]collected, 0, len(sources))
+	for _, s := range sources {
+		if sample := s.fn(); sample != nil {
+			got = append(got, collected{s, sample})
+		}
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, c := range got {
+		s := c.s
+		if s.m == nil {
+			continue // unregistered while sampling
+		}
+		dt := 0.0
+		if !s.lastT.IsZero() {
+			dt = now.Sub(s.lastT).Seconds()
+		}
+		for k, v := range c.sample {
+			if !strings.HasSuffix(k, "_total") {
+				continue
+			}
+			e, ok := s.rates[k]
+			if !ok {
+				e = &ewma{}
+				s.rates[k] = e
+			}
+			e.observe(v, dt, m.cfg.HalfLife.Seconds())
+		}
+		s.ring.push(now, c.sample)
+		s.last = c.sample
+		s.lastT = now
+	}
+	m.collections++
+	m.lastCollect = now
+}
+
+// Fresh reports whether the last collection happened within the given
+// window (the /healthz "collector fresh within 2 intervals" check).
+// A monitor that never collected is not fresh.
+func (m *Monitor) Fresh(within time.Duration) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.lastCollect.IsZero() {
+		return false
+	}
+	return m.now().Sub(m.lastCollect) <= within
+}
+
+// Collections reports how many collection passes have run.
+func (m *Monitor) Collections() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.collections
+}
+
+// rateKey maps "read_bytes_total" to its exported rate name
+// "read_bytes_per_sec".
+func rateKey(counter string) string {
+	return strings.TrimSuffix(counter, "_total") + "_per_sec"
+}

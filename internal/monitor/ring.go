@@ -1,0 +1,114 @@
+package monitor
+
+import (
+	"math"
+	"time"
+)
+
+// Ring is a fixed-size time-series ring of collected samples. One ring
+// per registered source bounds monitor memory no matter how long the
+// deployment runs: RingSize samples at the collection interval give a
+// sliding window (2 minutes at the defaults) that tools can render as
+// sparklines and the snapshot reduces to rates.
+type Ring struct {
+	points []TimedSample
+	next   int
+	filled bool
+}
+
+// TimedSample is one collected sample with its collection time.
+type TimedSample struct {
+	At     time.Time
+	Sample Sample
+}
+
+// newRing returns a ring holding up to n samples.
+func newRing(n int) *Ring {
+	if n <= 0 {
+		n = DefaultRingSize
+	}
+	return &Ring{points: make([]TimedSample, n)}
+}
+
+// push appends a sample, evicting the oldest when full.
+func (r *Ring) push(at time.Time, s Sample) {
+	r.points[r.next] = TimedSample{At: at, Sample: s}
+	r.next++
+	if r.next == len(r.points) {
+		r.next = 0
+		r.filled = true
+	}
+}
+
+// Len reports the number of retained samples.
+func (r *Ring) Len() int {
+	if r.filled {
+		return len(r.points)
+	}
+	return r.next
+}
+
+// Last returns the most recent sample, or false when empty.
+func (r *Ring) Last() (TimedSample, bool) {
+	if r.Len() == 0 {
+		return TimedSample{}, false
+	}
+	i := r.next - 1
+	if i < 0 {
+		i = len(r.points) - 1
+	}
+	return r.points[i], true
+}
+
+// Each visits retained samples oldest first.
+func (r *Ring) Each(fn func(TimedSample)) {
+	n := r.Len()
+	start := 0
+	if r.filled {
+		start = r.next
+	}
+	for i := 0; i < n; i++ {
+		fn(r.points[(start+i)%len(r.points)])
+	}
+}
+
+// ewma tracks an exponentially-weighted moving average of a counter's
+// per-second rate: each observation of the counter contributes its
+// interval rate weighted by how much of the half-life the interval
+// covers, so an idle source's rate halves every half-life and a burst
+// shows up within one or two collections instead of being averaged
+// over the whole run.
+type ewma struct {
+	rate float64
+	prev float64 // last counter value
+	seen bool
+}
+
+// observe feeds one counter reading dt seconds after the previous one
+// and returns the smoothed per-second rate. halfLife <= 0 degenerates
+// to the instantaneous interval rate.
+func (e *ewma) observe(value, dt, halfLife float64) float64 {
+	if !e.seen {
+		e.prev, e.seen = value, true
+		return 0
+	}
+	if dt <= 0 {
+		return e.rate
+	}
+	delta := value - e.prev
+	if delta < 0 {
+		delta = 0 // counter reset (component restarted)
+	}
+	e.prev = value
+	inst := delta / dt
+	if halfLife <= 0 {
+		e.rate = inst
+		return e.rate
+	}
+	// alpha is the weight of the newest interval: 1 - 2^(-dt/halfLife),
+	// so a sample one half-life after the last fully replaces half of
+	// the history regardless of collection cadence.
+	alpha := 1 - math.Exp2(-dt/halfLife)
+	e.rate += alpha * (inst - e.rate)
+	return e.rate
+}

@@ -1,0 +1,137 @@
+package obshttp
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"testing"
+
+	"blobseer/internal/monitor"
+)
+
+func serveGet(t *testing.T, ms *MetricsServer, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get("http://" + ms.Addr() + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestClusterEndpoint pins /cluster: each request runs one collection
+// pass and serves the derived snapshot; ?top bounds the heat sets; a
+// server without a monitor answers 404.
+func TestClusterEndpoint(t *testing.T) {
+	mon := monitor.New(monitor.Config{NICBandwidth: 1000})
+	var reads atomic.Uint64
+	mon.Register(monitor.KindProvider, "prov-a", func() monitor.Sample {
+		return monitor.Sample{monitor.KeyReadBytes: float64(reads.Load())}
+	})
+	for p := uint64(0); p < 30; p++ {
+		for i := uint64(0); i <= p%3; i++ {
+			mon.ReadHeat().TouchPage(1, p)
+		}
+	}
+
+	ms, err := Serve("127.0.0.1:0", Options{Monitor: mon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+
+	before := mon.Collections()
+	code, body := serveGet(t, ms, "/cluster")
+	if code != 200 {
+		t.Fatalf("/cluster = %d %q", code, body)
+	}
+	if mon.Collections() != before+1 {
+		t.Error("/cluster request did not trigger a collection pass")
+	}
+	var snap monitor.ClusterSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/cluster does not decode: %v", err)
+	}
+	if len(snap.Components) != 1 || snap.Components[0].Name != "prov-a" {
+		t.Errorf("components = %+v", snap.Components)
+	}
+	if len(snap.HotReads) != 20 {
+		t.Errorf("default heat topK = %d, want 20", len(snap.HotReads))
+	}
+
+	_, body = serveGet(t, ms, "/cluster?top=3")
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.HotReads) != 3 {
+		t.Errorf("?top=3 heat = %d entries", len(snap.HotReads))
+	}
+
+	if code, _ := serveGet(t, ms, "/cluster?top=bogus"); code != http.StatusBadRequest {
+		t.Errorf("?top=bogus = %d, want 400", code)
+	}
+	if code, _ := serveGet(t, ms, "/cluster?top=-1"); code != http.StatusBadRequest {
+		t.Errorf("?top=-1 = %d, want 400", code)
+	}
+
+	bare, err := Serve("127.0.0.1:0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bare.Close()
+	if code, _ := serveGet(t, bare, "/cluster"); code != http.StatusNotFound {
+		t.Errorf("/cluster without monitor = %d, want 404", code)
+	}
+}
+
+// TestHealthzComponentReport pins the real /healthz: 200 with a JSON
+// report while healthy, 503 with the failing component named once
+// degraded, and the legacy "ok" when no health function is wired.
+func TestHealthzComponentReport(t *testing.T) {
+	healthy := atomic.Bool{}
+	healthy.Store(true)
+	ms, err := Serve("127.0.0.1:0", Options{
+		Health: func(ctx context.Context) monitor.HealthReport {
+			rep := monitor.HealthReport{Healthy: true}
+			rep.Add("namespace", true, "")
+			if !healthy.Load() {
+				rep.Add("vmshard-0", false, "stats ping timed out")
+			}
+			return rep
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+
+	code, body := serveGet(t, ms, "/healthz")
+	if code != 200 {
+		t.Fatalf("healthy /healthz = %d", code)
+	}
+	var rep monitor.HealthReport
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("/healthz does not decode: %v", err)
+	}
+	if !rep.Healthy || len(rep.Components) != 1 {
+		t.Errorf("report = %+v", rep)
+	}
+
+	healthy.Store(false)
+	code, body = serveGet(t, ms, "/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded /healthz = %d, want 503", code)
+	}
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Healthy || len(rep.Components) != 2 || rep.Components[1].Detail == "" {
+		t.Errorf("degraded report = %+v", rep)
+	}
+}

@@ -6,6 +6,7 @@
 package obshttp
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -14,38 +15,64 @@ import (
 	"time"
 
 	"blobseer/internal/metrics"
+	"blobseer/internal/monitor"
 	"blobseer/internal/obs"
 )
+
+// Options configures the export endpoint beyond the bare registry.
+type Options struct {
+	// Registry backs /metrics and /metrics.json; nil means
+	// metrics.Default.
+	Registry *metrics.Registry
+
+	// Monitor, when set, enables /cluster: each request triggers one
+	// collection pass and serves the derived cluster snapshot as JSON.
+	Monitor *monitor.Monitor
+
+	// Health, when set, makes /healthz real: the report is served as
+	// JSON with a 503 when any component is degraded. When nil,
+	// /healthz keeps the legacy unconditional "ok" liveness answer.
+	Health func(context.Context) monitor.HealthReport
+}
 
 // MetricsServer is the opt-in HTTP export endpoint. Routes:
 //
 //	/metrics       Prometheus text exposition of the registry snapshot
 //	/metrics.json  the same snapshot as JSON
-//	/healthz       liveness probe ("ok")
+//	/cluster       cluster monitor snapshot as JSON (when a Monitor is wired)
+//	/healthz       component health as JSON, 503 on degradation (or "ok" liveness)
 //	/spans         recent trace ids, or one trace's causal tree (?trace=N)
 type MetricsServer struct {
 	lis  net.Listener
 	srv  *http.Server
 	reg  *metrics.Registry
 	coll *obs.Collector
+	opts Options
 }
 
 // ServeMetrics starts the export endpoint on addr (":0" picks a free
 // port) serving reg and the default span collector. nil reg means
 // metrics.Default.
 func ServeMetrics(addr string, reg *metrics.Registry) (*MetricsServer, error) {
-	if reg == nil {
-		reg = metrics.Default
+	return Serve(addr, Options{Registry: reg})
+}
+
+// Serve starts the export endpoint on addr (":0" picks a free port)
+// with the given options.
+func Serve(addr string, opts Options) (*MetricsServer, error) {
+	if opts.Registry == nil {
+		opts.Registry = metrics.Default
 	}
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: metrics listen %s: %w", addr, err)
 	}
-	m := &MetricsServer{lis: lis, reg: reg, coll: obs.Spans}
+	m := &MetricsServer{lis: lis, reg: opts.Registry, coll: obs.Spans, opts: opts}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", m.handleMetrics)
 	mux.HandleFunc("/metrics.json", m.handleMetricsJSON)
+	mux.HandleFunc("/cluster", m.handleCluster)
 	mux.HandleFunc("/healthz", m.handleHealthz)
 	mux.HandleFunc("/spans", m.handleSpans)
 	m.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
@@ -78,9 +105,50 @@ func (m *MetricsServer) handleMetricsJSON(w http.ResponseWriter, _ *http.Request
 	}
 }
 
-func (m *MetricsServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+// handleCluster serves the cluster monitor's derived snapshot. Each
+// request runs one collection pass first, so an unarmed monitor still
+// answers with current data (and rates sharpen across polls). ?top=N
+// bounds the heat sets (default 20).
+func (m *MetricsServer) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if m.opts.Monitor == nil {
+		http.Error(w, "no cluster monitor wired", http.StatusNotFound)
+		return
+	}
+	topK := 0
+	if q := r.URL.Query().Get("top"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n <= 0 {
+			http.Error(w, "bad top count", http.StatusBadRequest)
+			return
+		}
+		topK = n
+	}
+	m.opts.Monitor.CollectOnce()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m.opts.Monitor.Snapshot(topK)); err != nil {
+		obs.Log.Debugf("metrics endpoint: encode cluster snapshot: %v", err)
+	}
+}
+
+func (m *MetricsServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if m.opts.Health == nil {
+		// Legacy liveness answer: the process is up.
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+		return
+	}
+	rep := m.opts.Health(r.Context())
+	w.Header().Set("Content-Type", "application/json")
+	if !rep.Healthy {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		obs.Log.Debugf("metrics endpoint: encode health report: %v", err)
+	}
 }
 
 func (m *MetricsServer) handleSpans(w http.ResponseWriter, r *http.Request) {
