@@ -10,6 +10,8 @@ package blobseer
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -468,12 +470,23 @@ func BenchmarkAblationLockedAppend(b *testing.B) {
 // synchronous pre-pipelining writer (each block's data path completes
 // before the next begins), larger depths keep that many blocks in
 // flight behind one serialized version-assignment stream.
+//
+// BLOBSEER_BENCH_FLIGHT=1 runs the same sweep with a flight recorder
+// and armed SLO watchdog on the deployment — the paired A/B for the
+// recorder's overhead budget on an untraced workload (the tail
+// sampler's span hook never fires when nothing is traced, so the two
+// arms should be within noise of each other).
 func BenchmarkWriteDepthSweep(b *testing.B) {
 	const blocks = 16
+	flightPath := ""
+	if os.Getenv("BLOBSEER_BENCH_FLIGHT") == "1" {
+		flightPath = filepath.Join(b.TempDir(), "flight.log")
+	}
 	for _, depth := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
 			c, err := NewCluster(Options{
 				Providers: 8, MetaProviders: 3, BlockSize: benchBlock, WriteDepth: depth,
+				FlightPath: flightPath,
 			})
 			if err != nil {
 				b.Fatal(err)

@@ -7,6 +7,7 @@ import (
 	"blobseer/internal/blob"
 	"blobseer/internal/bsfs"
 	"blobseer/internal/dfs"
+	"blobseer/internal/flight"
 	"blobseer/internal/mapreduce"
 	"blobseer/internal/transport"
 )
@@ -108,6 +109,14 @@ type Options struct {
 	// decided state there and replay it on restart. Empty keeps
 	// everything in memory.
 	JournalDir string
+	// FlightPath, when set, opens a flight recorder at that path and
+	// arms the SLO watchdog (default rules) over the monitor: slow and
+	// errored traces, snapshot deltas, and alert transitions persist
+	// there and replay after a crash (`bsfsctl diag`).
+	FlightPath string
+	// HealthPingTimeout bounds each VM-shard ping in Deployment.Health
+	// (default bsfs.DefaultHealthPingTimeout).
+	HealthPingTimeout time.Duration
 	// Net lets callers supply a shaped or TCP transport; nil uses an
 	// in-process transport at memory speed.
 	Net transport.Network
@@ -162,11 +171,21 @@ func NewCluster(opts Options) (*Cluster, error) {
 	d.WriteDepth = opts.WriteDepth
 	d.ReadDepth = opts.ReadDepth
 	d.CacheBytes = opts.CacheBytes
+	d.HealthPingTimeout = opts.HealthPingTimeout
 	if opts.GCInterval > 0 {
 		d.SetGCInterval(opts.GCInterval)
 	}
 	if opts.MonitorInterval > 0 {
 		d.SetMonitorInterval(opts.MonitorInterval)
+	}
+	if opts.FlightPath != "" {
+		if err := d.EnableFlight(opts.FlightPath, bsfs.FlightConfig{
+			Rules: flight.StandardRulesOptions{Health: true},
+		}); err != nil {
+			d.Close()
+			bc.Close()
+			return nil, err
+		}
 	}
 	return &Cluster{Blob: bc, FS: d}, nil
 }

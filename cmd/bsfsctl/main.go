@@ -26,8 +26,10 @@ import (
 	"blobseer"
 	"blobseer/internal/blob"
 	"blobseer/internal/dfs"
+	"blobseer/internal/flight"
 	"blobseer/internal/metrics"
 	"blobseer/internal/monitor"
+	"blobseer/internal/obs"
 	"blobseer/internal/obshttp"
 	"blobseer/internal/workload"
 )
@@ -52,6 +54,9 @@ const usage = `commands:
   top [-watch [n]]        cluster monitor: per-provider utilization, shard journal lag,
                           and the hot page set (-watch refreshes n times, default 5)
   health                  per-component health (namespace journal, shard pings, collector)
+  alerts                  SLO watchdog rule states (needs -flight)
+  diag <file.tar.gz>      collect a postmortem bundle: alerts, flight timeline,
+                          cluster snapshot, metrics, health (needs -flight for the timeline)
   help                    this text
 `
 
@@ -67,22 +72,31 @@ func main() {
 		gcIntv    = flag.Duration("gc-interval", 0, "periodic GC pass cadence (0 = kick-driven only)")
 		vmShards  = flag.Int("vm-shards", 1, "version-manager shards (metadata plane partitions)")
 		journal   = flag.String("journal", "", "journal directory (empty = in-memory metadata plane)")
-		mAddr     = flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /healthz and /spans on this address while the shell runs")
+		mAddr     = flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /healthz, /spans and /alerts on this address while the shell runs")
+		flightLog = flag.String("flight", "", "flight recorder path: persist sampled traces, snapshots and alerts there and arm the SLO watchdog")
+		pingTmo   = flag.Duration("health-ping-timeout", 0, "per-shard /healthz ping timeout (0 = default 2s)")
+		logLevel  = flag.String("log-level", "", "obs log level: debug|info|warn|error (default warn)")
+		slowMs    = flag.Float64("slow-ms", 0, "slow-span threshold in ms for warn logging and tail sampling (0 = off)")
 		demo      = flag.Bool("demo", false, "run a canned demo script")
 	)
 	flag.Parse()
+	if err := applyObsFlags(*logLevel, *slowMs); err != nil {
+		fatal(err)
+	}
 
 	cluster, err := blobseer.NewCluster(blobseer.Options{
-		Providers:     *providers,
-		MetaProviders: *meta,
-		BlockSize:     uint64(*block) << 10,
-		WriteDepth:    *depth,
-		ReadDepth:     *rdepth,
-		CacheBytes:    blobseer.CacheMiB(*cachemb),
-		Retain:        *retain,
-		GCInterval:    *gcIntv,
-		VMShards:      *vmShards,
-		JournalDir:    *journal,
+		Providers:         *providers,
+		MetaProviders:     *meta,
+		BlockSize:         uint64(*block) << 10,
+		WriteDepth:        *depth,
+		ReadDepth:         *rdepth,
+		CacheBytes:        blobseer.CacheMiB(*cachemb),
+		Retain:            *retain,
+		GCInterval:        *gcIntv,
+		VMShards:          *vmShards,
+		JournalDir:        *journal,
+		FlightPath:        *flightLog,
+		HealthPingTimeout: *pingTmo,
 	})
 	if err != nil {
 		fatal(err)
@@ -109,10 +123,14 @@ func main() {
 	})
 
 	if *mAddr != "" {
-		ms, err := obshttp.Serve(*mAddr, obshttp.Options{
+		opts := obshttp.Options{
 			Monitor: cluster.FS.Monitor,
 			Health:  cluster.FS.Health,
-		})
+		}
+		if cluster.FS.Watchdog != nil {
+			opts.Alerts = cluster.FS.Watchdog.Alerts
+		}
+		ms, err := obshttp.Serve(*mAddr, opts)
 		if err != nil {
 			fatal(err)
 		}
@@ -167,6 +185,16 @@ entries
 		}
 		if line == "health" {
 			showHealth(ctx, cluster)
+			continue
+		}
+		if line == "alerts" {
+			showAlerts(cluster)
+			continue
+		}
+		if strings.HasPrefix(line, "diag") {
+			if err := runDiag(cluster, strings.Fields(line)[1:]); err != nil {
+				fmt.Printf("error: %v\n", err)
+			}
 			continue
 		}
 		if line == "shards" {
@@ -295,7 +323,8 @@ func showHeat(title string, entries []metrics.HeatEntry) {
 	}
 }
 
-// showHealth prints the deployment's per-component health report.
+// showHealth prints the deployment's per-component health report with
+// per-check latency.
 func showHealth(ctx context.Context, cluster *blobseer.Cluster) {
 	rep := cluster.FS.Health(ctx)
 	status := "healthy"
@@ -308,12 +337,72 @@ func showHealth(ctx context.Context, cluster *blobseer.Cluster) {
 		if !c.Healthy {
 			mark = "FAIL"
 		}
+		fmt.Printf("  %-4s %-12s %8.3fms", mark, c.Component, c.LatencyMs)
 		if c.Detail != "" {
-			fmt.Printf("  %-4s %-12s %s\n", mark, c.Component, c.Detail)
-		} else {
-			fmt.Printf("  %-4s %s\n", mark, c.Component)
+			fmt.Printf("  %s", c.Detail)
 		}
+		fmt.Println()
 	}
+}
+
+// applyObsFlags applies -log-level and -slow-ms to the process-wide
+// observability plane.
+func applyObsFlags(level string, slowMs float64) error {
+	if level != "" {
+		lv, err := obs.ParseLevel(level)
+		if err != nil {
+			return err
+		}
+		obs.Log.SetLevel(lv)
+	}
+	if slowMs > 0 {
+		obs.Spans.SetSlowThreshold(time.Duration(slowMs * float64(time.Millisecond)))
+	}
+	return nil
+}
+
+// showAlerts prints the SLO watchdog's per-rule states.
+func showAlerts(cluster *blobseer.Cluster) {
+	if cluster.FS.Watchdog == nil {
+		fmt.Println("no watchdog armed (start with -flight <path>)")
+		return
+	}
+	alerts := cluster.FS.Watchdog.Alerts()
+	if len(alerts) == 0 {
+		fmt.Println("no rules evaluated yet (watchdog runs on monitor collections; try `top` first)")
+		return
+	}
+	for _, a := range alerts {
+		fmt.Printf("  %-7s %-28s value=%-10.3f limit=%-10.3f breaches=%d fires=%d",
+			strings.ToUpper(a.State), a.Rule, a.Value, a.Limit, a.Breaches, a.Fires)
+		if a.Detail != "" {
+			fmt.Printf("  %s", a.Detail)
+		}
+		fmt.Println()
+	}
+}
+
+// runDiag collects the postmortem bundle into a tar.gz.
+func runDiag(cluster *blobseer.Cluster, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: diag <file.tar.gz>")
+	}
+	src := flight.DiagSources{
+		Watchdog: cluster.FS.Watchdog,
+		Recorder: cluster.FS.Flight,
+		Monitor:  cluster.FS.Monitor,
+		Health: func() monitor.HealthReport {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			return cluster.FS.Health(ctx)
+		},
+	}
+	members, err := flight.WriteDiagFile(args[0], src)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %s\n", args[0], strings.Join(members, ", "))
+	return nil
 }
 
 func sortedKeys[V any](m map[string]V) []string {

@@ -21,14 +21,16 @@ import (
 
 	"blobseer"
 	"blobseer/internal/experiments"
+	"blobseer/internal/flight"
 	"blobseer/internal/metrics"
+	"blobseer/internal/obs"
 	"blobseer/internal/obshttp"
 	"blobseer/internal/shuffle"
 )
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to run: all,3,4,5,6,filecount,pipeline,shuffle,gc,snapshot,meta,hotspot,abl-placement,abl-pagesize,abl-lock")
+		fig     = flag.String("fig", "all", "figure to run: all,3,4,5,6,filecount,pipeline,shuffle,gc,snapshot,meta,hotspot,incident,abl-placement,abl-pagesize,abl-lock")
 		nodes   = flag.Int("nodes", 270, "total simulated machines (paper: 270)")
 		meta    = flag.Int("meta", 20, "metadata providers (paper: 20)")
 		page    = flag.Int("page", 256, "page/chunk size in KiB (paper: 64 MiB, scaled)")
@@ -47,11 +49,25 @@ func main() {
 		tolPct  = flag.Float64("tolerance", experiments.DefaultTolerancePct, "drift tolerance band for -compare, in percent")
 		mAddr   = flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /healthz and /spans on this address while the experiments run (e.g. 127.0.0.1:9090)")
 		trace   = flag.Bool("trace", false, "with -fig shuffle: sample one traced append and print its causal span tree")
+		diagP   = flag.String("diag", "", "on scenario failure, write a postmortem diag bundle (tar.gz with the process-wide metrics registry) to this path before exiting")
+		logLvl  = flag.String("log-level", "", "obs log level: debug|info|warn|error (default warn)")
+		slowMs  = flag.Float64("slow-ms", 0, "slow-span threshold in ms for warn logging (0 = off)")
 		seed    = flag.Int64("seed", 1, "random seed")
 		quick   = flag.Bool("quick", false, "reduced sweeps for a fast run")
 		csv     = flag.Bool("csv", false, "also print CSV data")
 	)
 	flag.Parse()
+	if *logLvl != "" {
+		lv, err := obs.ParseLevel(*logLvl)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		obs.Log.SetLevel(lv)
+	}
+	if *slowMs > 0 {
+		obs.Spans.SetSlowThreshold(time.Duration(*slowMs * float64(time.Millisecond)))
+	}
 
 	if *mAddr != "" {
 		ms, err := obshttp.ServeMetrics(*mAddr, nil)
@@ -136,6 +152,16 @@ func main() {
 		start := time.Now()
 		if err := fn(); err != nil {
 			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", name, err)
+			if *diagP != "" {
+				// Postmortem collection: the scenario's environment is
+				// gone, but the process-wide registry still holds every
+				// op histogram the failed run recorded.
+				if _, derr := flight.WriteDiagFile(*diagP, flight.DiagSources{Registry: metrics.Default}); derr != nil {
+					fmt.Fprintf(os.Stderr, "experiments: diag bundle: %v\n", derr)
+				} else {
+					fmt.Fprintf(os.Stderr, "[diag bundle written to %s]\n", *diagP)
+				}
+			}
 			os.Exit(1)
 		}
 		fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
@@ -314,6 +340,21 @@ func main() {
 			}
 			fmt.Printf("[bench results written to %s]\n\n", *bench)
 		}
+		return writeReport(rep)
+	})
+
+	run("incident", func() error {
+		rep, res, err := experiments.BenchIncident(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# Incident drill: VM shard %d/%d killed for %.0f ms under an armed SLO watchdog\n",
+			res.KilledShard, res.Shards, res.OutageMS)
+		fmt.Printf("# alert: fired %.1f ms after the kill (%d collection passes), cleared %d evals after the restart (hysteresis >= 3)\n",
+			res.FireDelayMS, res.FireCollections, res.ClearEvals)
+		fmt.Printf("# replay: %d events off the abandoned flight log — %d traces (largest slow tree %d spans), %d snapshots (%d before kill / %d after restart), %d alert transitions, %d health flips\n\n",
+			res.ReplayEvents, res.ReplayTraces, res.ReplaySlowTraceSpans, res.ReplaySnapshots,
+			res.SnapshotsBeforeKill, res.SnapshotsAfterRestart, res.AlertFires+res.AlertClears, res.HealthTransitions)
 		return writeReport(rep)
 	})
 

@@ -22,6 +22,7 @@ import (
 	"blobseer/internal/dfs"
 	"blobseer/internal/hdfs"
 	"blobseer/internal/mapreduce"
+	"blobseer/internal/obs"
 	"blobseer/internal/obshttp"
 	"blobseer/internal/shuffle"
 	"blobseer/internal/transport"
@@ -47,8 +48,20 @@ func main() {
 		keepInt  = flag.Bool("keep-intermediate", false, "keep the blob shuffle backend's intermediate BLOBs after the job (default: retired through GC)")
 		vmShards = flag.Int("vm-shards", 1, "BSFS version-manager shards (metadata plane partitions)")
 		mAddr    = flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /healthz and /spans on this address while the job runs")
+		logLevel = flag.String("log-level", "", "obs log level: debug|info|warn|error (default warn)")
+		slowMs   = flag.Float64("slow-ms", 0, "slow-span threshold in ms for warn logging (0 = off)")
 	)
 	flag.Parse()
+	if *logLevel != "" {
+		lv, err := obs.ParseLevel(*logLevel)
+		if err != nil {
+			fatal(err)
+		}
+		obs.Log.SetLevel(lv)
+	}
+	if *slowMs > 0 {
+		obs.Spans.SetSlowThreshold(time.Duration(*slowMs * float64(time.Millisecond)))
+	}
 	ctx := context.Background()
 
 	if *mAddr != "" {

@@ -74,6 +74,19 @@
 // percentiles) so performance is comparable across changes as a
 // file diff.
 //
+// Options.FlightPath arms the black box on top of that plane: a
+// flight recorder (internal/flight) journals tail-sampled span trees
+// (slow past the live p99 of their own operation, or containing an
+// errored span — always the full causal tree), periodic cluster
+// snapshots, health transitions, and alert state changes to a
+// bounded on-disk log that replays after a crash. An SLO watchdog
+// evaluates rules on every monitor collection — journal lag, NIC
+// utilization, replica imbalance, component health, p99 latency vs
+// the committed BENCH baselines — with hysteresis on both edges;
+// live states serve at /alerts, and `bsfsctl diag` writes the whole
+// postmortem bundle (alerts, replayed timeline, cluster snapshot,
+// metrics, health) as one tar.gz.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // reproduced evaluation.
 package blobseer

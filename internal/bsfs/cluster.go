@@ -7,9 +7,11 @@ import (
 	"time"
 
 	"blobseer/internal/blob"
+	"blobseer/internal/flight"
 	"blobseer/internal/gc"
 	"blobseer/internal/metrics"
 	"blobseer/internal/monitor"
+	"blobseer/internal/obs"
 	"blobseer/internal/transport"
 )
 
@@ -49,6 +51,18 @@ type Deployment struct {
 	// PinTTL is the reader pin lease handed to mounts; 0 means
 	// DefaultPinTTL, negative disables reader pins.
 	PinTTL time.Duration
+
+	// HealthPingTimeout bounds each VM-shard health ping; 0 means
+	// DefaultHealthPingTimeout. The router's failover retry would
+	// otherwise mask a dead shard for the caller's whole deadline.
+	HealthPingTimeout time.Duration
+
+	// Flight is the deployment's flight recorder, nil until
+	// EnableFlight wires one. Watchdog is the SLO rule engine armed
+	// alongside it.
+	Flight   *flight.Recorder
+	Watchdog *flight.Watchdog
+	sampler  *flight.Sampler
 
 	nsClient  *blob.Client // owned by the namespace manager
 	gcClient  *blob.Client // owned by the collector wiring
@@ -133,49 +147,105 @@ func (d *Deployment) SetMonitorInterval(interval time.Duration) {
 	d.Monitor.SetInterval(interval)
 }
 
-// healthPingTimeout bounds each VM-shard health ping; the router's
-// failover retry would otherwise mask a dead shard for the caller's
-// whole deadline.
-const healthPingTimeout = 2 * time.Second
+// DefaultHealthPingTimeout bounds each VM-shard health ping when the
+// deployment doesn't set its own; the router's failover retry would
+// otherwise mask a dead shard for the caller's whole deadline.
+const DefaultHealthPingTimeout = 2 * time.Second
 
-// Health checks every component and reports per-component verdicts:
-// the namespace journal is open, every VM shard answers a cheap stats
-// ping through the router, and (when armed) the monitor's collector has
-// run within two intervals. The /healthz endpoint serves this with a
-// 503 on degradation.
+func (d *Deployment) healthPingTimeout() time.Duration {
+	if d.HealthPingTimeout > 0 {
+		return d.HealthPingTimeout
+	}
+	return DefaultHealthPingTimeout
+}
+
+// Health checks every component and reports per-component verdicts
+// with per-check latency: the namespace journal is open, every VM
+// shard answers a cheap stats ping through the router (bounded by
+// HealthPingTimeout), and (when armed) the monitor's collector has run
+// within two intervals. The /healthz endpoint serves this with a 503
+// on degradation.
 func (d *Deployment) Health(ctx context.Context) monitor.HealthReport {
 	rep := monitor.HealthReport{Healthy: true, CheckedAt: time.Now()}
 
+	start := time.Now()
 	if d.NS.JournalOpen() {
-		rep.Add("namespace", true, "")
+		rep.AddTimed("namespace", true, "", time.Since(start))
 	} else {
-		rep.Add("namespace", false, "journal closed")
+		rep.AddTimed("namespace", false, "journal closed", time.Since(start))
 	}
 
 	router := d.nsClient.VMRouter()
+	pingTimeout := d.healthPingTimeout()
 	for i, addr := range d.Blob.VMAddrs() {
 		name := fmt.Sprintf("vmshard-%d", i)
-		cctx, cancel := context.WithTimeout(ctx, healthPingTimeout)
+		cctx, cancel := context.WithTimeout(ctx, pingTimeout)
 		var resp blob.VMStatsResp
+		start := time.Now()
 		err := router.CallAddr(cctx, addr, blob.VMStats, nil, &resp)
+		took := time.Since(start)
 		cancel()
 		if err != nil {
-			rep.Add(name, false, fmt.Sprintf("ping: %v", err))
+			rep.AddTimed(name, false, fmt.Sprintf("ping: %v", err), took)
 		} else {
-			rep.Add(name, true, "")
+			rep.AddTimed(name, true, "", took)
 		}
 	}
 
+	start = time.Now()
 	if iv, armed := d.Monitor.Armed(); armed {
 		if d.Monitor.Fresh(2 * iv) {
-			rep.Add("monitor", true, "")
+			rep.AddTimed("monitor", true, "", time.Since(start))
 		} else {
-			rep.Add("monitor", false, fmt.Sprintf("collector stale (no pass within %v)", 2*iv))
+			rep.AddTimed("monitor", false, fmt.Sprintf("collector stale (no pass within %v)", 2*iv), time.Since(start))
 		}
 	} else {
-		rep.Add("monitor", true, "collector unarmed (collect-on-demand)")
+		rep.AddTimed("monitor", true, "collector unarmed (collect-on-demand)", time.Since(start))
 	}
 	return rep
+}
+
+// FlightConfig wires a flight recorder + SLO watchdog onto a
+// deployment. Zero values take the flight package defaults.
+type FlightConfig struct {
+	Recorder flight.RecorderOptions
+	Sampler  flight.SamplerOptions
+	Watchdog flight.WatchdogOptions
+	Rules    flight.StandardRulesOptions
+	// ExtraRules are appended after the standard set.
+	ExtraRules []flight.Rule
+}
+
+// EnableFlight opens a flight recorder at path, attaches the tail
+// sampler to the process-wide span collector, and arms an SLO watchdog
+// (standard rules + cfg.ExtraRules, health check wired to
+// Deployment.Health) on the cluster monitor: every collection pass
+// evaluates the rules, and snapshots/health transitions/alerts land in
+// the flight log. Close tears it all down; a kill doesn't, which is
+// the point — the log replays.
+func (d *Deployment) EnableFlight(path string, cfg FlightConfig) error {
+	if d.Flight != nil {
+		return fmt.Errorf("bsfs: flight recorder already enabled")
+	}
+	rec, err := flight.Open(path, cfg.Recorder)
+	if err != nil {
+		return err
+	}
+	rules, err := flight.StandardRules(cfg.Rules)
+	if err != nil {
+		rec.Close()
+		return err
+	}
+	rules = append(rules, cfg.ExtraRules...)
+	wopts := cfg.Watchdog
+	if wopts.HealthCheck == nil && cfg.Rules.Health {
+		wopts.HealthCheck = d.Health
+	}
+	d.Flight = rec
+	d.sampler = flight.AttachSampler(obs.Spans, rec, cfg.Sampler)
+	d.Watchdog = flight.NewWatchdog(d.Monitor, rec, rules, wopts)
+	d.Watchdog.Arm()
+	return nil
 }
 
 // Mount returns a BSFS client mount running on host. The mount feeds
@@ -222,10 +292,22 @@ func (d *Deployment) Mount(host string) *FS {
 // cluster is owned by the caller).
 func (d *Deployment) Close() error {
 	d.Blob.SetReclaimNotify(nil)
+	if d.Watchdog != nil {
+		d.Watchdog.Close()
+		d.Watchdog = nil
+	}
+	if d.sampler != nil {
+		d.sampler.Close()
+		d.sampler = nil
+	}
 	d.Monitor.Close()
 	d.GC.Close()
 	err := d.NS.Close()
 	d.nsClient.Close()
 	d.gcClient.Close()
+	if d.Flight != nil {
+		d.Flight.Close()
+		d.Flight = nil
+	}
 	return err
 }

@@ -285,6 +285,40 @@ func BenchHotspot(cfg Config) (*BenchReport, *HotspotResult, []*metrics.Series, 
 	return rep, res, series, nil
 }
 
+// BenchIncident runs the flight-recorder incident drill and packages
+// the alerting/replay verdicts with the append latency distribution;
+// the scenario itself enforces the acceptance checks (fire within the
+// collection budget, hysteresis clear, replay brackets the kill), so a
+// report existing at all means the drill passed.
+func BenchIncident(cfg Config) (*BenchReport, *IncidentResult, error) {
+	run := startBenchRun("blob.append", "blob.read")
+	res, err := Incident(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &BenchReport{
+		Fig:    "incident",
+		Config: benchConfig(cfg.withDefaults()),
+		Extra: map[string]float64{
+			"outage_ms":               res.OutageMS,
+			"fire_delay_ms":           res.FireDelayMS,
+			"fire_collections":        float64(res.FireCollections),
+			"clear_evals":             float64(res.ClearEvals),
+			"replay_events":           float64(res.ReplayEvents),
+			"replay_traces":           float64(res.ReplayTraces),
+			"replay_slow_trace_spans": float64(res.ReplaySlowTraceSpans),
+			"replay_snapshots":        float64(res.ReplaySnapshots),
+			"snapshots_before_kill":   float64(res.SnapshotsBeforeKill),
+			"snapshots_after_restart": float64(res.SnapshotsAfterRestart),
+			"alert_fires":             float64(res.AlertFires),
+			"alert_clears":            float64(res.AlertClears),
+			"health_transitions":      float64(res.HealthTransitions),
+		},
+		Latency: run.latencies(),
+	}
+	return rep, res, nil
+}
+
 // TraceAppend boots a fresh deployment, runs ONE traced append and
 // read-back against it, and returns the rendered causal span tree:
 // the client's blob.append with its merge/pages/commit stages, each

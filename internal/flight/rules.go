@@ -1,0 +1,206 @@
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"blobseer/internal/metrics"
+	"blobseer/internal/monitor"
+)
+
+// RuleJournalLag breaches when any metadata shard's journal backlog
+// (records not yet retired by a checkpoint) exceeds maxLag.
+func RuleJournalLag(maxLag float64) Rule {
+	return Rule{
+		Name: "journal_lag",
+		Evaluate: func(snap monitor.ClusterSnapshot, _ *monitor.HealthReport) (float64, float64, bool, string) {
+			lag := snap.MaxJournalLag
+			return lag, maxLag, lag > maxLag, fmt.Sprintf("max journal_pending %.0f", lag)
+		},
+	}
+}
+
+// RuleUtilization breaches when any provider's NIC utilization exceeds
+// maxUtil (1.0 = the modeled NIC is saturated).
+func RuleUtilization(maxUtil float64) Rule {
+	return Rule{
+		Name: "nic_utilization",
+		Evaluate: func(snap monitor.ClusterSnapshot, _ *monitor.HealthReport) (float64, float64, bool, string) {
+			var worst float64
+			var who string
+			for _, c := range snap.Components {
+				if c.Kind == monitor.KindProvider && c.Utilization > worst {
+					worst = c.Utilization
+					who = c.Name
+				}
+			}
+			return worst, maxUtil, worst > maxUtil, fmt.Sprintf("hottest provider %s", who)
+		},
+	}
+}
+
+// RuleImbalance breaches when the read-load replica imbalance (hottest
+// provider / mean) exceeds maxRatio.
+func RuleImbalance(maxRatio float64) Rule {
+	return Rule{
+		Name: "replica_imbalance",
+		Evaluate: func(snap monitor.ClusterSnapshot, _ *monitor.HealthReport) (float64, float64, bool, string) {
+			r := snap.ReplicaImbalance
+			return r, maxRatio, r > maxRatio, fmt.Sprintf("max/mean read rate %.2f", r)
+		},
+	}
+}
+
+// RuleHealth breaches when any component health check fails. Value is
+// the unhealthy component count.
+func RuleHealth() Rule {
+	return Rule{
+		Name: "component_health",
+		Evaluate: func(_ monitor.ClusterSnapshot, health *monitor.HealthReport) (float64, float64, bool, string) {
+			if health == nil {
+				return 0, 0, false, "no health check wired"
+			}
+			var bad []string
+			for _, c := range health.Components {
+				if !c.Healthy {
+					bad = append(bad, c.Component)
+				}
+			}
+			return float64(len(bad)), 0, len(bad) > 0, strings.Join(bad, ",")
+		},
+	}
+}
+
+// RuleLatency breaches when the windowed (since the previous
+// evaluation) p99 of the named op histogram exceeds factor × the
+// committed baseline p99. The closure holds the previous cumulative
+// snapshot, so each evaluation judges only the operations completed
+// since the last one.
+func RuleLatency(reg *metrics.Registry, op string, baselineP99Ms, factor float64) Rule {
+	if reg == nil {
+		reg = metrics.Default
+	}
+	if factor <= 0 {
+		factor = 2.0
+	}
+	limit := baselineP99Ms * factor
+	var prev metrics.HistogramSnapshot
+	return Rule{
+		Name: "latency_p99:" + op,
+		Evaluate: func(_ monitor.ClusterSnapshot, _ *monitor.HealthReport) (float64, float64, bool, string) {
+			cur, ok := reg.OpSnapshot(op)
+			if !ok {
+				return 0, limit, false, "no samples"
+			}
+			win := cur.Sub(prev)
+			prev = cur
+			if win.Count == 0 {
+				return 0, limit, false, "idle window"
+			}
+			p99Ms := win.Quantile(0.99) / 1e6
+			return p99Ms, limit, p99Ms > limit,
+				fmt.Sprintf("windowed p99 %.2fms vs baseline %.2fms ×%.1f (n=%d)", p99Ms, baselineP99Ms, factor, win.Count)
+		},
+	}
+}
+
+// Baseline is one committed per-op latency reference.
+type Baseline struct {
+	Op    string
+	P99Ms float64
+	File  string
+}
+
+// LoadBaselines reads every BENCH_*.json in dir and extracts per-op
+// p99 baselines from their latency maps, keeping the max p99 per op
+// across files (the most permissive committed reference). The decode
+// is structural — only the latency field is read — so flight stays
+// independent of internal/experiments (which imports flight).
+func LoadBaselines(dir string) ([]Baseline, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	byOp := make(map[string]Baseline)
+	for _, p := range paths {
+		buf, err := os.ReadFile(p)
+		if err != nil {
+			return nil, fmt.Errorf("flight baselines: %w", err)
+		}
+		var rep struct {
+			Latency map[string]struct {
+				P99Ms float64 `json:"p99_ms"`
+			} `json:"latency"`
+		}
+		if err := json.Unmarshal(buf, &rep); err != nil {
+			return nil, fmt.Errorf("flight baselines %s: %w", filepath.Base(p), err)
+		}
+		for op, lq := range rep.Latency {
+			if lq.P99Ms <= 0 {
+				continue
+			}
+			if have, ok := byOp[op]; !ok || lq.P99Ms > have.P99Ms {
+				byOp[op] = Baseline{Op: op, P99Ms: lq.P99Ms, File: filepath.Base(p)}
+			}
+		}
+	}
+	out := make([]Baseline, 0, len(byOp))
+	for _, b := range byOp {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Op < out[j].Op })
+	return out, nil
+}
+
+// StandardRulesOptions configure the default rule set.
+type StandardRulesOptions struct {
+	MaxJournalLag  float64 // default 512 pending records
+	MaxUtilization float64 // default 0.95
+	MaxImbalance   float64 // default 3.0
+	// BaselineDir, when set, adds a RuleLatency per op found in the
+	// committed BENCH_*.json files there.
+	BaselineDir   string
+	LatencyFactor float64 // default 2.0 × baseline p99
+	Registry      *metrics.Registry
+	// Health toggles the component-health rule (needs the watchdog's
+	// HealthCheck wired to mean anything).
+	Health bool
+}
+
+// StandardRules builds the default SLO rule set.
+func StandardRules(o StandardRulesOptions) ([]Rule, error) {
+	if o.MaxJournalLag <= 0 {
+		o.MaxJournalLag = 512
+	}
+	if o.MaxUtilization <= 0 {
+		o.MaxUtilization = 0.95
+	}
+	if o.MaxImbalance <= 0 {
+		o.MaxImbalance = 3.0
+	}
+	if o.LatencyFactor <= 0 {
+		o.LatencyFactor = 2.0
+	}
+	rules := []Rule{
+		RuleJournalLag(o.MaxJournalLag),
+		RuleUtilization(o.MaxUtilization),
+		RuleImbalance(o.MaxImbalance),
+	}
+	if o.Health {
+		rules = append(rules, RuleHealth())
+	}
+	if o.BaselineDir != "" {
+		baselines, err := LoadBaselines(o.BaselineDir)
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range baselines {
+			rules = append(rules, RuleLatency(o.Registry, b.Op, b.P99Ms, o.LatencyFactor))
+		}
+	}
+	return rules, nil
+}

@@ -1,0 +1,132 @@
+package flight
+
+import (
+	"sync/atomic"
+	"time"
+
+	"blobseer/internal/metrics"
+	"blobseer/internal/obs"
+)
+
+// SamplerOptions tune the tail-sampling policy.
+type SamplerOptions struct {
+	// SlowFloor is the minimum root duration worth keeping regardless
+	// of the live distribution (default 50ms). Zero keeps the default;
+	// negative disables the floor (only the percentile gate applies).
+	SlowFloor time.Duration
+	// P99Factor keeps a trace when its root ran past factor × the live
+	// p99 of the same-named op histogram (default 1.0; the histogram
+	// gate needs MinCount samples before it judges anything).
+	P99Factor float64
+	// MinCount is the sample count a histogram needs before its p99 is
+	// trusted (default 50).
+	MinCount uint64
+	// Registry supplies the live op histograms (default
+	// metrics.Default).
+	Registry *metrics.Registry
+}
+
+func (o SamplerOptions) withDefaults() SamplerOptions {
+	if o.SlowFloor == 0 {
+		o.SlowFloor = 50 * time.Millisecond
+	} else if o.SlowFloor < 0 {
+		o.SlowFloor = 1<<63 - 1
+	}
+	if o.P99Factor <= 0 {
+		o.P99Factor = 1.0
+	}
+	if o.MinCount == 0 {
+		o.MinCount = 50
+	}
+	if o.Registry == nil {
+		o.Registry = metrics.Default
+	}
+	return o
+}
+
+// Sampler decides, at root-span completion, whether the finished trace
+// is worth persisting — tail sampling: the whole causal tree is kept
+// or dropped based on how the operation actually went, never on a coin
+// flip taken up front. A trace is kept when its root is slow (past the
+// floor, or past P99Factor × the live p99 of the matching op
+// histogram) or when any retained span of the trace errored.
+type Sampler struct {
+	opts    SamplerOptions
+	rec     *Recorder
+	coll    *obs.Collector
+	cancel  func()
+	kept    atomic.Uint64
+	dropped atomic.Uint64
+}
+
+// AttachSampler hooks a tail sampler between coll and rec. Detach with
+// Close.
+func AttachSampler(coll *obs.Collector, rec *Recorder, opts SamplerOptions) *Sampler {
+	s := &Sampler{opts: opts.withDefaults(), rec: rec, coll: coll}
+	s.cancel = coll.Observe(s.onSpan)
+	return s
+}
+
+// onSpan fires on every completed span; only roots trigger a verdict.
+func (s *Sampler) onSpan(si obs.SpanInfo) {
+	if si.Parent != 0 {
+		return
+	}
+	reason := s.verdict(si)
+	if reason == "" {
+		// The root itself passed; the trace may still carry an error
+		// in a child span — that alone warrants keeping it.
+		spans := s.coll.Trace(si.Trace)
+		for _, sp := range spans {
+			if sp.Err != "" {
+				s.keep(si, "error", spans)
+				return
+			}
+		}
+		s.dropped.Add(1)
+		return
+	}
+	s.keep(si, reason, s.coll.Trace(si.Trace))
+}
+
+// verdict classifies the root span alone: "slow", "error", or "" for
+// unremarkable.
+func (s *Sampler) verdict(root obs.SpanInfo) string {
+	if root.Err != "" {
+		return "error"
+	}
+	if root.Dur >= s.opts.SlowFloor {
+		return "slow"
+	}
+	if snap, ok := s.opts.Registry.OpSnapshot(root.Name); ok && snap.Count >= s.opts.MinCount {
+		p99 := snap.Quantile(0.99)
+		if p99 > 0 && float64(root.Dur) >= s.opts.P99Factor*float64(p99) {
+			return "slow"
+		}
+	}
+	return ""
+}
+
+func (s *Sampler) keep(root obs.SpanInfo, reason string, spans []obs.SpanInfo) {
+	if len(spans) == 0 {
+		spans = []obs.SpanInfo{root}
+	}
+	if err := s.rec.RecordTrace(root.Trace, reason, root.Dur, spans); err != nil {
+		obs.Log.Errorf("flight: record trace %d: %v", root.Trace, err)
+		return
+	}
+	s.kept.Add(1)
+}
+
+// Stats reports traces kept and dropped since attach.
+func (s *Sampler) Stats() (kept, dropped uint64) {
+	return s.kept.Load(), s.dropped.Load()
+}
+
+// Close detaches the sampler from the collector.
+func (s *Sampler) Close() {
+	if s.cancel != nil {
+		s.cancel()
+		s.cancel = nil
+	}
+}

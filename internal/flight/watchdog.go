@@ -1,0 +1,280 @@
+package flight
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"blobseer/internal/monitor"
+	"blobseer/internal/obs"
+)
+
+// Rule is one SLO check. Evaluate inspects the fresh cluster snapshot
+// (and optional health report) and returns the observed value, the
+// committed limit, whether the limit is breached, and a short detail.
+type Rule struct {
+	Name     string
+	Evaluate func(snap monitor.ClusterSnapshot, health *monitor.HealthReport) (value, limit float64, breached bool, detail string)
+}
+
+// WatchdogOptions tune the rule engine.
+type WatchdogOptions struct {
+	// FireAfter is how many consecutive breaches arm an alert
+	// (default 2); ClearAfter is how many consecutive OK evaluations
+	// clear a firing one (default 3). Hysteresis: one noisy sample
+	// neither pages nor silences.
+	FireAfter  int
+	ClearAfter int
+	// SnapshotEvery persists the cluster snapshot to the flight log on
+	// every Nth evaluation (default 1 — every collection; 0 keeps the
+	// default, negative disables snapshot recording).
+	SnapshotEvery int
+	// HealthCheck, when set, runs per evaluation (under HealthTimeout,
+	// default 2s) and feeds health rules plus health-transition events.
+	HealthCheck   func(ctx context.Context) monitor.HealthReport
+	HealthTimeout time.Duration
+	// TopK bounds snapshot heat sets (default 10).
+	TopK int
+}
+
+func (o WatchdogOptions) withDefaults() WatchdogOptions {
+	if o.FireAfter <= 0 {
+		o.FireAfter = 2
+	}
+	if o.ClearAfter <= 0 {
+		o.ClearAfter = 3
+	}
+	if o.SnapshotEvery == 0 {
+		o.SnapshotEvery = 1
+	}
+	if o.HealthTimeout <= 0 {
+		o.HealthTimeout = 2 * time.Second
+	}
+	if o.TopK <= 0 {
+		o.TopK = 10
+	}
+	return o
+}
+
+// AlertState is one rule's live status, served on /alerts.
+type AlertState struct {
+	Rule     string    `json:"rule"`
+	State    string    `json:"state"` // StateFiring | StateOK
+	Value    float64   `json:"value"`
+	Limit    float64   `json:"limit"`
+	Detail   string    `json:"detail,omitempty"`
+	Since    time.Time `json:"since,omitempty"`
+	Breaches int       `json:"breaches"` // consecutive breach count
+	Fires    uint64    `json:"fires"`    // lifetime fire transitions
+}
+
+// ruleState is the hysteresis counter pair for one rule.
+type ruleState struct {
+	breaches int
+	oks      int
+	firing   bool
+	since    time.Time
+	fires    uint64
+	last     AlertState
+}
+
+// Watchdog evaluates rules over the monitor plane, applies hysteresis,
+// and emits alert transitions into the flight recorder. Hook it to a
+// monitor with Arm (evaluates on every collection) or call Evaluate
+// directly from tests.
+type Watchdog struct {
+	opts  WatchdogOptions
+	mon   *monitor.Monitor
+	rec   *Recorder
+	rules []Rule
+
+	mu         sync.Mutex
+	states     map[string]*ruleState
+	lastHealth map[string]bool
+	evals      uint64
+	cancel     func()
+}
+
+// NewWatchdog builds an idle watchdog; rec may be nil (alerts stay
+// in memory only).
+func NewWatchdog(mon *monitor.Monitor, rec *Recorder, rules []Rule, opts WatchdogOptions) *Watchdog {
+	return &Watchdog{
+		opts:       opts.withDefaults(),
+		mon:        mon,
+		rec:        rec,
+		rules:      rules,
+		states:     make(map[string]*ruleState),
+		lastHealth: make(map[string]bool),
+	}
+}
+
+// Arm hooks Evaluate into every monitor collection pass. Disarm with
+// Close.
+func (w *Watchdog) Arm() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.cancel != nil {
+		return
+	}
+	w.cancel = w.mon.OnCollect(func() { w.Evaluate() })
+}
+
+// Close detaches the watchdog from the monitor.
+func (w *Watchdog) Close() {
+	w.mu.Lock()
+	cancel := w.cancel
+	w.cancel = nil
+	w.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// Evaluate runs one rule pass against a fresh snapshot (and health
+// check when configured), updates hysteresis state, and records
+// snapshot/health/alert events.
+func (w *Watchdog) Evaluate() {
+	snap := w.mon.Snapshot(w.opts.TopK)
+
+	var health *monitor.HealthReport
+	if w.opts.HealthCheck != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), w.opts.HealthTimeout)
+		h := w.opts.HealthCheck(ctx)
+		cancel()
+		health = &h
+	}
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.evals++
+
+	if w.rec != nil && w.opts.SnapshotEvery > 0 && w.evals%uint64(w.opts.SnapshotEvery) == 0 {
+		if err := w.rec.RecordSnapshot(snap); err != nil {
+			obs.Log.Errorf("flight: record snapshot: %v", err)
+		}
+	}
+	if health != nil {
+		w.recordHealthTransitions(health)
+	}
+
+	for _, rule := range w.rules {
+		value, limit, breached, detail := rule.Evaluate(snap, health)
+		st := w.states[rule.Name]
+		if st == nil {
+			st = &ruleState{}
+			w.states[rule.Name] = st
+		}
+		if breached {
+			st.breaches++
+			st.oks = 0
+		} else {
+			st.oks++
+			st.breaches = 0
+		}
+		switch {
+		case !st.firing && st.breaches >= w.opts.FireAfter:
+			st.firing = true
+			st.since = time.Now()
+			st.fires++
+			w.transition(rule.Name, StateFiring, value, limit, detail)
+		case st.firing && st.oks >= w.opts.ClearAfter:
+			st.firing = false
+			st.since = time.Now()
+			w.transition(rule.Name, StateOK, value, limit, detail)
+		}
+		state := StateOK
+		if st.firing {
+			state = StateFiring
+		}
+		st.last = AlertState{
+			Rule:     rule.Name,
+			State:    state,
+			Value:    value,
+			Limit:    limit,
+			Detail:   detail,
+			Since:    st.since,
+			Breaches: st.breaches,
+			Fires:    st.fires,
+		}
+	}
+}
+
+// transition records one fire/clear event; callers hold w.mu.
+func (w *Watchdog) transition(rule, state string, value, limit float64, detail string) {
+	if state == StateFiring {
+		obs.Log.Warnf("alert FIRING: %s value=%.3f limit=%.3f %s", rule, value, limit, detail)
+	} else {
+		obs.Log.Infof("alert cleared: %s value=%.3f limit=%.3f", rule, value, limit)
+	}
+	if w.rec == nil {
+		return
+	}
+	ev := AlertEvent{Rule: rule, State: state, Value: value, Limit: limit, Detail: detail}
+	if err := w.rec.RecordAlert(ev); err != nil {
+		obs.Log.Errorf("flight: record alert: %v", err)
+	}
+}
+
+// recordHealthTransitions emits a health event per component flip;
+// callers hold w.mu.
+func (w *Watchdog) recordHealthTransitions(h *monitor.HealthReport) {
+	for _, c := range h.Components {
+		prev, seen := w.lastHealth[c.Component]
+		w.lastHealth[c.Component] = c.Healthy
+		if seen && prev == c.Healthy {
+			continue
+		}
+		if !seen && c.Healthy {
+			continue // first sighting healthy: not a transition worth a record
+		}
+		if w.rec == nil {
+			continue
+		}
+		ev := HealthEvent{Component: c.Component, Healthy: c.Healthy, Detail: c.Detail, LatencyMs: c.LatencyMs}
+		if err := w.rec.RecordHealth(ev); err != nil {
+			obs.Log.Errorf("flight: record health: %v", err)
+		}
+	}
+}
+
+// Alerts returns the current per-rule states, firing first, then by
+// rule name — the /alerts payload.
+func (w *Watchdog) Alerts() []AlertState {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]AlertState, 0, len(w.states))
+	for _, st := range w.states {
+		if st.last.Rule != "" {
+			out = append(out, st.last)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if (a.State == StateFiring) != (b.State == StateFiring) {
+			return a.State == StateFiring
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
+// Firing reports how many rules are currently firing.
+func (w *Watchdog) Firing() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := 0
+	for _, st := range w.states {
+		if st.firing {
+			n++
+		}
+	}
+	return n
+}
+
+// Evals reports evaluation passes run.
+func (w *Watchdog) Evals() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.evals
+}

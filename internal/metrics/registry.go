@@ -141,6 +141,32 @@ func (r *Registry) Op(name string) *Histogram {
 	return h
 }
 
+// OpSnapshot returns the named operation histogram's current snapshot
+// without creating it: the threshold query the flight recorder's tail
+// sampler and the SLO watchdog use. ok is false when no subsystem has
+// recorded the operation yet.
+func (r *Registry) OpSnapshot(name string) (HistogramSnapshot, bool) {
+	r.mu.Lock()
+	h, ok := r.ops[name]
+	r.mu.Unlock()
+	if !ok {
+		return HistogramSnapshot{}, false
+	}
+	return h.Snapshot(), true
+}
+
+// OpNames lists the operation histograms recorded so far, sorted.
+func (r *Registry) OpNames() []string {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.ops))
+	for k := range r.ops {
+		names = append(names, k)
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
 // SetGauge registers (or replaces) a named gauge read at snapshot
 // time. Gauge functions must be safe to call concurrently.
 func (r *Registry) SetGauge(name string, fn func() float64) {

@@ -26,6 +26,7 @@ package monitor
 import (
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -151,9 +152,55 @@ type Monitor struct {
 	collections uint64
 	lastCollect time.Time
 
+	// onCollect holds post-collection hooks (the SLO watchdog's
+	// evaluation pass) as an immutable slice; CollectOnce runs them
+	// after releasing mu, so hooks may call Snapshot freely.
+	hookMu    sync.Mutex
+	onCollect atomic.Value // []collectHook
+	hookNext  uint64
+
 	runMu   sync.Mutex
 	stop    chan struct{}
 	stopped chan struct{}
+}
+
+// collectHook is one registered post-collection callback.
+type collectHook struct {
+	id uint64
+	fn func()
+}
+
+// OnCollect registers fn to run after every collection pass (periodic
+// or CollectOnce), outside the monitor's lock — the evaluation hook
+// the SLO watchdog hangs its rules on. The returned cancel removes it.
+func (m *Monitor) OnCollect(fn func()) (cancel func()) {
+	m.hookMu.Lock()
+	defer m.hookMu.Unlock()
+	m.hookNext++
+	id := m.hookNext
+	var cur []collectHook
+	if v := m.onCollect.Load(); v != nil {
+		cur = v.([]collectHook)
+	}
+	next := make([]collectHook, 0, len(cur)+1)
+	next = append(next, cur...)
+	next = append(next, collectHook{id: id, fn: fn})
+	m.onCollect.Store(next)
+	return func() {
+		m.hookMu.Lock()
+		defer m.hookMu.Unlock()
+		var have []collectHook
+		if v := m.onCollect.Load(); v != nil {
+			have = v.([]collectHook)
+		}
+		pruned := make([]collectHook, 0, len(have))
+		for _, h := range have {
+			if h.id != id {
+				pruned = append(pruned, h)
+			}
+		}
+		m.onCollect.Store(pruned)
+	}
 }
 
 // New returns an idle monitor: sources can register and CollectOnce
@@ -266,7 +313,6 @@ func (m *Monitor) CollectOnce() {
 	}
 
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	for _, c := range got {
 		s := c.s
 		if s.m == nil {
@@ -293,6 +339,13 @@ func (m *Monitor) CollectOnce() {
 	}
 	m.collections++
 	m.lastCollect = now
+	m.mu.Unlock()
+
+	if v := m.onCollect.Load(); v != nil {
+		for _, h := range v.([]collectHook) {
+			h.fn()
+		}
+	}
 }
 
 // Fresh reports whether the last collection happened within the given

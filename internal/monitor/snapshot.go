@@ -139,11 +139,12 @@ func (m *Monitor) Snapshot(topK int) ClusterSnapshot {
 }
 
 // ComponentHealth is one component's health verdict with a short
-// human-readable detail on failure.
+// human-readable detail on failure and the wall time its check took.
 type ComponentHealth struct {
-	Component string `json:"component"`
-	Healthy   bool   `json:"healthy"`
-	Detail    string `json:"detail,omitempty"`
+	Component string  `json:"component"`
+	Healthy   bool    `json:"healthy"`
+	Detail    string  `json:"detail,omitempty"`
+	LatencyMs float64 `json:"latency_ms,omitempty"`
 }
 
 // HealthReport aggregates component checks; Healthy is the AND of all
@@ -163,5 +164,18 @@ func (r *HealthReport) Add(component string, healthy bool, detail string) {
 		Component: component,
 		Healthy:   healthy,
 		Detail:    detail,
+	})
+}
+
+// AddTimed is Add plus the measured check latency.
+func (r *HealthReport) AddTimed(component string, healthy bool, detail string, took time.Duration) {
+	if !healthy {
+		r.Healthy = false
+	}
+	r.Components = append(r.Components, ComponentHealth{
+		Component: component,
+		Healthy:   healthy,
+		Detail:    detail,
+		LatencyMs: float64(took.Nanoseconds()) / 1e6,
 	})
 }

@@ -175,6 +175,54 @@ type Collector struct {
 	full bool
 
 	slow atomic.Int64 // slow-op threshold in nanoseconds; 0 = off
+
+	// observers holds the completion hooks (tail samplers) as an
+	// immutable []observer slice swapped under obsMu; add() loads it
+	// with one atomic read, so untraced workloads never feel it.
+	obsMu     sync.Mutex
+	observers atomic.Value // []observer
+	obsNext   uint64
+}
+
+// observer is one registered completion hook.
+type observer struct {
+	id uint64
+	fn func(SpanInfo)
+}
+
+// Observe registers fn to run synchronously after every completed span
+// lands in the ring — the tail-sampling hook: a flight recorder decides
+// on root-span completion whether the finished trace is worth keeping.
+// fn must be fast and must not End spans into the same collector. The
+// returned cancel removes the hook.
+func (c *Collector) Observe(fn func(SpanInfo)) (cancel func()) {
+	c.obsMu.Lock()
+	defer c.obsMu.Unlock()
+	c.obsNext++
+	id := c.obsNext
+	var cur []observer
+	if v := c.observers.Load(); v != nil {
+		cur = v.([]observer)
+	}
+	next := make([]observer, 0, len(cur)+1)
+	next = append(next, cur...)
+	next = append(next, observer{id: id, fn: fn})
+	c.observers.Store(next)
+	return func() {
+		c.obsMu.Lock()
+		defer c.obsMu.Unlock()
+		var have []observer
+		if v := c.observers.Load(); v != nil {
+			have = v.([]observer)
+		}
+		pruned := make([]observer, 0, len(have))
+		for _, o := range have {
+			if o.id != id {
+				pruned = append(pruned, o)
+			}
+		}
+		c.observers.Store(pruned)
+	}
 }
 
 // SpanInfo is the immutable record of one completed span — what a
@@ -236,6 +284,12 @@ func (c *Collector) add(s *Span) {
 	}
 	if cs.Err != "" {
 		Log.Debugf("span error: %s: %s (trace=%d)", cs.Name, cs.Err, cs.Trace)
+	}
+
+	if v := c.observers.Load(); v != nil {
+		for _, o := range v.([]observer) {
+			o.fn(cs)
+		}
 	}
 }
 
@@ -300,6 +354,19 @@ func (c *Collector) Tree(trace uint64) string {
 	if len(spans) == 0 {
 		return fmt.Sprintf("trace %d: no spans retained\n", trace)
 	}
+	return RenderTree(trace, spans)
+}
+
+// RenderTree renders an already-collected span set as the same causal
+// tree Collector.Tree prints — the shared renderer for live traces and
+// traces replayed from a flight log after the process that recorded
+// them died.
+func RenderTree(trace uint64, spans []SpanInfo) string {
+	if len(spans) == 0 {
+		return fmt.Sprintf("trace %d: no spans retained\n", trace)
+	}
+	spans = append([]SpanInfo(nil), spans...)
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
 	byID := make(map[uint64]bool, len(spans))
 	for _, s := range spans {
 		byID[s.ID] = true

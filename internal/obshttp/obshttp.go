@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"time"
 
+	"blobseer/internal/flight"
 	"blobseer/internal/metrics"
 	"blobseer/internal/monitor"
 	"blobseer/internal/obs"
@@ -33,6 +34,11 @@ type Options struct {
 	// JSON with a 503 when any component is degraded. When nil,
 	// /healthz keeps the legacy unconditional "ok" liveness answer.
 	Health func(context.Context) monitor.HealthReport
+
+	// Alerts, when set, enables /alerts: the SLO watchdog's current
+	// per-rule states as JSON (firing rules first). Typically
+	// flight.Watchdog.Alerts.
+	Alerts func() []flight.AlertState
 }
 
 // MetricsServer is the opt-in HTTP export endpoint. Routes:
@@ -42,6 +48,7 @@ type Options struct {
 //	/cluster       cluster monitor snapshot as JSON (when a Monitor is wired)
 //	/healthz       component health as JSON, 503 on degradation (or "ok" liveness)
 //	/spans         recent trace ids, or one trace's causal tree (?trace=N)
+//	/alerts        SLO watchdog rule states as JSON (when a watchdog is wired)
 type MetricsServer struct {
 	lis  net.Listener
 	srv  *http.Server
@@ -75,6 +82,7 @@ func Serve(addr string, opts Options) (*MetricsServer, error) {
 	mux.HandleFunc("/cluster", m.handleCluster)
 	mux.HandleFunc("/healthz", m.handleHealthz)
 	mux.HandleFunc("/spans", m.handleSpans)
+	mux.HandleFunc("/alerts", m.handleAlerts)
 	m.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 
 	go func() {
@@ -148,6 +156,30 @@ func (m *MetricsServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
 		obs.Log.Debugf("metrics endpoint: encode health report: %v", err)
+	}
+}
+
+// handleAlerts serves the watchdog's per-rule states, firing first.
+// The X-Alerts-Firing header carries the firing count so shell probes
+// can react without parsing the body.
+func (m *MetricsServer) handleAlerts(w http.ResponseWriter, _ *http.Request) {
+	if m.opts.Alerts == nil {
+		http.Error(w, "no watchdog wired", http.StatusNotFound)
+		return
+	}
+	alerts := m.opts.Alerts()
+	firing := 0
+	for _, a := range alerts {
+		if a.State == flight.StateFiring {
+			firing++
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Alerts-Firing", strconv.Itoa(firing))
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(alerts); err != nil {
+		obs.Log.Debugf("metrics endpoint: encode alerts: %v", err)
 	}
 }
 
