@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -255,7 +256,7 @@ func main() {
 		fmt.Printf("# blob backend: first segment fetched %.3f s before the map phase ended\n", res.BlobOverlapSec)
 		fmt.Printf("# blob backend: %d segments served after their producing tracker died\n\n", res.BlobRecovered)
 		if *trace {
-			tree, err := experiments.TraceAppend(cfg)
+			tree, err := experiments.TraceAppend(context.Background(), cfg)
 			if err != nil {
 				return err
 			}

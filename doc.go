@@ -87,6 +87,17 @@
 // postmortem bundle (alerts, replayed timeline, cluster snapshot,
 // metrics, health) as one tar.gz.
 //
+// # Static analysis
+//
+// The invariants the implementation leans on — no blocking call
+// while a mutex is held, contexts threaded end to end through the
+// RPC surface, no silently discarded errors, injected clocks in
+// time-sensitive packages, every started span reaching End — are
+// machine-checked by the project's own analyzer suite
+// (internal/analysis) via `go run ./cmd/bslint ./...`, a hard CI
+// gate. Deliberate exceptions are justified in the source with
+// per-line `//lint:<analyzer> <reason>` markers.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // reproduced evaluation.
 package blobseer

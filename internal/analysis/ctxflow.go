@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// CtxFlow enforces the context-threading contract on the RPC-reachable
+// surface:
+//
+//   - context.Background() is banned outside package main and tests —
+//     a detached context silently severs tracing and cancellation.
+//     Deliberately-detached cleanup paths (the PR 5 snapshot-Close
+//     pattern: release a lease even though the caller's ctx died)
+//     justify with `//lint:detached <reason>`.
+//   - context.TODO() is banned everywhere outside tests: production
+//     code has no "figure it out later".
+//   - An exported function or method that issues RPC calls or starts
+//     spans must take a context.Context first parameter, so callers
+//     can cancel it and traces stay connected. Functions whose whole
+//     point is detached cleanup (and say so with a justified
+//     //lint:detached site inside) are exempt.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "context must thread from API surface to RPC/span calls; no detached contexts without justification",
+	Run:  runCtxFlow,
+}
+
+// detachedMarker is ctxflow's justification key: the exception is
+// about detachment, not about the analyzer, so the marker reads as
+// what the code means.
+const detachedMarker = "detached"
+
+func runCtxFlow(pass *Pass) error {
+	isMain := pass.Pkg.Name() == "main"
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isPkgCall(pass.TypesInfo, call, "context", "TODO") {
+				pass.Reportf(call.Pos(), "context.TODO() in production code: thread a real context")
+				return true
+			}
+			if !isMain && isPkgCall(pass.TypesInfo, call, "context", "Background") {
+				if !pass.Justified(call.Pos(), detachedMarker) {
+					pass.Reportf(call.Pos(), "context.Background() outside main severs tracing and cancellation: thread the caller's ctx or justify with %s%s",
+						markerPrefix, detachedMarker)
+				}
+			}
+			return true
+		})
+		if !isMain {
+			checkExportedSignatures(pass, file)
+		}
+	}
+	return nil
+}
+
+// checkExportedSignatures flags exported functions that issue RPC or
+// span calls without taking a context first.
+func checkExportedSignatures(pass *Pass, file *ast.File) {
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil || !fd.Name.IsExported() {
+			continue
+		}
+		// Interface-fixed signatures (io.Closer) cannot grow a ctx
+		// parameter; their detached work is governed by the Background
+		// ban instead.
+		if fd.Recv != nil && fd.Name.Name == "Close" {
+			continue
+		}
+		if takesContextFirst(pass, fd) || hasJustifiedDetachedSite(pass, fd.Body) {
+			continue
+		}
+		if callName := firstCtxDemandingCall(pass, fd.Body); callName != "" {
+			pass.Reportf(fd.Name.Pos(), "exported %s calls %s but takes no context.Context first parameter: callers cannot cancel it and traces disconnect",
+				fd.Name.Name, callName)
+		}
+	}
+}
+
+func takesContextFirst(pass *Pass, fd *ast.FuncDecl) bool {
+	params := fd.Type.Params
+	if params == nil || len(params.List) == 0 {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[params.List[0].Type]
+	return ok && isContextType(tv.Type)
+}
+
+// firstCtxDemandingCall returns a description of the first direct
+// RPC-call or span-start in body (nested function literals excluded —
+// a goroutine the function spawns owns its own context decision).
+func firstCtxDemandingCall(pass *Pass, body *ast.BlockStmt) string {
+	var found string
+	inspectShallow(body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name := rpcOrSpanCall(pass, call); name != "" {
+			found = name
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// rpcOrSpanCall classifies calls that demand a threaded context:
+// rpc/dht Call and router/pool variants, and obs span starts.
+func rpcOrSpanCall(pass *Pass, call *ast.CallExpr) string {
+	info := pass.TypesInfo
+	for _, pkg := range []string{"blobseer/internal/rpc", "blobseer/internal/dht"} {
+		if isMethodOn(info, call, pkg, "", "Call") {
+			return "rpc " + pkg[strings.LastIndexByte(pkg, '/')+1:] + ".Call"
+		}
+	}
+	for _, name := range []string{"StartSpan", "StartTrace", "StartChild"} {
+		if isPkgCall(info, call, "blobseer/internal/obs", name) {
+			return "obs." + name
+		}
+	}
+	return ""
+}
+
+// hasJustifiedDetachedSite reports whether body contains a
+// context.Background() call covered by a //lint:detached marker —
+// the signal that this function is a deliberate detached-cleanup
+// path.
+func hasJustifiedDetachedSite(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if ok && isPkgCall(pass.TypesInfo, call, "context", "Background") &&
+			pass.Justified(call.Pos(), detachedMarker) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SpanEnd guarantees spans are closed: every obs.StartSpan /
+// StartTrace / StartChild / StartRemote result must reach an End call
+// in the function that created it — directly, in a defer, or inside a
+// deferred closure — or visibly escape (returned, stored, or passed
+// on), in which case the receiver owns the End. A span that never
+// ends never reaches the collector: the operation it timed vanishes
+// from traces, tail sampling, and the flight recorder exactly when it
+// mattered (the error path someone forgot).
+var SpanEnd = &Analyzer{
+	Name: "spanend",
+	Doc:  "every started obs span must reach End or escape to an owner",
+	Run:  runSpanEnd,
+}
+
+const obsPath = "blobseer/internal/obs"
+
+// spanStarters maps the obs constructors to the index of the span in
+// their result list.
+var spanStarters = map[string]int{
+	"StartTrace":  1,
+	"StartSpan":   1,
+	"StartChild":  0,
+	"StartRemote": 0,
+}
+
+func runSpanEnd(pass *Pass) error {
+	if pass.Pkg.Path() == obsPath {
+		return nil // the package defining spans builds them directly
+	}
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		funcScopes(file, func(name string, body *ast.BlockStmt) {
+			checkSpanScope(pass, name, body)
+		})
+	}
+	return nil
+}
+
+// checkSpanScope finds span starts assigned in this scope (nested
+// literals excluded — a closure starting a span owns it) and verifies
+// each span either Ends somewhere in the full function body
+// (including deferred closures) or escapes.
+func checkSpanScope(pass *Pass, name string, body *ast.BlockStmt) {
+	inspectShallow(body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.ExprStmt:
+			if fn, ok := starterCall(pass, stmt.X); ok {
+				pass.Reportf(stmt.Pos(), "result of obs.%s discarded in %s: the span can never End", fn, name)
+			}
+		case *ast.AssignStmt:
+			if len(stmt.Rhs) != 1 {
+				return true
+			}
+			fn, ok := starterCall(pass, stmt.Rhs[0])
+			if !ok {
+				return true
+			}
+			idx := spanStarters[fn]
+			if idx >= len(stmt.Lhs) {
+				return true
+			}
+			id, okID := stmt.Lhs[idx].(*ast.Ident)
+			if !okID {
+				return true // span assigned straight into a field: the holder owns it
+			}
+			if id.Name == "_" {
+				pass.Reportf(stmt.Pos(), "span from obs.%s discarded with `_` in %s: the span can never End", fn, name)
+				return true
+			}
+			obj := spanObject(pass, id)
+			if obj == nil {
+				return true
+			}
+			if !spanHandled(pass, body, obj, id) {
+				pass.Reportf(stmt.Pos(), "span %q from obs.%s never reaches End in %s and does not escape", id.Name, fn, name)
+			}
+		}
+		return true
+	})
+}
+
+// starterCall reports whether expr calls one of the obs span
+// constructors, returning its name.
+func starterCall(pass *Pass, expr ast.Expr) (string, bool) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	for name := range spanStarters {
+		if isPkgCall(pass.TypesInfo, call, obsPath, name) {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+func spanObject(pass *Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// spanHandled reports whether the span object Ends or escapes within
+// body. Unlike the start-site scan this walk descends into nested
+// function literals: `defer func() { sp.End(err) }()` is the
+// dominant idiom for annotate-then-end epilogues.
+func spanHandled(pass *Pass, body *ast.BlockStmt, obj types.Object, def *ast.Ident) bool {
+	handled := false
+	parent := make(map[ast.Node]ast.Node)
+	var prev []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			prev = prev[:len(prev)-1]
+			return false
+		}
+		if len(prev) > 0 {
+			parent[n] = prev[len(prev)-1]
+		}
+		prev = append(prev, n)
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		if handled {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || id == def || pass.TypesInfo.Uses[id] != obj {
+			return true
+		}
+		switch p := parent[id].(type) {
+		case *ast.SelectorExpr:
+			// sp.End(...) ends it; sp.Annotate(...) and other method
+			// calls are neutral.
+			if call, ok := parent[p].(*ast.CallExpr); ok && call.Fun == ast.Expr(p) && p.Sel.Name == "End" {
+				handled = true
+			}
+		case *ast.BinaryExpr:
+			// nil checks and comparisons are neutral.
+		case *ast.AssignStmt:
+			// Reassigning over the span is neutral on the LHS; on the
+			// RHS it is stored somewhere — the new holder owns it.
+			for _, rhs := range p.Rhs {
+				if rhs == ast.Expr(id) {
+					handled = true
+				}
+			}
+		default:
+			// Escapes: returned, passed as an argument, taken address
+			// of, placed in a composite literal — ownership moved.
+			handled = true
+		}
+		return true
+	})
+	return handled
+}

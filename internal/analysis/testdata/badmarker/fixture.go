@@ -1,0 +1,13 @@
+// Package fixture holds a justification marker with no reason: the
+// framework must report the marker itself and still flag the site it
+// failed to justify.
+package fixture
+
+import "errors"
+
+func mayFail() error { return errors.New("nope") }
+
+func unjustified() {
+	//lint:droppederr
+	_ = mayFail()
+}

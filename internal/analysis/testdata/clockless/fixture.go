@@ -1,0 +1,9 @@
+// Package fixture declares no injected clock and is not a listed
+// clock package: walltime must stay silent here.
+package fixture
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now()
+}

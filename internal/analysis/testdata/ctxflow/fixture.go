@@ -1,0 +1,53 @@
+// Package fixture exercises the ctxflow analyzer.
+package fixture
+
+import (
+	"context"
+
+	"blobseer/internal/obs"
+)
+
+func todoCall() context.Context {
+	return context.TODO() // want "context.TODO"
+}
+
+func background() context.Context {
+	return context.Background() // want "context.Background"
+}
+
+func justifiedDetached() context.Context {
+	//lint:detached fixture demonstrates a justified detached context
+	return context.Background()
+}
+
+// Traced starts a span but takes no context: callers cannot cancel it.
+func Traced(name string) { // want "exported Traced calls obs.StartSpan"
+	_, sp := obs.StartSpan(context.TODO(), name) // want "context.TODO"
+	sp.End(nil)
+}
+
+// TracedOK threads the caller's context and stays unflagged.
+func TracedOK(ctx context.Context, name string) {
+	ctx, sp := obs.StartSpan(ctx, name)
+	_ = ctx
+	sp.End(nil)
+}
+
+// tracedUnexported is internal surface; the signature rule only
+// covers exported functions.
+func tracedUnexported(ctx context.Context) {
+	sp := obs.StartChild(ctx, "fixture.unexported")
+	sp.End(nil)
+}
+
+type handle struct{}
+
+// Close has an io.Closer-fixed signature: exempt from the signature
+// rule, and its detached context carries its own justification.
+func (h *handle) Close() error {
+	//lint:detached fixture: the release must outlive the caller
+	ctx := context.Background()
+	_, sp := obs.StartSpan(ctx, "fixture.close")
+	sp.End(nil)
+	return nil
+}

@@ -1,0 +1,51 @@
+// Package fixture exercises the droppederr analyzer: lines with
+// `// want` expectations must be flagged, everything else must not.
+package fixture
+
+import "errors"
+
+func mayFail() error { return errors.New("nope") }
+
+func value() (int, error) { return 1, nil }
+
+type thing struct{}
+
+func (t *thing) Close() error { return nil }
+
+func blankAssign() {
+	_ = mayFail() // want "error discarded"
+}
+
+func blankPair() {
+	_, _ = value() // want "error discarded"
+}
+
+func bareCall() {
+	mayFail() // want "error result of mayFail dropped"
+}
+
+func deferredCall() {
+	defer mayFail() // want "deferred error result of mayFail dropped"
+}
+
+// closeExempt: Close in statement position is the accepted teardown
+// idiom and stays unflagged.
+func closeExempt(t *thing) {
+	t.Close()
+	defer t.Close()
+}
+
+// partialKeep keeps a value; partial discards are left to review.
+func partialKeep() int {
+	n, _ := value()
+	return n
+}
+
+func justified() {
+	//lint:droppederr fixture demonstrates a justified discard
+	_ = mayFail()
+}
+
+func justifiedSameLine() {
+	_ = mayFail() //lint:droppederr the marker may sit on the flagged line itself
+}

@@ -1,0 +1,55 @@
+// Package fixture exercises the spanend analyzer.
+package fixture
+
+import (
+	"context"
+
+	"blobseer/internal/obs"
+)
+
+func discarded(ctx context.Context) {
+	obs.StartSpan(ctx, "fixture.discarded") // want "discarded"
+}
+
+func blanked(ctx context.Context) {
+	_, _ = obs.StartSpan(ctx, "fixture.blanked") // want "discarded with `_`"
+}
+
+func leaked(ctx context.Context) {
+	_, sp := obs.StartSpan(ctx, "fixture.leaked") // want "never reaches End"
+	sp.Annotate("n=%d", 1)
+}
+
+func ended(ctx context.Context) {
+	ctx, sp := obs.StartSpan(ctx, "fixture.ended")
+	_ = ctx
+	sp.End(nil)
+}
+
+// deferredEnd uses the dominant epilogue idiom: the End lives inside
+// a deferred closure.
+func deferredEnd(ctx context.Context) (err error) {
+	_, sp := obs.StartSpan(ctx, "fixture.deferred")
+	defer func() { sp.End(err) }()
+	return nil
+}
+
+// escapes hands the span to the caller, who owns the End.
+func escapes(ctx context.Context) *obs.Span {
+	sp := obs.StartChild(ctx, "fixture.escapes")
+	return sp
+}
+
+// stored parks the span in a struct; the holder owns the End.
+type holder struct{ sp *obs.Span }
+
+func stored(ctx context.Context, h *holder) {
+	sp := obs.StartChild(ctx, "fixture.stored")
+	h.sp = sp
+}
+
+func justified(ctx context.Context) {
+	//lint:spanend fixture demonstrates a justified leak
+	_, sp := obs.StartSpan(ctx, "fixture.justified")
+	sp.Annotate("leaked on purpose")
+}

@@ -1,0 +1,35 @@
+// Package fixture exercises the walltime analyzer. The clock field
+// below marks this as a clock-carrying package, so direct wall-clock
+// reads are violations.
+package fixture
+
+import "time"
+
+type ticker struct {
+	// now is the injected clock; referencing time.Now as a value to
+	// initialize it is fine — only calls are flagged.
+	now func() time.Time
+}
+
+func newTicker() *ticker { return &ticker{now: time.Now} }
+
+func (t *ticker) stamp() time.Time {
+	return t.now()
+}
+
+func direct() time.Time {
+	return time.Now() // want "direct time.Now"
+}
+
+func sleepy() {
+	time.Sleep(time.Millisecond) // want "direct time.Sleep"
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "direct time.Since"
+}
+
+func justified() {
+	//lint:walltime fixture demonstrates a wall-clock-by-design cadence
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (package function or method), or nil for builtins, conversions, and
+// calls through function-typed values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// recvNamed returns the named type of fn's receiver (through one
+// pointer), or nil for non-methods.
+func recvNamed(fn *types.Func) *types.Named {
+	if fn == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// isMethodOn reports whether the call invokes a method named name
+// (exact, or a prefix match when name ends in "*") on the named type
+// pkgPath.typeName. An empty typeName matches any type in pkgPath.
+func isMethodOn(info *types.Info, call *ast.CallExpr, pkgPath, typeName, name string) bool {
+	fn := calleeFunc(info, call)
+	named := recvNamed(fn)
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	if named.Obj().Pkg().Path() != pkgPath {
+		return false
+	}
+	if typeName != "" && named.Obj().Name() != typeName {
+		return false
+	}
+	return nameMatches(fn.Name(), name)
+}
+
+// isPkgCall reports whether the call invokes the package-level
+// function pkgPath.name (name may end in "*" for a prefix match).
+func isPkgCall(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && nameMatches(fn.Name(), name)
+}
+
+func nameMatches(have, want string) bool {
+	if prefix, ok := strings.CutSuffix(want, "*"); ok {
+		return strings.HasPrefix(have, prefix)
+	}
+	return have == want
+}
+
+// errorType is the predeclared error interface.
+var errorType = types.Universe.Lookup("error").Type()
+
+// isErrorType reports whether t is exactly the error type.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errorType)
+}
+
+// callReturnsError reports whether any result of the call has type
+// error, and whether the call has results at all.
+func callReturnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// funcScopes visits every function body in the file exactly once:
+// each FuncDecl body and each FuncLit body, with nested FuncLits
+// excluded from the enclosing visit (they run on their own goroutine
+// or at least their own activation — analyses that track state across
+// statements must not leak it into them). desc names the enclosing
+// declaration for diagnostics.
+func funcScopes(file *ast.File, visit func(name string, body *ast.BlockStmt)) {
+	var walkLits func(name string, n ast.Node)
+	walkLits = func(name string, n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if lit, ok := m.(*ast.FuncLit); ok {
+				visit(name+" (func literal)", lit.Body)
+				walkLits(name, lit.Body)
+				return false
+			}
+			return true
+		})
+	}
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		visit(fd.Name.Name, fd.Body)
+		walkLits(fd.Name.Name, fd.Body)
+	}
+}
+
+// inspectShallow walks n but does not descend into function literals:
+// statement-ordered analyses treat a nested closure as a separate
+// scope (see funcScopes).
+func inspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		return fn(m)
+	})
+}

@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallTime keeps clock-carrying packages deterministic: a package
+// that injects a clock (a `func() time.Time` field, the monitor/gc
+// convention) must route every time read through it, or its tests
+// silently fall back to real sleeps and wall-clock flakiness.
+//
+// The check applies to the packages listed in clockPackages plus any
+// package that declares an injected-clock field; inside those, direct
+// calls to time.Now, time.Sleep, time.Since, time.Until, time.After,
+// time.AfterFunc, time.Tick, time.NewTimer, and time.NewTicker are
+// flagged. Wall-clock-by-design sites (a periodic collector's ticker
+// cadence) justify with `//lint:walltime <reason>`.
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc:  "flag direct wall-clock reads in packages that carry an injected clock",
+	Run:  runWallTime,
+}
+
+// clockPackages are the packages whose determinism contract demands
+// the injected clock even for code paths that do not yet have one —
+// growing a new wall-time call here is how flaky tests start.
+var clockPackages = map[string]bool{
+	"blobseer/internal/monitor": true,
+	"blobseer/internal/flight":  true,
+	"blobseer/internal/cache":   true,
+	"blobseer/internal/gc":      true,
+}
+
+// wallTimeFuncs are the time package entry points that read or wait
+// on the wall clock.
+var wallTimeFuncs = []string{
+	"Now", "Sleep", "Since", "Until", "After", "AfterFunc", "Tick", "NewTimer", "NewTicker",
+}
+
+func runWallTime(pass *Pass) error {
+	if !clockPackages[pass.Pkg.Path()] && !declaresClockField(pass) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, name := range wallTimeFuncs {
+				if isPkgCall(pass.TypesInfo, call, "time", name) {
+					pass.Reportf(call.Pos(), "direct time.%s in a clock-carrying package: thread the injected clock (or justify with %swalltime)",
+						name, markerPrefix)
+					return true
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// declaresClockField reports whether any struct type in the package
+// has a field of type func() time.Time — the injected-clock idiom.
+func declaresClockField(pass *Pass) bool {
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if isClockFunc(st.Field(i).Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isClockFunc matches `func() time.Time`.
+func isClockFunc(t types.Type) bool {
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	named, ok := sig.Results().At(0).Type().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "time" && obj.Name() == "Time"
+}

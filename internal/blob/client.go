@@ -430,6 +430,7 @@ func (b *Blob) Abort(ctx context.Context, ver uint64) error {
 // not held up by the seal round trip.
 func (b *Blob) abortDetached(ver uint64) {
 	go func() {
+		//lint:detached the seal must outlive the write's dead ctx or the pending version wedges publication; the 30s deadline bounds it
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := b.Abort(ctx, ver); err != nil {

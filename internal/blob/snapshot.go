@@ -4,6 +4,8 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"blobseer/internal/obs"
 )
 
 // Snapshot is a read handle bound to one published version of a BLOB,
@@ -134,7 +136,11 @@ func (s *Snapshot) Renew(ctx context.Context) error {
 	if err := s.b.Pin(ctx, s.info.Ver, s.ttl); err != nil {
 		return err
 	}
-	_ = s.b.Unpin(ctx, s.info.Ver)
+	if err := s.b.Unpin(ctx, s.info.Ver); err != nil {
+		// The fresh pin still protects the version; the stray count
+		// drains when its lease expires.
+		obs.Log.Debugf("blob %d: unpin after lease refresh of version %d: %v", s.b.id, s.info.Ver, err)
+	}
 	s.mu.Lock()
 	s.pinnedAt = time.Now()
 	s.mu.Unlock()
@@ -154,7 +160,9 @@ func (s *Snapshot) renew(ctx context.Context) {
 	due := s.pinned && !s.closed && time.Since(s.pinnedAt) >= ttl/2
 	s.mu.Unlock()
 	if due {
-		_ = s.Renew(ctx)
+		if err := s.Renew(ctx); err != nil {
+			obs.Log.Debugf("blob %d: snapshot lease renew of version %d: %v", s.b.id, s.info.Ver, err)
+		}
 	}
 }
 
@@ -175,6 +183,7 @@ func (s *Snapshot) Close() error {
 	if !pinned {
 		return nil
 	}
+	//lint:detached the pin release must reach the version manager even after the caller's ctx died, or collection stalls a full TTL
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	return s.b.Unpin(ctx, s.info.Ver)

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"blobseer/internal/dht"
+	"blobseer/internal/obs"
 	"blobseer/internal/rpc"
 	"blobseer/internal/segtree"
 	"blobseer/internal/transport"
@@ -304,7 +305,9 @@ func (vm *VersionManager) checkpointLoop() {
 		case <-vm.journal.kick:
 			// Errors are not fatal: the journal itself is intact, the
 			// next kick (or the final checkpoint on Close) retries.
-			_ = vm.journal.checkpoint(vm.st)
+			if err := vm.journal.checkpoint(vm.st); err != nil {
+				obs.Log.Warnf("blob: version-manager checkpoint: %v", err)
+			}
 		}
 	}
 }
@@ -471,6 +474,7 @@ func (vm *VersionManager) seal(blob, ver uint64) error {
 	}
 	var commitErr error
 	if vm.cfg.Nodes != nil {
+		//lint:detached sealing runs on the manager's timeout sweep, not a caller RPC; its own 30s deadline bounds the commit
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		commitErr = segtree.Commit(ctx, vm.cfg.Nodes, blob, rec, history, holes)
 		cancel()
@@ -526,7 +530,9 @@ func (vm *VersionManager) sealLoop() {
 		}
 		for _, t := range targets {
 			// Errors are retried on the next tick.
-			_ = vm.seal(t.blob, t.ver)
+			if err := vm.seal(t.blob, t.ver); err != nil {
+				obs.Log.Warnf("blob %d: timeout seal of version %d: %v", t.blob, t.ver, err)
+			}
 		}
 	}
 }

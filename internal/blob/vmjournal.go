@@ -86,6 +86,10 @@ func (j *vmJournal) append(rec *vmRecord) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	rec.Seq = j.seq + 1
+	// Write-ahead ordering: the record must be durable before the
+	// state change it journals is acknowledged, and seq order must
+	// equal log order — both hinge on the append happening under j.mu.
+	//lint:lockhold WAL append must commit under j.mu so seq order matches log order; every contender is an append needing the same ordering
 	if err := j.kv.Put(jkey(rec.Seq), rec.encode()); err != nil {
 		return err
 	}

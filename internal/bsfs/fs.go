@@ -12,6 +12,7 @@ import (
 	"blobseer/internal/blob"
 	"blobseer/internal/cache"
 	"blobseer/internal/dfs"
+	"blobseer/internal/obs"
 	"blobseer/internal/rpc"
 	"blobseer/internal/transport"
 )
@@ -269,6 +270,7 @@ func (fs *FS) OpenVersion(ctx context.Context, path string, ver uint64) (dfs.Ver
 		// version's own size, so a stale snapshot is harmless.
 		r.ra = cache.NewReadahead(ctx, fs.cfg.ReadDepth, fs.bc.ReadStats(),
 			func(fctx context.Context, page uint64) {
+				//lint:droppederr readahead is advisory; a miss costs one demand fetch and the read path reports real failures
 				_ = b.Prefetch(fctx, r.ver.Load(), page*ent.PageSize, ent.PageSize)
 			})
 	}
@@ -802,7 +804,11 @@ func (r *fileReader) renewPin() {
 		return
 	}
 	if err := r.b.Pin(r.ctx, r.pinned, r.pinTTL); err == nil {
-		_ = r.b.Unpin(r.ctx, r.pinned)
+		if uerr := r.b.Unpin(r.ctx, r.pinned); uerr != nil {
+			// The fresh pin still protects the version; the stray
+			// count drains when its lease expires.
+			obs.Log.Debugf("bsfs: unpin after lease refresh of version %d: %v", r.pinned, uerr)
+		}
 		r.pinnedAt = time.Now()
 	}
 }
@@ -816,9 +822,12 @@ func (r *fileReader) unpin() {
 	}
 	ver := r.pinned
 	r.pinned = 0
+	//lint:detached the lease release must reach the version manager even after the reader's ctx died, or collection stalls a full TTL
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	_ = r.b.Unpin(ctx, ver)
+	if err := r.b.Unpin(ctx, ver); err != nil {
+		obs.Log.Debugf("bsfs: detached unpin of version %d: %v", ver, err)
+	}
 }
 
 // Size implements dfs.FileReader.

@@ -21,6 +21,7 @@ import (
 	"blobseer/internal/blob"
 	"blobseer/internal/dfs"
 	"blobseer/internal/kvlog"
+	"blobseer/internal/obs"
 	"blobseer/internal/rpc"
 	"blobseer/internal/transport"
 	"blobseer/internal/wire"
@@ -302,7 +303,9 @@ func (ns *NamespaceManager) maybeCompactLocked() {
 	if total-live >= nsCompactThreshold {
 		// Best effort: a failed compaction leaves a bigger but intact
 		// journal.
-		_ = ns.kv.Compact()
+		if err := ns.kv.Compact(); err != nil {
+			obs.Log.Warnf("bsfs: namespace journal compaction: %v", err)
+		}
 	}
 }
 
@@ -360,6 +363,7 @@ func (ns *NamespaceManager) handleCreate(r *wire.Reader) (wire.Marshaler, error)
 	ns.mu.Unlock()
 
 	// Create the backing BLOB outside the lock (network I/O).
+	//lint:detached the wire handler surface carries no caller ctx; the 30s deadline bounds the create
 	ctx, cancel := context.WithTimeout(context.Background(), 30e9)
 	bl, err := ns.bc.Create(ctx, req.PageSize)
 	cancel()
@@ -398,9 +402,14 @@ func (ns *NamespaceManager) handleCreate(r *wire.Reader) (wire.Marshaler, error)
 // independent of the triggering request.
 func (ns *NamespaceManager) deleteBlobDetached(id uint64) {
 	go func() {
+		//lint:detached retirement must outlive the request that lost the create race; the 30s deadline bounds it
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
-		_ = ns.bc.DeleteBlob(ctx, id)
+		if err := ns.bc.DeleteBlob(ctx, id); err != nil {
+			// The BLOB is orphaned until an operator reaps it — worth
+			// surfacing.
+			obs.Log.Warnf("bsfs: detached retire of blob %d: %v", id, err)
+		}
 	}()
 }
 
@@ -580,6 +589,7 @@ func (ns *NamespaceManager) handleDelete(r *wire.Reader) (wire.Marshaler, error)
 	// retry tries again, instead of leaking an orphaned BLOB behind a
 	// half-done delete.
 	if blobID != 0 {
+		//lint:detached the wire handler surface carries no caller ctx; the 30s deadline bounds the retire
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := ns.bc.DeleteBlob(ctx, blobID); err != nil {

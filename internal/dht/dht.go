@@ -20,6 +20,7 @@ import (
 	"sort"
 	"sync"
 
+	"blobseer/internal/obs"
 	"blobseer/internal/rpc"
 	"blobseer/internal/transport"
 	"blobseer/internal/wire"
@@ -474,7 +475,9 @@ func (c *Client) Get(ctx context.Context, key string) ([]byte, error) {
 func (c *Client) Delete(ctx context.Context, key string) error {
 	for _, addr := range c.ring.Lookup(key, c.replicas) {
 		// Best effort: immutable entries make deletes advisory (GC).
-		_ = c.pool.Call(ctx, addr, MethodDelete, &GetReq{Key: key}, nil)
+		if err := c.pool.Call(ctx, addr, MethodDelete, &GetReq{Key: key}, nil); err != nil {
+			obs.Log.Debugf("dht: advisory delete of %q at %v: %v", key, addr, err)
+		}
 	}
 	return nil
 }

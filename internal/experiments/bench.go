@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -326,7 +327,7 @@ func BenchIncident(cfg Config) (*BenchReport, *IncidentResult, error) {
 // version-manager and provider processes by the trace context the
 // frames carried. This is the observability acceptance demo — one
 // append explained end to end across processes.
-func TraceAppend(cfg Config) (string, error) {
+func TraceAppend(ctx context.Context, cfg Config) (string, error) {
 	cfg = cfg.withDefaults()
 	env, err := newBSFSEnv(cfg)
 	if err != nil {

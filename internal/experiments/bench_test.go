@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"strings"
@@ -84,7 +85,7 @@ func TestBenchRunBrackets(t *testing.T) {
 }
 
 func TestTraceAppendTree(t *testing.T) {
-	tree, err := TraceAppend(smallCfg())
+	tree, err := TraceAppend(context.Background(), smallCfg())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -286,4 +286,5 @@ func freshPath(kind string, point int) string {
 	return fmt.Sprintf("/bench/%s/point-%03d", kind, point)
 }
 
+//lint:detached the bench harness root ctx: experiment runs own their whole process lifetime, there is no caller to thread from
 var ctx = context.Background()

@@ -29,6 +29,9 @@ type DiagSources struct {
 	Registry *metrics.Registry
 	// Health, when set, is run for health.json.
 	Health func() monitor.HealthReport
+	// Now stamps bundle members (default time.Now); tests override it
+	// for reproducible archives.
+	Now func() time.Time
 }
 
 // WriteDiagBundle collects a postmortem bundle — alerts, flight
@@ -38,7 +41,11 @@ type DiagSources struct {
 func WriteDiagBundle(w io.Writer, src DiagSources) ([]string, error) {
 	gz := gzip.NewWriter(w)
 	tw := tar.NewWriter(gz)
-	now := time.Now()
+	clock := src.Now
+	if clock == nil {
+		clock = time.Now
+	}
+	now := clock()
 	var members []string
 
 	add := func(name string, data []byte) error {

@@ -50,6 +50,10 @@ func (o RecorderOptions) withDefaults() RecorderOptions {
 type Recorder struct {
 	opts RecorderOptions
 
+	// now is the injected clock stamping events; tests override it to
+	// keep timelines deterministic.
+	now func() time.Time
+
 	mu        sync.Mutex
 	store     *kvlog.Store
 	seq       uint64 // last assigned seq
@@ -70,7 +74,7 @@ func Open(path string, opts RecorderOptions) (*Recorder, error) {
 	if err != nil {
 		return nil, fmt.Errorf("flight open: %w", err)
 	}
-	r := &Recorder{opts: opts, store: store}
+	r := &Recorder{opts: opts, store: store, now: time.Now}
 	var seqs []uint64
 	for _, k := range store.Keys() {
 		var s uint64
@@ -106,12 +110,16 @@ func (r *Recorder) Append(ev Event) error {
 	r.seq++
 	ev.Seq = r.seq
 	if ev.At.IsZero() {
-		ev.At = time.Now()
+		ev.At = r.now()
 	}
 	buf, err := json.Marshal(ev)
 	if err != nil {
 		return fmt.Errorf("flight append: %w", err)
 	}
+	// r.mu exists to serialize log appends: seq assignment and the
+	// kvlog write must commit in the same order, and every contender
+	// is itself an append that needs the disk write ordered anyway.
+	//lint:lockhold r.mu's purpose is serializing the append + seq assignment; contenders are appends that must wait for the write regardless
 	if err := r.store.Put(eventKey(ev.Seq), buf); err != nil {
 		return err
 	}
@@ -122,6 +130,7 @@ func (r *Recorder) Append(ev Event) error {
 		if v, err := r.store.Get(key); err == nil {
 			r.liveBytes -= int64(len(v))
 		}
+		//lint:lockhold retention must delete under the same critical section that admitted the event past the cap
 		if err := r.store.Delete(key); err != nil {
 			return err
 		}
@@ -129,6 +138,7 @@ func (r *Recorder) Append(ev Event) error {
 		r.count--
 	}
 	if total, live := r.store.Size(); total-live > r.opts.CompactSlack {
+		//lint:lockhold compaction rewrites the log file; appends racing it would write into the pre-rename fd
 		if err := r.store.Compact(); err != nil {
 			return err
 		}
@@ -201,6 +211,7 @@ func (r *Recorder) Sync() error {
 	if r.closed {
 		return nil
 	}
+	//lint:lockhold Sync must order against in-flight appends; r.mu is the append serializer
 	return r.store.Sync()
 }
 

@@ -89,6 +89,10 @@ type Watchdog struct {
 	rec   *Recorder
 	rules []Rule
 
+	// now is the injected clock behind alert Since stamps; tests
+	// override it for deterministic hysteresis timelines.
+	now func() time.Time
+
 	mu         sync.Mutex
 	states     map[string]*ruleState
 	lastHealth map[string]bool
@@ -104,6 +108,7 @@ func NewWatchdog(mon *monitor.Monitor, rec *Recorder, rules []Rule, opts Watchdo
 		mon:        mon,
 		rec:        rec,
 		rules:      rules,
+		now:        time.Now,
 		states:     make(map[string]*ruleState),
 		lastHealth: make(map[string]bool),
 	}
@@ -133,29 +138,36 @@ func (w *Watchdog) Close() {
 
 // Evaluate runs one rule pass against a fresh snapshot (and health
 // check when configured), updates hysteresis state, and records
-// snapshot/health/alert events.
+// snapshot/health/alert events. Journal writes are decided under
+// w.mu but performed after it is released: a kvlog append (worst
+// case: a compaction rewrite) under the state lock would stall every
+// /alerts and Firing reader — the same holding-a-lock-across-I/O
+// class the monitor's OnCollect design avoids, enforced here by the
+// lockhold analyzer.
 func (w *Watchdog) Evaluate() {
 	snap := w.mon.Snapshot(w.opts.TopK)
 
 	var health *monitor.HealthReport
 	if w.opts.HealthCheck != nil {
+		// The ping is driven by the collector tick, not an RPC caller:
+		// there is no inbound context to thread, only the timeout.
+		//lint:detached health pings run on the monitor's collection goroutine; HealthTimeout bounds them
 		ctx, cancel := context.WithTimeout(context.Background(), w.opts.HealthTimeout)
 		h := w.opts.HealthCheck(ctx)
 		cancel()
 		health = &h
 	}
 
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	w.evals++
+	var pending []Event
 
+	w.mu.Lock()
+	w.evals++
 	if w.rec != nil && w.opts.SnapshotEvery > 0 && w.evals%uint64(w.opts.SnapshotEvery) == 0 {
-		if err := w.rec.RecordSnapshot(snap); err != nil {
-			obs.Log.Errorf("flight: record snapshot: %v", err)
-		}
+		s := snap
+		pending = append(pending, Event{Kind: KindSnapshot, Snapshot: &s})
 	}
 	if health != nil {
-		w.recordHealthTransitions(health)
+		pending = append(pending, w.healthTransitionsLocked(health)...)
 	}
 
 	for _, rule := range w.rules {
@@ -175,13 +187,13 @@ func (w *Watchdog) Evaluate() {
 		switch {
 		case !st.firing && st.breaches >= w.opts.FireAfter:
 			st.firing = true
-			st.since = time.Now()
+			st.since = w.now()
 			st.fires++
-			w.transition(rule.Name, StateFiring, value, limit, detail)
+			pending = append(pending, w.transitionLocked(rule.Name, StateFiring, value, limit, detail)...)
 		case st.firing && st.oks >= w.opts.ClearAfter:
 			st.firing = false
-			st.since = time.Now()
-			w.transition(rule.Name, StateOK, value, limit, detail)
+			st.since = w.now()
+			pending = append(pending, w.transitionLocked(rule.Name, StateOK, value, limit, detail)...)
 		}
 		state := StateOK
 		if st.firing {
@@ -198,27 +210,36 @@ func (w *Watchdog) Evaluate() {
 			Fires:    st.fires,
 		}
 	}
+	w.mu.Unlock()
+
+	// Journal the decided events with the state lock released. The
+	// recorder serializes appends itself, so within this Evaluate the
+	// snapshot -> health -> alert order is preserved.
+	for _, ev := range pending {
+		if err := w.rec.Append(ev); err != nil {
+			obs.Log.Errorf("flight: record %s: %v", ev.Kind, err)
+		}
+	}
 }
 
-// transition records one fire/clear event; callers hold w.mu.
-func (w *Watchdog) transition(rule, state string, value, limit float64, detail string) {
+// transitionLocked logs one fire/clear transition and returns the
+// event to journal (empty without a recorder); callers hold w.mu.
+func (w *Watchdog) transitionLocked(rule, state string, value, limit float64, detail string) []Event {
 	if state == StateFiring {
 		obs.Log.Warnf("alert FIRING: %s value=%.3f limit=%.3f %s", rule, value, limit, detail)
 	} else {
 		obs.Log.Infof("alert cleared: %s value=%.3f limit=%.3f", rule, value, limit)
 	}
 	if w.rec == nil {
-		return
+		return nil
 	}
-	ev := AlertEvent{Rule: rule, State: state, Value: value, Limit: limit, Detail: detail}
-	if err := w.rec.RecordAlert(ev); err != nil {
-		obs.Log.Errorf("flight: record alert: %v", err)
-	}
+	return []Event{{Kind: KindAlert, Alert: &AlertEvent{Rule: rule, State: state, Value: value, Limit: limit, Detail: detail}}}
 }
 
-// recordHealthTransitions emits a health event per component flip;
-// callers hold w.mu.
-func (w *Watchdog) recordHealthTransitions(h *monitor.HealthReport) {
+// healthTransitionsLocked updates per-component health memory and
+// returns one event per flip; callers hold w.mu.
+func (w *Watchdog) healthTransitionsLocked(h *monitor.HealthReport) []Event {
+	var events []Event
 	for _, c := range h.Components {
 		prev, seen := w.lastHealth[c.Component]
 		w.lastHealth[c.Component] = c.Healthy
@@ -231,11 +252,11 @@ func (w *Watchdog) recordHealthTransitions(h *monitor.HealthReport) {
 		if w.rec == nil {
 			continue
 		}
-		ev := HealthEvent{Component: c.Component, Healthy: c.Healthy, Detail: c.Detail, LatencyMs: c.LatencyMs}
-		if err := w.rec.RecordHealth(ev); err != nil {
-			obs.Log.Errorf("flight: record health: %v", err)
-		}
+		events = append(events, Event{Kind: KindHealth, Health: &HealthEvent{
+			Component: c.Component, Healthy: c.Healthy, Detail: c.Detail, LatencyMs: c.LatencyMs,
+		}})
 	}
+	return events
 }
 
 // Alerts returns the current per-rule states, firing first, then by

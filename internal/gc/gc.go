@@ -68,6 +68,10 @@ type Collector struct {
 
 	runMu sync.Mutex // serializes passes
 
+	// now is the injected clock behind pass-latency measurement; tests
+	// override it for deterministic timings.
+	now func() time.Time
+
 	mu      sync.Mutex
 	enabled bool
 	queues  map[string][]pagestore.Key // provider addr -> pending deletes
@@ -134,6 +138,7 @@ func New(c *blob.Client, opts Options) *Collector {
 		c:       c,
 		opts:    opts,
 		stats:   opts.Stats,
+		now:     time.Now,
 		enabled: true,
 		queues:  make(map[string][]pagestore.Key),
 		blobs:   make(map[uint64]*blobGCState),
@@ -198,6 +203,7 @@ func (g *Collector) loop() {
 		var tickC <-chan time.Time
 		var timer *time.Timer
 		if iv > 0 {
+			//lint:walltime the reclaim cadence is wall-clock by design; RunOnce is the injectable seam tests drive
 			timer = time.NewTimer(iv)
 			tickC = timer.C
 		}
@@ -218,6 +224,7 @@ func (g *Collector) loop() {
 		default:
 		}
 		if fired {
+			//lint:detached reclaim passes run on the collector's own goroutine, not a caller RPC; the 1m deadline bounds them
 			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 			if _, err := g.RunOnce(ctx); err != nil {
 				// The next pass retries; surface the failure instead of
@@ -245,11 +252,11 @@ func (g *Collector) RunOnce(ctx context.Context) (Report, error) {
 		return rep, nil
 	}
 
-	start := time.Now()
+	start := g.now()
 	ctx, sp := obs.StartSpan(ctx, "gc.pass")
 	var passErr error
 	defer func() {
-		g.stats.ObservePassLatency(time.Since(start))
+		g.stats.ObservePassLatency(g.now().Sub(start))
 		if sp != nil { // guard: varargs boxing allocates even for a nil span
 			sp.Annotate("pages=%d bytes=%d", rep.PagesReclaimed, rep.BytesReclaimed)
 		}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"blobseer/internal/dfs"
+	"blobseer/internal/obs"
 	"blobseer/internal/shuffle"
 )
 
@@ -258,8 +259,13 @@ func (jt *JobTracker) RunStreaming(ctx context.Context, fs dfs.FileSystem, conf 
 		// BLOBs so shuffle traffic does not accrete storage forever.
 		// Detached context: cleanup must run even when the caller's
 		// context is what killed the job.
+		//lint:detached cleanup must run even when the caller's ctx is what killed the job; the 30s deadline bounds it
 		cctx, ccancel := context.WithTimeout(context.Background(), 30*time.Second)
-		_ = job.shuffle.Cleanup(cctx, fs.(shuffle.ClientSource).BlobClient())
+		if cerr := job.shuffle.Cleanup(cctx, fs.(shuffle.ClientSource).BlobClient()); cerr != nil {
+			// Leaked intermediate BLOBs accrete storage until an
+			// operator reaps them — worth surfacing.
+			obs.Log.Warnf("mapreduce: job %d: shuffle cleanup: %v", job.id, cerr)
+		}
 		ccancel()
 	}
 	if err != nil {
@@ -632,9 +638,13 @@ func (j *jobState) cleanupAndListOutputs(ctx context.Context) ([]string, error) 
 	tmpDir := j.conf.OutputDir + "/_temporary"
 	if infos, err := j.fs.List(ctx, tmpDir); err == nil {
 		for _, fi := range infos {
-			_ = j.fs.Delete(ctx, fi.Path)
+			if derr := j.fs.Delete(ctx, fi.Path); derr != nil {
+				obs.Log.Debugf("mapreduce: job %d: delete tmp %s: %v", j.id, fi.Path, derr)
+			}
 		}
-		_ = j.fs.Delete(ctx, tmpDir)
+		if derr := j.fs.Delete(ctx, tmpDir); derr != nil {
+			obs.Log.Debugf("mapreduce: job %d: delete tmp dir %s: %v", j.id, tmpDir, derr)
+		}
 	}
 	infos, err := j.fs.List(ctx, j.conf.OutputDir)
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"blobseer/internal/dfs"
+	"blobseer/internal/obs"
 	"blobseer/internal/shuffle"
 )
 
@@ -89,7 +90,9 @@ func (tt *TaskTracker) runReduce(ctx context.Context, job *jobState, r int) (out
 	}
 	cost.flush()
 	if emitErr != nil {
-		_ = commit(false)
+		if cerr := commit(false); cerr != nil {
+			obs.Log.Debugf("mapreduce: abort reduce attempt: %v", cerr)
+		}
 		return 0, 0, shuffled, emitErr
 	}
 	if err := commit(true); err != nil {
@@ -318,7 +321,9 @@ func (tt *TaskTracker) openReduceOutput(ctx context.Context, job *jobState, r in
 		commit := func(ok bool) error {
 			if !ok {
 				w.Close()
-				_ = tt.fs.Delete(ctx, tmp)
+				if derr := tt.fs.Delete(ctx, tmp); derr != nil {
+					obs.Log.Debugf("mapreduce: delete aborted attempt %s: %v", tmp, derr)
+				}
 				return nil
 			}
 			if err := w.Close(); err != nil {

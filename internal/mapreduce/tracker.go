@@ -89,6 +89,7 @@ func NewTaskTracker(net transport.Network, host string, fs dfs.FileSystem) (*Tas
 	if err != nil {
 		return nil, err
 	}
+	//lint:detached the tracker root ctx spans the process, outliving any single job; Close cancels it
 	ctx, cancel := context.WithCancel(context.Background())
 	tt := &TaskTracker{
 		host:    host,

@@ -249,6 +249,10 @@ func (m *Monitor) SetInterval(d time.Duration) {
 	defer m.runMu.Unlock()
 	if m.stop != nil {
 		close(m.stop)
+		// runMu exists to serialize rearms; the wait is bounded because
+		// the closed stop channel makes the collector goroutine exit at
+		// its next select, and collection itself never takes runMu.
+		//lint:lockhold rearm serialization is runMu's whole purpose; the closed stop channel bounds the wait to one select turn
 		<-m.stopped
 		m.stop, m.stopped = nil, nil
 	}
@@ -264,6 +268,7 @@ func (m *Monitor) SetInterval(d time.Duration) {
 	m.stop, m.stopped = stop, stopped
 	go func() {
 		defer close(stopped)
+		//lint:walltime the collection cadence is wall-clock by design; CollectOnce is the injectable seam tests drive
 		t := time.NewTicker(d)
 		defer t.Stop()
 		for {

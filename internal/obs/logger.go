@@ -102,6 +102,7 @@ func (l *Logger) logf(level Level, format string, args ...any) {
 	msg := fmt.Sprintf(format, args...)
 	line := fmt.Sprintf("%s %-5s %s\n", time.Now().Format("15:04:05.000"), level, msg)
 	l.mu.Lock()
+	//lint:droppederr logging the log writer's own failure would recurse into logf; there is no better fallback than dropping the line
 	_, _ = io.WriteString(l.w, line)
 	l.mu.Unlock()
 }

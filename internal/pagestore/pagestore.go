@@ -235,6 +235,7 @@ func (d *Durable) MaybeCompact() (bool, error) {
 	if total-live < d.compactThreshold {
 		return false, nil
 	}
+	//lint:lockhold compaction rewrites the log file and must exclude concurrent writers; d.mu is the write serializer
 	if err := d.log.Compact(); err != nil {
 		return false, err
 	}

@@ -365,6 +365,10 @@ func (c *Client) ensureConn() (transport.Conn, error) {
 	if c.conn != nil {
 		return c.conn, nil
 	}
+	// The dial is intentionally serialized under c.mu: every contender
+	// needs this same connection and would block on the dial's outcome
+	// regardless; racing dials would leak connections.
+	//lint:lockhold contenders need this conn and block on the dial's outcome regardless; racing dials would leak connections
 	conn, err := c.net.Dial(c.local, c.remote)
 	if err != nil {
 		return nil, fmt.Errorf("rpc dial %s: %w", c.remote, err)

@@ -307,6 +307,7 @@ func (st *Store) Fetch(ctx context.Context, c *blob.Client, seg Segment) ([]byte
 		return nil, fmt.Errorf("shuffle: pin segment map %d part %d: %w", seg.Map, seg.Part, err)
 	}
 	defer func() {
+		//lint:detached the segment unpin must reach the version manager even after the reduce's ctx died, or reclaim stalls a full lease
 		uctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := b.Unpin(uctx, seg.Ver); err != nil {
